@@ -1,0 +1,508 @@
+package escape
+
+// Benchmark harness for the per-experiment index in DESIGN.md. Each family
+// regenerates one experiment of EXPERIMENTS.md:
+//
+//	E1  BenchmarkE1ViewComputation, BenchmarkE1DomainAggregation
+//	E2  BenchmarkE2ChainDeployment, BenchmarkE2MapperVsBaselines
+//	E3  BenchmarkE3RecursionDepth
+//	E4  BenchmarkE4Decomposition
+//	E5  BenchmarkE5Netconf, BenchmarkE5OpenFlow, BenchmarkE5UNFastPath
+//
+// Domain-specific results (acceptance ratios, footprints, backtracks) are
+// emitted with b.ReportMetric, so `go test -bench . -benchmem` prints the
+// table rows directly.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/dataplane"
+	"github.com/unify-repro/escape/internal/decomp"
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/embed"
+	"github.com/unify-repro/escape/internal/netconf"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/openflow"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+// --- shared generators -------------------------------------------------------
+
+// syntheticDov builds a DoV-like graph with n BiS-BiS across d domains in a
+// ring, one user SAP per domain.
+func syntheticDov(n, d int) *nffg.NFFG {
+	b := nffg.NewBuilder(fmt.Sprintf("dov-%d-%d", n, d))
+	var nodes []nffg.ID
+	for i := 0; i < n; i++ {
+		id := nffg.ID(fmt.Sprintf("bb%03d", i))
+		dom := fmt.Sprintf("dom%d", i%d)
+		b.BiSBiS(id, dom, 6, nffg.Resources{CPU: 16, Mem: 16384, Storage: 128},
+			"firewall", "dpi", "nat", "compress")
+		nodes = append(nodes, id)
+	}
+	for i := 0; i < n; i++ {
+		b.Link(fmt.Sprintf("r%03d", i), nodes[i], "2", nodes[(i+1)%n], "1", 1000, 0.5)
+	}
+	for i := 0; i < d && i < n; i++ {
+		sap := nffg.ID(fmt.Sprintf("sap%d", i))
+		b.SAP(sap)
+		b.Link(fmt.Sprintf("u%03d", i), sap, "1", nodes[i], "3", 1000, 0.5)
+	}
+	return b.MustBuild()
+}
+
+// sapPair yields distinct ordered SAP pairs as j grows (unique classifier
+// per request while j < nSaps*(nSaps-1)).
+func sapPair(j, nSaps int) (nffg.ID, nffg.ID) {
+	stride := 1 + j/nSaps
+	a := j % nSaps
+	c := (a + stride) % nSaps
+	if c == a {
+		c = (a + 1) % nSaps
+	}
+	return nffg.ID(fmt.Sprintf("sap%d", a)), nffg.ID(fmt.Sprintf("sap%d", c))
+}
+
+// chainReqN builds a k-NF chain between two SAPs with uniform demand.
+func chainReqN(id string, sapA, sapB nffg.ID, k int, bw float64) *nffg.NFFG {
+	b := nffg.NewBuilder(id).SAP(sapA).SAP(sapB)
+	types := []string{"firewall", "dpi", "nat", "compress"}
+	nodes := []nffg.ID{sapA}
+	for i := 0; i < k; i++ {
+		nf := nffg.ID(fmt.Sprintf("%s-nf%d", id, i))
+		b.NF(nf, types[i%len(types)], 2, nffg.Resources{CPU: 2, Mem: 1024, Storage: 4})
+		nodes = append(nodes, nf)
+	}
+	nodes = append(nodes, sapB)
+	b.Chain(id, bw, 0, nodes...)
+	return b.MustBuild()
+}
+
+// --- E1: joint domain abstraction -------------------------------------------
+
+// BenchmarkE1ViewComputation measures view derivation cost for the three
+// virtualization policies over growing resource views (demo claim i: the
+// joint abstraction is cheap enough to recompute on demand).
+func BenchmarkE1ViewComputation(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256} {
+		dov := syntheticDov(n, 4)
+		for _, virt := range []core.Virtualizer{core.Transparent{}, core.DomainBiSBiS{}, core.SingleBiSBiS{}} {
+			b.Run(fmt.Sprintf("nodes=%d/%s", n, virt.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := virt.View(dov); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE1DomainAggregation measures folding per-domain views into the
+// DoV (orchestrator attach path).
+func BenchmarkE1DomainAggregation(b *testing.B) {
+	for _, domains := range []int{2, 4, 8, 16} {
+		views := make([]*nffg.NFFG, domains)
+		for i := range views {
+			v := syntheticDov(4, 1)
+			// Rename nodes/domain per child so merges do not collide.
+			renamed := nffg.New(fmt.Sprintf("d%d", i))
+			for _, id := range v.InfraIDs() {
+				inf := v.Infras[id]
+				inf.ID = nffg.ID(fmt.Sprintf("d%d-%s", i, id))
+				inf.Domain = fmt.Sprintf("dom%d", i)
+				_ = renamed.AddInfra(inf)
+			}
+			for _, id := range v.SAPIDs() {
+				s := v.SAPs[id]
+				s.ID = nffg.ID(fmt.Sprintf("d%d-%s", i, id))
+				_ = renamed.AddSAP(s)
+			}
+			for _, l := range v.Links {
+				l.SrcNode = nffg.ID(fmt.Sprintf("d%d-%s", i, l.SrcNode))
+				l.DstNode = nffg.ID(fmt.Sprintf("d%d-%s", i, l.DstNode))
+				renamed.Links = append(renamed.Links, l)
+			}
+			views[i] = renamed
+		}
+		b.Run(fmt.Sprintf("domains=%d", domains), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dov := nffg.New("dov")
+				for _, v := range views {
+					if err := dov.Merge(v); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- E2: chain deployment over unified resources ------------------------------
+
+// BenchmarkE2ChainDeployment measures full install+remove cycles of k-NF
+// chains through the complete Fig. 1 stack (live NETCONF/OpenFlow/REST
+// control channels included).
+func BenchmarkE2ChainDeployment(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("nfs=%d", k), func(b *testing.B) {
+			sys, err := NewFig1System(Fig1Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := chainReqN(fmt.Sprintf("bench-%d", i), "sap1", "sap2", k, 10)
+				if _, err := sys.MdO.Install(req); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.MdO.Remove(req.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2MapperVsBaselines compares embedding algorithms on acceptance
+// ratio and resource footprint under increasing load: the optimization half
+// of demo claim (ii). Requests use distinct SAP pairs round-robin.
+func BenchmarkE2MapperVsBaselines(b *testing.B) {
+	algs := []*embed.Mapper{embed.NewDefault(), embed.NewFirstFit(), embed.NewRandom(7)}
+	const nodes, doms, load = 12, 8, 40
+	for _, alg := range algs {
+		b.Run(alg.Name(), func(b *testing.B) {
+			var accepted, total, footprint, backtracks float64
+			for i := 0; i < b.N; i++ {
+				sub := syntheticDov(nodes, doms)
+				for j := 0; j < load; j++ {
+					sapA, sapB := sapPair(j, doms)
+					req := chainReqN(fmt.Sprintf("l%d", j), sapA, sapB, 2, 150)
+					total++
+					mp, err := alg.Map(sub, req)
+					if err != nil {
+						continue
+					}
+					cfg, err := embed.Apply(sub, mp)
+					if err != nil {
+						continue
+					}
+					sub = cfg
+					accepted++
+					footprint += mp.Footprint
+					backtracks += float64(mp.Backtracks)
+				}
+			}
+			b.ReportMetric(accepted/total*100, "accept_%")
+			if accepted > 0 {
+				b.ReportMetric(footprint/accepted, "footprint/chain")
+			}
+			b.ReportMetric(backtracks/float64(b.N), "backtracks/run")
+		})
+	}
+}
+
+// BenchmarkE2BacktrackAblation sweeps the mapper's backtracking budget: the
+// design-choice ablation DESIGN.md calls out (0 = pure greedy).
+func BenchmarkE2BacktrackAblation(b *testing.B) {
+	const nodes, doms, load = 12, 8, 40
+	for _, budget := range []int{0, 8, 32, 128, 512} {
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			alg := embed.New(embed.Options{MaxBacktrack: budget, KPaths: 3})
+			var accepted, total float64
+			for i := 0; i < b.N; i++ {
+				sub := syntheticDov(nodes, doms)
+				for j := 0; j < load; j++ {
+					sapA, sapB := sapPair(j, doms)
+					req := chainReqN(fmt.Sprintf("l%d", j), sapA, sapB, 2, 150)
+					total++
+					mp, err := alg.Map(sub, req)
+					if err != nil {
+						continue
+					}
+					cfg, err := embed.Apply(sub, mp)
+					if err != nil {
+						continue
+					}
+					sub = cfg
+					accepted++
+				}
+			}
+			b.ReportMetric(accepted/total*100, "accept_%")
+		})
+	}
+}
+
+// --- E3: recursive orchestration ----------------------------------------------
+
+// stackDepth builds `depth` orchestrators above a synthetic leaf.
+func stackDepth(b *testing.B, depth int) unify.Layer {
+	b.Helper()
+	sub := syntheticDov(4, 2) // two user SAPs: sap0, sap1
+	lo, err := core.NewLocalOrchestrator(core.LocalConfig{ID: "leaf", Substrate: sub})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var top unify.Layer = lo
+	for i := 1; i <= depth; i++ {
+		ro := core.NewResourceOrchestrator(core.Config{
+			ID:          fmt.Sprintf("layer%d", i),
+			Virtualizer: core.SingleBiSBiS{NodeID: nffg.ID(fmt.Sprintf("bisbis@l%d", i))},
+		})
+		if err := ro.Attach(top.(domain.Domain)); err != nil {
+			b.Fatal(err)
+		}
+		top = ro
+	}
+	return top
+}
+
+// BenchmarkE3RecursionDepth measures end-to-end deployment latency as
+// orchestration layers stack (demo claim iii-a): overhead should grow
+// roughly linearly and stay a small fraction of a deployment.
+func BenchmarkE3RecursionDepth(b *testing.B) {
+	for depth := 0; depth <= 4; depth++ {
+		b.Run(fmt.Sprintf("layers=%d", depth), func(b *testing.B) {
+			top := stackDepth(b, depth)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := chainReqN(fmt.Sprintf("svc%d-%d", depth, i), "sap0", "sap1", 2, 5)
+				if _, err := top.Install(req); err != nil {
+					b.Fatal(err)
+				}
+				if err := top.Remove(req.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E4: NF decomposition -----------------------------------------------------
+
+// BenchmarkE4Decomposition reproduces the shape of Sahhaf et al.: acceptance
+// ratio with decomposition on/off when monolithic NFs stop fitting.
+func BenchmarkE4Decomposition(b *testing.B) {
+	rules := decomp.NewRules()
+	if err := rules.Add("secure-gw", decomp.Decomposition{
+		Name: "split",
+		Components: []decomp.Component{
+			{Suffix: "fw", FunctionalType: "firewall", Ports: 2, Demand: nffg.Resources{CPU: 5, Mem: 4096, Storage: 16}},
+			{Suffix: "enc", FunctionalType: "compress", Ports: 2, Demand: nffg.Resources{CPU: 5, Mem: 4096, Storage: 16}},
+		},
+		Internal: []decomp.InternalLink{{SrcComp: "fw", SrcPort: "2", DstComp: "enc", DstPort: "1", Bandwidth: 10}},
+		PortMaps: []decomp.PortMap{{Outer: "1", Comp: "fw", Inner: "1"}, {Outer: "2", Comp: "enc", Inner: "2"}},
+		Cost:     1,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	// The substrate supports the monolith natively, but one 10-CPU monolith
+	// fragments a 16-CPU node (6 CPU stranded); 5-CPU components pack three
+	// per node. That fragmentation gap is exactly [2]'s motivation.
+	mkSub := func() *nffg.NFFG {
+		sub := syntheticDov(8, 8)
+		for _, id := range sub.InfraIDs() {
+			sub.Infras[id].Supported = append(sub.Infras[id].Supported, "secure-gw")
+		}
+		return sub
+	}
+	mkReq := func(j int) *nffg.NFFG {
+		id := fmt.Sprintf("gw%d", j)
+		sapA, sapB := sapPair(j, 8)
+		return nffg.NewBuilder(id).
+			SAP(sapA).SAP(sapB).
+			NF(nffg.ID(id+"-gw"), "secure-gw", 2, nffg.Resources{CPU: 10, Mem: 8192, Storage: 32}).
+			Chain(id, 20, 0, sapA, nffg.ID(id+"-gw"), sapB).
+			MustBuild()
+	}
+	for _, cfg := range []struct {
+		name  string
+		rules *decomp.Rules
+	}{{"monolithic", nil}, {"decomposed", rules}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			alg := embed.New(embed.Options{MaxBacktrack: 64, Decomp: cfg.rules})
+			var accepted, total float64
+			for i := 0; i < b.N; i++ {
+				sub := mkSub()
+				for j := 0; j < 16; j++ {
+					total++
+					mp, err := alg.Map(sub, mkReq(j))
+					if err != nil {
+						continue
+					}
+					cfgG, err := embed.Apply(sub, mp)
+					if err != nil {
+						continue
+					}
+					sub = cfgG
+					accepted++
+				}
+			}
+			b.ReportMetric(accepted/total*100, "accept_%")
+		})
+	}
+}
+
+// --- E5: control-plane and datapath substrate ----------------------------------
+
+// BenchmarkE5Netconf measures NETCONF transaction throughput (hello once,
+// then edit-config/get-config cycles over TCP).
+func BenchmarkE5Netconf(b *testing.B) {
+	ds := &benchDatastore{}
+	srv := netconf.NewServer(ds)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := netconf.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	payload := []byte("<virtualizer id=\"bench\"><nodes><infra><id>x</id></infra></nodes></virtualizer>")
+	b.Run("edit-config", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := cli.EditConfig(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("get-config", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.GetConfig(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+type benchDatastore struct{ cfg []byte }
+
+func (d *benchDatastore) GetConfig() ([]byte, error) { return d.cfg, nil }
+func (d *benchDatastore) EditConfig(c []byte) error  { d.cfg = c; return nil }
+func (d *benchDatastore) Call(string, []byte) ([]byte, error) {
+	return nil, nil
+}
+
+// BenchmarkE5OpenFlow measures flow-mod round-trip latency (flow-mod +
+// barrier over TCP) and stats collection.
+func BenchmarkE5OpenFlow(b *testing.B) {
+	eng := dataplane.NewEngine()
+	sw := dataplane.NewSwitch(eng, "bench-sw")
+	ctrl := openflow.NewController()
+	addr, err := ctrl.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ctrl.Close()
+	ag := openflow.NewSwitchAgent("bench-sw", sw, []uint16{1, 2})
+	if err := ag.Connect(addr); err != nil {
+		b.Fatal(err)
+	}
+	defer ag.Close()
+	if err := ctrl.WaitForSwitches(1, 5*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("flowmod+barrier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fm := &openflow.FlowMod{
+				Cmd: openflow.FlowAdd, RuleID: fmt.Sprintf("r%d", i%512),
+				Priority: 10, InPort: 1, AnyTag: true, OutPort: 2,
+			}
+			if err := ctrl.FlowMod("bench-sw", fm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stats", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ctrl.Stats("bench-sw"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5UNFastPath is the DPDK-surrogate ablation: per-packet lookups
+// versus single-lock batched lookups on the UN's LSI flow table.
+func BenchmarkE5UNFastPath(b *testing.B) {
+	mkTable := func(rules int) *dataplane.FlowTable {
+		ft := dataplane.NewFlowTable()
+		for i := 0; i < rules; i++ {
+			ft.Install(&dataplane.Rule{
+				ID: fmt.Sprintf("r%d", i), Priority: i,
+				Match:  dataplane.Match{InPort: 1, Tag: fmt.Sprintf("t%d", i)},
+				Action: dataplane.Action{OutPort: 2},
+			})
+		}
+		return ft
+	}
+	const rules = 64
+	for _, batch := range []int{1, 8, 32, 128} {
+		pkts := make([]*dataplane.Packet, batch)
+		for i := range pkts {
+			p := dataplane.NewPacket("a", "b", uint64(i), 100)
+			p.Tag = fmt.Sprintf("t%d", i%rules)
+			pkts[i] = p
+		}
+		b.Run(fmt.Sprintf("per-packet/batch=%d", batch), func(b *testing.B) {
+			ft := mkTable(rules)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pkts {
+					ft.Lookup(p, 1)
+				}
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds()/1e6, "Mlookups/s")
+		})
+		b.Run(fmt.Sprintf("batched/batch=%d", batch), func(b *testing.B) {
+			ft := mkTable(rules)
+			buf := make([]*dataplane.Rule, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ft.LookupBatchInto(pkts, 1, buf)
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds()/1e6, "Mlookups/s")
+		})
+	}
+	// Contended variants: several cores share one LSI table (the realistic
+	// accelerated-datapath setting where lock amortization pays).
+	const batch = 32
+	mkPkts := func() []*dataplane.Packet {
+		pkts := make([]*dataplane.Packet, batch)
+		for i := range pkts {
+			p := dataplane.NewPacket("a", "b", uint64(i), 100)
+			p.Tag = fmt.Sprintf("t%d", i%rules)
+			pkts[i] = p
+		}
+		return pkts
+	}
+	b.Run("contended/per-packet", func(b *testing.B) {
+		ft := mkTable(rules)
+		b.RunParallel(func(pb *testing.PB) {
+			pkts := mkPkts()
+			for pb.Next() {
+				for _, p := range pkts {
+					ft.Lookup(p, 1)
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds()/1e6, "Mlookups/s")
+	})
+	b.Run("contended/batched", func(b *testing.B) {
+		ft := mkTable(rules)
+		b.RunParallel(func(pb *testing.PB) {
+			pkts := mkPkts()
+			buf := make([]*dataplane.Rule, batch)
+			for pb.Next() {
+				ft.LookupBatchInto(pkts, 1, buf)
+			}
+		})
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds()/1e6, "Mlookups/s")
+	})
+}

@@ -1,0 +1,154 @@
+// Command escaped runs one orchestration layer as a daemon exposing the
+// Unify interface over HTTP — the process form of the recursive control
+// hierarchy. Layers in separate processes (or machines) stack by pointing a
+// parent's -child flags at the children's -listen addresses.
+//
+// Roles:
+//
+//	escaped -role leaf -id dom1 -substrate topo.json -listen :8181
+//	    Run a leaf domain: a local orchestrator over the substrate described
+//	    by the NFFG JSON file (or a generated line topology with -nodes).
+//
+//	escaped -role orchestrator -id mdo -child dom1=http://h1:8181 \
+//	        -child dom2=http://h2:8181 -listen :8080
+//	    Run a resource orchestrator over remote children.
+//
+// The served API is documented in internal/api.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/unify-repro/escape/internal/api"
+	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+type childFlags []string
+
+func (c *childFlags) String() string { return strings.Join(*c, ",") }
+func (c *childFlags) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+func main() {
+	log.SetPrefix("escaped: ")
+	log.SetFlags(0)
+
+	var (
+		role      = flag.String("role", "leaf", "layer role: leaf | orchestrator")
+		id        = flag.String("id", "", "layer ID (default: role)")
+		listen    = flag.String("listen", "127.0.0.1:8181", "HTTP listen address")
+		substrate = flag.String("substrate", "", "leaf: NFFG JSON file describing the internal topology")
+		nodes     = flag.Int("nodes", 3, "leaf: generated line-topology size when no -substrate given")
+		view      = flag.String("view", "single", "exported view: single | domain | transparent")
+		types     = flag.String("types", "firewall,dpi,nat,cache,compress,encrypt,lb,monitor", "leaf: supported NF types (generated substrate)")
+	)
+	var children childFlags
+	flag.Var(&children, "child", "orchestrator: child layer as name=url (repeatable)")
+	flag.Parse()
+
+	if *id == "" {
+		*id = *role
+	}
+	layer, err := buildLayer(*role, *id, *substrate, *nodes, *view, *types, children)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := api.NewServer(layer, nil)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s %q serving the Unify interface on http://%s", *role, *id, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	srv.Close()
+}
+
+func buildLayer(role, id, substratePath string, nodes int, view, types string, children childFlags) (unify.Layer, error) {
+	virt, err := pickVirtualizer(view, id)
+	if err != nil {
+		return nil, err
+	}
+	switch role {
+	case "leaf":
+		sub, err := loadOrGenerateSubstrate(id, substratePath, nodes, strings.Split(types, ","))
+		if err != nil {
+			return nil, err
+		}
+		return core.NewLocalOrchestrator(core.LocalConfig{ID: id, Substrate: sub, Virtualizer: virt})
+	case "orchestrator":
+		if len(children) == 0 {
+			return nil, fmt.Errorf("orchestrator needs at least one -child name=url")
+		}
+		ro := core.NewResourceOrchestrator(core.Config{ID: id, Virtualizer: virt})
+		for _, spec := range children {
+			name, url, ok := strings.Cut(spec, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad -child %q (want name=url)", spec)
+			}
+			cli, err := api.Dial(name, url)
+			if err != nil {
+				return nil, fmt.Errorf("child %s: %w", name, err)
+			}
+			if err := ro.Attach(cli); err != nil {
+				return nil, fmt.Errorf("attach %s: %w", name, err)
+			}
+			log.Printf("attached child %s at %s", name, url)
+		}
+		return ro, nil
+	default:
+		return nil, fmt.Errorf("unknown role %q", role)
+	}
+}
+
+func pickVirtualizer(view, id string) (core.Virtualizer, error) {
+	switch view {
+	case "single":
+		return core.SingleBiSBiS{NodeID: nffg.ID("bisbis@" + id)}, nil
+	case "domain":
+		return core.DomainBiSBiS{}, nil
+	case "transparent":
+		return core.Transparent{}, nil
+	default:
+		return nil, fmt.Errorf("unknown view %q", view)
+	}
+}
+
+func loadOrGenerateSubstrate(id, path string, nodes int, types []string) (*nffg.NFFG, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return nffg.DecodeJSON(f)
+	}
+	// Generated line: sapA - n1 - ... - nN - sapB.
+	b := nffg.NewBuilder(id + "-sub")
+	var ids []nffg.ID
+	for i := 1; i <= nodes; i++ {
+		nid := nffg.ID(fmt.Sprintf("%s-n%d", id, i))
+		b.BiSBiS(nid, id, 4, nffg.Resources{CPU: 16, Mem: 16384, Storage: 128}, types...)
+		ids = append(ids, nid)
+	}
+	b.SAP("sapA").SAP("sapB")
+	b.Link("u1", "sapA", "1", ids[0], "1", 1000, 0.5)
+	for i := 0; i < nodes-1; i++ {
+		b.Link(fmt.Sprintf("l%d", i), ids[i], "2", ids[i+1], "1", 1000, 0.5)
+	}
+	b.Link("u2", ids[nodes-1], "2", "sapB", "1", 1000, 0.5)
+	return b.Build()
+}

@@ -1,0 +1,100 @@
+// Command unifyctl is the operator CLI for any layer serving the Unify
+// interface (see cmd/escaped): it fetches virtualization views, submits
+// service requests, and lists or removes deployed services.
+//
+// Usage:
+//
+//	unifyctl -server http://127.0.0.1:8181 view [-format text|json|xml]
+//	unifyctl -server http://127.0.0.1:8181 submit request.json
+//	unifyctl -server http://127.0.0.1:8181 list
+//	unifyctl -server http://127.0.0.1:8181 remove <service-id>
+//	unifyctl -server http://127.0.0.1:8181 capabilities
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/unify-repro/escape/internal/api"
+	"github.com/unify-repro/escape/internal/nffg"
+)
+
+func main() {
+	log.SetPrefix("unifyctl: ")
+	log.SetFlags(0)
+	server := flag.String("server", "http://127.0.0.1:8181", "Unify interface endpoint")
+	format := flag.String("format", "text", "view output: text | json | xml")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cli, err := api.Dial("remote", *server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch cmd := flag.Arg(0); cmd {
+	case "view":
+		v, err := cli.View()
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch *format {
+		case "json":
+			if err := v.EncodeJSON(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		case "xml":
+			if err := v.EncodeXML(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		default:
+			fmt.Print(v.Render())
+		}
+	case "submit":
+		if flag.NArg() < 2 {
+			log.Fatal("submit needs a request file (NFFG JSON)")
+		}
+		f, err := os.Open(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		req, err := nffg.DecodeJSON(f)
+		_ = f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		receipt, err := cli.Install(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("service %s deployed\n", receipt.ServiceID)
+		for nf, host := range receipt.Placements {
+			fmt.Printf("  %-16s -> %s\n", nf, host)
+		}
+		for _, d := range receipt.Decompositions {
+			fmt.Printf("  decomposition: %s\n", d)
+		}
+	case "list":
+		for _, id := range cli.Services() {
+			fmt.Println(id)
+		}
+	case "remove":
+		if flag.NArg() < 2 {
+			log.Fatal("remove needs a service ID")
+		}
+		if err := cli.Remove(flag.Arg(1)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("removed", flag.Arg(1))
+	case "capabilities":
+		for _, c := range cli.Capabilities() {
+			fmt.Println(c)
+		}
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,108 @@
+// Elasticrouter: the UNIFY project's flagship use case — an "elastic router"
+// that scales with load. A load-balanced NF pair serves two customer sites;
+// when the operator sees the primary saturating, the service is reconfigured
+// to a scaled-out variant (two parallel workers) without touching the other
+// deployed services. Demonstrates reconfiguration, monitoring and capacity
+// accounting on the Universal Node domain, where container start-up is cheap.
+//
+//	go run ./examples/elasticrouter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	escape "github.com/unify-repro/escape"
+	"github.com/unify-repro/escape/internal/domain/un"
+	"github.com/unify-repro/escape/internal/monitor"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One Universal Node with two customer SAPs and one uplink SAP.
+	sub := escape.NewBuilder("un-sub").
+		BiSBiS("lsi0", "un", 6, escape.Resources{CPU: 16, Mem: 16384, Storage: 128},
+			"firewall", "nat", "lb", "cache", "monitor").
+		SAP("siteA").SAP("siteB").SAP("uplink").
+		Link("a", "siteA", "1", "lsi0", "1", 1000, 0.1).
+		Link("b", "siteB", "1", "lsi0", "2", 1000, 0.1).
+		Link("u", "lsi0", "3", "uplink", "1", 1000, 0.1).
+		MustBuild()
+	node, err := un.New(un.Config{ID: "un", Substrate: sub, Accelerated: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := escape.NewServiceLayer(node, nil)
+
+	// Phase 1: single router NF serving siteA -> uplink.
+	small := escape.NewBuilder("router-v1").
+		SAP("siteA").SAP("uplink").
+		NF("rt1", "nat", 2, escape.Resources{CPU: 4, Mem: 4096, Storage: 16}).
+		Chain("router-v1", 100, 0, "siteA", "rt1", "uplink").
+		MustBuild()
+	if _, err := svc.Submit(small); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("phase 1: router-v1 deployed (1 worker)")
+
+	// Generate load and observe the worker.
+	siteA, _ := node.Net().SAP("siteA")
+	for i := 0; i < 50; i++ {
+		siteA.Send("uplink", 1000)
+	}
+	node.Net().Eng.RunToIdle()
+	snap := monitor.CollectAll(monitor.NetSource{Domain: "un", Net: node.Net()})
+	for _, nf := range snap.NFs {
+		fmt.Printf("  load: %-12s processed=%d\n", nf.NF, nf.Processed)
+	}
+
+	// Phase 2: the operator decides 50 packets is saturation — scale out.
+	// Reconfiguration = remove + reinstall with the scaled topology; the
+	// second site comes online at the same time.
+	if err := svc.Remove("router-v1"); err != nil {
+		log.Fatal(err)
+	}
+	big := escape.NewBuilder("router-v2").
+		SAP("siteA").SAP("siteB").SAP("uplink").
+		NF("rtA", "nat", 2, escape.Resources{CPU: 4, Mem: 4096, Storage: 16}).
+		NF("rtB", "nat", 2, escape.Resources{CPU: 4, Mem: 4096, Storage: 16}).
+		MustBuild()
+	if _, err := escape.BuildChain(big, "pathA", 100, 0, "siteA", "rtA", "uplink"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := escape.BuildChain(big, "pathB", 100, 0, "siteB", "rtB", "uplink"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := svc.Submit(big); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nphase 2: router-v2 deployed (2 workers, 2 sites)")
+	fmt.Println("  containers on the UN:")
+	for _, c := range node.Runtime().List() {
+		fmt.Printf("    %-6s %-22s %s\n", c.ID, c.Image, c.State)
+	}
+
+	// Load from both sites is now served by separate workers.
+	siteB, _ := node.Net().SAP("siteB")
+	for i := 0; i < 30; i++ {
+		siteA.Send("uplink", 1000)
+		siteB.Send("uplink", 1000)
+	}
+	node.Net().Eng.RunToIdle()
+	snap = monitor.CollectAll(monitor.NetSource{Domain: "un", Net: node.Net()})
+	fmt.Println("  per-worker load after scale-out:")
+	for _, nf := range snap.NFs {
+		fmt.Printf("    %-12s processed=%d\n", nf.NF, nf.Processed)
+	}
+
+	// Capacity accounting survives the churn.
+	view, err := node.View()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range view.InfraIDs() {
+		avail, _ := view.AvailableResources(id)
+		fmt.Printf("\nremaining capacity on %s: %.0f CPU / %.0f MB\n", id, avail.CPU, avail.Mem)
+	}
+}

@@ -1,0 +1,113 @@
+// Recursive: the manager–virtualizer relationship stacked three levels deep.
+// The same service request is deployed through 1, 2 and 3 orchestration
+// layers; the final allocation is identical, and each extra layer just adds
+// a receipt level — the paper's "Unify domains can be stacked into a
+// multi-level control hierarchy".
+//
+//	go run ./examples/recursive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	escape "github.com/unify-repro/escape"
+	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+func leaf() *core.LocalOrchestrator {
+	sub := escape.NewBuilder("leaf-sub").
+		BiSBiS("n1", "leaf", 4, escape.Resources{CPU: 16, Mem: 16384, Storage: 128},
+			"firewall", "nat", "dpi").
+		BiSBiS("n2", "leaf", 4, escape.Resources{CPU: 16, Mem: 16384, Storage: 128},
+			"firewall", "nat", "dpi").
+		SAP("a").SAP("b").
+		Link("l1", "a", "1", "n1", "1", 1000, 0.5).
+		Link("l2", "n1", "2", "n2", "1", 1000, 0.5).
+		Link("l3", "n2", "2", "b", "1", 1000, 0.5).
+		MustBuild()
+	lo, err := escape.NewLocalOrchestrator(escape.LocalConfig{ID: "leaf", Substrate: sub})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return lo
+}
+
+func request(id string) *escape.NFFG {
+	return escape.NewBuilder(id).
+		SAP("a").SAP("b").
+		NF(escape.ID(id+"-fw"), "firewall", 2, escape.Resources{CPU: 2, Mem: 1024, Storage: 4}).
+		NF(escape.ID(id+"-nat"), "nat", 2, escape.Resources{CPU: 2, Mem: 1024, Storage: 4}).
+		Chain(id, 30, 0, "a", escape.ID(id+"-fw"), escape.ID(id+"-nat"), "b").
+		MustBuild()
+}
+
+// stack builds `depth` orchestrators above a fresh leaf and returns the top.
+func stack(depth int) unify.Layer {
+	var top unify.Layer = leaf()
+	for i := 1; i <= depth; i++ {
+		ro := core.NewResourceOrchestrator(core.Config{
+			ID:          fmt.Sprintf("layer%d", i),
+			Virtualizer: core.SingleBiSBiS{NodeID: escape.ID(fmt.Sprintf("bisbis@layer%d", i))},
+		})
+		if err := ro.Attach(top.(domain.Domain)); err != nil {
+			log.Fatal(err)
+		}
+		top = ro
+	}
+	return top
+}
+
+func leafPlacements(r *escape.Receipt) map[escape.ID]escape.ID {
+	// Walk to the deepest receipt: that is the leaf's concrete allocation.
+	cur := r
+	for len(cur.Children) > 0 {
+		for _, c := range cur.Children {
+			cur = c
+			break
+		}
+	}
+	return cur.Placements
+}
+
+func main() {
+	log.SetFlags(0)
+	for depth := 0; depth <= 3; depth++ {
+		top := stack(depth)
+		receipt, err := top.Install(request("svc"))
+		if err != nil {
+			log.Fatalf("depth %d: %v", depth, err)
+		}
+		fmt.Printf("layers above the leaf: %d\n", depth)
+		fmt.Println("  concrete placements:", fmtPlacements(leafPlacements(receipt)))
+		fmt.Println("  receipt depth:      ", receiptDepth(receipt))
+		if err := top.Remove("svc"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nsame allocation at every depth — recursion only adds receipt levels.")
+}
+
+func fmtPlacements(p map[escape.ID]escape.ID) string {
+	out := ""
+	for _, nf := range []escape.ID{"svc-fw", "svc-nat"} {
+		if h, ok := p[nf]; ok {
+			out += fmt.Sprintf("%s->%s ", nf, h)
+		}
+	}
+	return out
+}
+
+func receiptDepth(r *escape.Receipt) int {
+	d := 1
+	for len(r.Children) > 0 {
+		for _, c := range r.Children {
+			r = c
+			break
+		}
+		d++
+	}
+	return d
+}

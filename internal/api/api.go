@@ -1,0 +1,270 @@
+// Package api carries the Unify interface over HTTP: a Server exposes any
+// unify.Layer at REST endpoints, and Client implements unify.Layer (and
+// domain.Domain) against such a server. Because the client satisfies the
+// same interface it consumes, orchestration layers compose across process
+// and machine boundaries — the distributed form of the paper's recursive
+// control hierarchy.
+//
+// Endpoints:
+//
+//	GET    /unify/view                 -> NFFG (virtualization view)
+//	GET    /unify/capabilities         -> ["compute","forwarding",...]
+//	GET    /unify/services             -> ["svc1", ...]
+//	POST   /unify/services             -> Receipt (body: NFFG request)
+//	DELETE /unify/services/{id}        -> 204
+//	GET    /healthz                    -> 200 "ok"
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+// Server exposes a layer over HTTP.
+type Server struct {
+	layer unify.Layer
+	caps  []domain.Capability
+	http  *http.Server
+	addr  string
+}
+
+// NewServer wraps a layer. caps may be nil for plain layers.
+func NewServer(layer unify.Layer, caps []domain.Capability) *Server {
+	return &Server{layer: layer, caps: caps}
+}
+
+// Listen binds to addr ("127.0.0.1:0" for ephemeral) and serves in the
+// background, returning the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	})
+	mux.HandleFunc("GET /unify/view", s.handleView)
+	mux.HandleFunc("GET /unify/capabilities", s.handleCaps)
+	mux.HandleFunc("GET /unify/services", s.handleList)
+	mux.HandleFunc("POST /unify/services", s.handleInstall)
+	mux.HandleFunc("DELETE /unify/services/{id}", s.handleRemove)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.addr = ln.Addr().String()
+	s.http = &http.Server{Handler: mux}
+	go func() { _ = s.http.Serve(ln) }()
+	return s.addr, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	if s.http != nil {
+		_ = s.http.Close()
+	}
+}
+
+func (s *Server) handleView(w http.ResponseWriter, _ *http.Request) {
+	v, err := s.layer.View()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = v.EncodeJSON(w)
+}
+
+func (s *Server) handleCaps(w http.ResponseWriter, _ *http.Request) {
+	caps := s.caps
+	if caps == nil {
+		if d, ok := s.layer.(domain.Domain); ok {
+			caps = d.Capabilities()
+		}
+	}
+	out := make([]string, 0, len(caps))
+	for _, c := range caps {
+		out = append(out, string(c))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.layer.Services())
+}
+
+func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	req, err := nffg.DecodeJSON(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	receipt, err := s.layer.Install(req)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, receipt)
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if err := s.layer.Remove(r.PathValue("id")); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, unify.ErrRejected):
+		status = http.StatusConflict
+	case errors.Is(err, unify.ErrUnknownService):
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client is a unify.Layer backed by a remote server. It also satisfies
+// domain.Domain so a remote layer can be attached to a local orchestrator.
+type Client struct {
+	id     string
+	base   string
+	client *http.Client
+}
+
+// Dial checks the remote's health and returns a client. id names the layer
+// locally (it becomes the domain name when attached to an orchestrator).
+func Dial(id, baseURL string) (*Client, error) {
+	c := &Client{id: id, base: strings.TrimRight(baseURL, "/"), client: &http.Client{}}
+	resp, err := c.client.Get(c.base + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("api: dial %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("api: %s unhealthy: %d", baseURL, resp.StatusCode)
+	}
+	return c, nil
+}
+
+// ID implements unify.Layer.
+func (c *Client) ID() string { return c.id }
+
+// View implements unify.Layer.
+func (c *Client) View() (*nffg.NFFG, error) {
+	resp, err := c.client.Get(c.base + "/unify/view")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp)
+	}
+	return nffg.DecodeJSON(resp.Body)
+}
+
+// Install implements unify.Layer.
+func (c *Client) Install(req *nffg.NFFG) (*unify.Receipt, error) {
+	var buf bytes.Buffer
+	if err := req.EncodeJSON(&buf); err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Post(c.base+"/unify/services", "application/json", &buf)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, remoteError(resp)
+	}
+	var receipt unify.Receipt
+	if err := json.NewDecoder(resp.Body).Decode(&receipt); err != nil {
+		return nil, err
+	}
+	return &receipt, nil
+}
+
+// Remove implements unify.Layer.
+func (c *Client) Remove(serviceID string) error {
+	// Service IDs may contain separators ('#' in orchestrator sub-requests)
+	// that URL parsing would otherwise eat.
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/unify/services/"+url.PathEscape(serviceID), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return remoteError(resp)
+	}
+	return nil
+}
+
+// Services implements unify.Layer.
+func (c *Client) Services() []string {
+	resp, err := c.client.Get(c.base + "/unify/services")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var out []string
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return out
+}
+
+// Capabilities implements domain.Domain.
+func (c *Client) Capabilities() []domain.Capability {
+	resp, err := c.client.Get(c.base + "/unify/capabilities")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var raw []string
+	_ = json.NewDecoder(resp.Body).Decode(&raw)
+	out := make([]domain.Capability, 0, len(raw))
+	for _, r := range raw {
+		out = append(out, domain.Capability(r))
+	}
+	return out
+}
+
+// remoteError maps HTTP statuses back onto the unify sentinel errors, so
+// errors.Is works identically for local and remote layers.
+func remoteError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
+	msg := body.Error
+	if msg == "" {
+		msg = resp.Status
+	}
+	switch resp.StatusCode {
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", unify.ErrRejected, msg)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", unify.ErrUnknownService, msg)
+	default:
+		return fmt.Errorf("api: remote error %d: %s", resp.StatusCode, msg)
+	}
+}

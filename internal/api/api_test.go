@@ -1,0 +1,168 @@
+package api
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+func res(cpu, mem float64) nffg.Resources { return nffg.Resources{CPU: cpu, Mem: mem, Storage: cpu} }
+
+func leaf(t testing.TB, id string) *core.LocalOrchestrator {
+	t.Helper()
+	sub := nffg.NewBuilder(id+"-sub").
+		BiSBiS(nffg.ID(id+"-n1"), id, 4, res(8, 4096), "fw", "nat").
+		SAP("sapA").SAP("sapB").
+		Link("u1", "sapA", "1", nffg.ID(id+"-n1"), "1", 100, 1).
+		Link("u2", nffg.ID(id+"-n1"), "2", "sapB", "1", 100, 1).
+		MustBuild()
+	lo, err := core.NewLocalOrchestrator(core.LocalConfig{ID: id, Substrate: sub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo
+}
+
+func startPair(t *testing.T) (*core.LocalOrchestrator, *Client) {
+	t.Helper()
+	lo := leaf(t, "remote")
+	srv := NewServer(lo, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := Dial("remote", "http://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo, cli
+}
+
+func sg(t testing.TB, id string) *nffg.NFFG {
+	t.Helper()
+	g, err := nffg.NewBuilder(id).
+		SAP("sapA").SAP("sapB").
+		NF(nffg.ID(id+"-nf"), "fw", 2, res(2, 512)).
+		Chain(id, 10, 0, "sapA", nffg.ID(id+"-nf"), "sapB").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDialHealth(t *testing.T) {
+	_, cli := startPair(t)
+	if cli.ID() != "remote" {
+		t.Fatalf("id: %s", cli.ID())
+	}
+	if _, err := Dial("x", "http://127.0.0.1:1"); err == nil {
+		t.Fatal("dead endpoint should fail")
+	}
+}
+
+func TestViewOverHTTP(t *testing.T) {
+	lo, cli := startPair(t)
+	local, err := lo.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := cli.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Render() != remote.Render() {
+		t.Fatalf("views differ:\n%s\n---\n%s", local.Render(), remote.Render())
+	}
+}
+
+func TestInstallRemoveOverHTTP(t *testing.T) {
+	lo, cli := startPair(t)
+	receipt, err := cli.Install(sg(t, "svc1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.ServiceID != "svc1" || len(receipt.Placements) != 1 {
+		t.Fatalf("receipt: %+v", receipt)
+	}
+	if got := lo.Services(); len(got) != 1 {
+		t.Fatalf("server side: %v", got)
+	}
+	if got := cli.Services(); len(got) != 1 || got[0] != "svc1" {
+		t.Fatalf("client list: %v", got)
+	}
+	if err := cli.Remove("svc1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := lo.Services(); len(got) != 0 {
+		t.Fatalf("not removed: %v", got)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	_, cli := startPair(t)
+	// Rejection (unsupported type) -> ErrRejected.
+	bad := nffg.NewBuilder("bad").
+		SAP("sapA").SAP("sapB").
+		NF("bad-nf", "quantum", 2, res(1, 64)).
+		Chain("bad", 1, 0, "sapA", "bad-nf", "sapB").
+		MustBuild()
+	if _, err := cli.Install(bad); !errors.Is(err, unify.ErrRejected) {
+		t.Fatalf("rejection mapping: %v", err)
+	}
+	// Unknown service -> ErrUnknownService.
+	if err := cli.Remove("ghost"); !errors.Is(err, unify.ErrUnknownService) {
+		t.Fatalf("unknown mapping: %v", err)
+	}
+}
+
+func TestRemoteLayerAsDomain(t *testing.T) {
+	// A remote leaf attached to a local orchestrator through the HTTP
+	// client: the distributed recursion.
+	_, cli := startPair(t)
+	ro := core.NewResourceOrchestrator(core.Config{ID: "parent"})
+	if err := ro.Attach(cli); err != nil {
+		t.Fatal(err)
+	}
+	req := sg(t, "dist1")
+	receipt, err := ro.Install(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, ok := receipt.Children["remote"]
+	if !ok || child.ServiceID == "" {
+		t.Fatalf("child receipt: %+v", receipt.Children)
+	}
+	if err := ro.Remove("dist1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cli.Services(); len(got) != 0 {
+		t.Fatalf("remote cleanup: %v", got)
+	}
+}
+
+func TestCapabilitiesOverHTTP(t *testing.T) {
+	lo := leaf(t, "capdom")
+	srv := NewServer(lo, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := Dial("capdom", "http://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := cli.Capabilities()
+	if len(caps) != 2 {
+		t.Fatalf("caps: %v", caps)
+	}
+	if !domain.Has(cli, domain.CapCompute) {
+		t.Fatal("compute capability missing")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/unify-repro/escape/internal/nffg"
+)
+
+// TestROConcurrentInstalls hammers the orchestrator from many goroutines:
+// every accepted service must be fully consistent, every rejected one must
+// leave no trace, and the final capacity accounting must balance.
+func TestROConcurrentInstalls(t *testing.T) {
+	ro, loA, loB := buildMdO(t, &recordingProgrammer{}, &recordingProgrammer{})
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Alternate directions so classifiers differ; still more
+			// requests than distinct (src,dst) pairs, so some must lose.
+			var req *nffg.NFFG
+			if w%2 == 0 {
+				req = chainReq(t, fmt.Sprintf("con%02d", w), "sap1", "sap2", "fw")
+			} else {
+				req = chainReq(t, fmt.Sprintf("con%02d", w), "sap2", "sap1", "nat")
+			}
+			_, err := ro.Install(req)
+			results[w] = err
+		}(w)
+	}
+	wg.Wait()
+	accepted := 0
+	for _, err := range results {
+		if err == nil {
+			accepted++
+		}
+	}
+	// Exactly one service per direction can hold the untagged ingress
+	// classifier at a time.
+	if accepted != 2 {
+		t.Fatalf("want exactly 2 accepted (one per direction), got %d", accepted)
+	}
+	if got := len(ro.Services()); got != accepted {
+		t.Fatalf("RO tracks %d, accepted %d", got, accepted)
+	}
+	if got := len(loA.Services()) + len(loB.Services()); got < accepted {
+		t.Fatalf("children track %d sub-services for %d accepted", got, accepted)
+	}
+	// Remove everything concurrently; state must drain to zero.
+	ids := ro.Services()
+	var wg2 sync.WaitGroup
+	for _, id := range ids {
+		wg2.Add(1)
+		go func(id string) {
+			defer wg2.Done()
+			if err := ro.Remove(id); err != nil {
+				t.Errorf("remove %s: %v", id, err)
+			}
+		}(id)
+	}
+	wg2.Wait()
+	if len(ro.Services())+len(loA.Services())+len(loB.Services()) != 0 {
+		t.Fatal("state left after concurrent removal")
+	}
+}
+
+// TestConcurrentViewsDuringInstalls verifies View() stays consistent (no
+// torn reads) while installs mutate the DoV.
+func TestConcurrentViewsDuringInstalls(t *testing.T) {
+	ro, _, _ := buildMdO(t, &recordingProgrammer{}, &recordingProgrammer{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			id := fmt.Sprintf("v%02d", i)
+			req := chainReq(t, id, "sap1", "sap2", "fw")
+			if _, err := ro.Install(req); err == nil {
+				_ = ro.Remove(id)
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			v, err := ro.View()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := v.Validate(); err != nil {
+				t.Fatalf("torn view: %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/embed"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+// Programmer is the technology-specific half of a leaf domain: it receives
+// configuration deltas (NF lifecycle + flowrule changes) and realizes them on
+// concrete infrastructure — OpenFlow flow-mods and NETCONF actions in the
+// Mininet domain, REST calls in OpenStack, LSI/container operations on the
+// Universal Node.
+type Programmer interface {
+	// Commit applies a delta. cfg is the complete desired state for
+	// reference (e.g. to resolve ports). Commit must either fully apply the
+	// delta or leave the infrastructure unchanged.
+	Commit(delta *nffg.Delta, cfg *nffg.NFFG) error
+}
+
+// ProgrammerFunc adapts a function to the Programmer interface.
+type ProgrammerFunc func(delta *nffg.Delta, cfg *nffg.NFFG) error
+
+// Commit implements Programmer.
+func (f ProgrammerFunc) Commit(delta *nffg.Delta, cfg *nffg.NFFG) error { return f(delta, cfg) }
+
+// LocalOrchestrator is the UNIFY-conform local orchestrator every
+// infrastructure domain runs (the paper implements one per technology:
+// Mininet's dedicated ESCAPE entity, the OpenStack local orchestrator, the UN
+// local orchestrator). It owns the domain's internal substrate, embeds
+// incoming requests onto it, and delegates device programming to a
+// Programmer. It implements domain.Domain.
+type LocalOrchestrator struct {
+	id     string
+	virt   Virtualizer
+	mapper *embed.Mapper
+	prog   Programmer
+	caps   []domain.Capability
+
+	mu       sync.Mutex
+	cfg      *nffg.NFFG // configured substrate: internal topology + deployed state
+	services map[string]*embed.Mapping
+}
+
+// LocalConfig assembles a LocalOrchestrator.
+type LocalConfig struct {
+	// ID names the domain.
+	ID string
+	// Substrate is the domain's internal resource topology (real switches,
+	// compute nodes, SAPs including border SAPs).
+	Substrate *nffg.NFFG
+	// Virtualizer selects the exported view (default SingleBiSBiS named
+	// "bisbis@<id>" — domains delegate internals, as in the paper).
+	Virtualizer Virtualizer
+	// Mapper selects the internal embedding algorithm (default greedy-bt).
+	Mapper *embed.Mapper
+	// Programmer realizes deltas on devices (default no-op).
+	Programmer Programmer
+	// Capabilities advertised northbound (default compute+forwarding).
+	Capabilities []domain.Capability
+}
+
+// NewLocalOrchestrator builds the leaf layer.
+func NewLocalOrchestrator(cfg LocalConfig) (*LocalOrchestrator, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("core: local orchestrator needs an ID")
+	}
+	if cfg.Substrate == nil {
+		return nil, fmt.Errorf("core: local orchestrator %s needs a substrate", cfg.ID)
+	}
+	if err := cfg.Substrate.Validate(); err != nil {
+		return nil, fmt.Errorf("core: substrate of %s: %w", cfg.ID, err)
+	}
+	if cfg.Virtualizer == nil {
+		cfg.Virtualizer = SingleBiSBiS{NodeID: nffg.ID("bisbis@" + cfg.ID)}
+	}
+	if cfg.Mapper == nil {
+		cfg.Mapper = embed.NewDefault()
+	}
+	if cfg.Programmer == nil {
+		cfg.Programmer = ProgrammerFunc(func(*nffg.Delta, *nffg.NFFG) error { return nil })
+	}
+	if cfg.Capabilities == nil {
+		cfg.Capabilities = []domain.Capability{domain.CapCompute, domain.CapForwarding}
+	}
+	return &LocalOrchestrator{
+		id:       cfg.ID,
+		virt:     cfg.Virtualizer,
+		mapper:   cfg.Mapper,
+		prog:     cfg.Programmer,
+		caps:     cfg.Capabilities,
+		cfg:      cfg.Substrate.Copy(),
+		services: map[string]*embed.Mapping{},
+	}, nil
+}
+
+// ID implements unify.Layer.
+func (lo *LocalOrchestrator) ID() string { return lo.id }
+
+// Capabilities implements domain.Domain.
+func (lo *LocalOrchestrator) Capabilities() []domain.Capability {
+	return append([]domain.Capability(nil), lo.caps...)
+}
+
+// View implements unify.Layer: the domain's exported virtualization.
+func (lo *LocalOrchestrator) View() (*nffg.NFFG, error) {
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	return lo.virt.View(lo.cfg)
+}
+
+// Internal returns a copy of the internal configured substrate (inspection
+// and tests).
+func (lo *LocalOrchestrator) Internal() *nffg.NFFG {
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	return lo.cfg.Copy()
+}
+
+// Install implements unify.Layer: embed the request on the internal
+// substrate, program the devices, and record the service.
+func (lo *LocalOrchestrator) Install(req *nffg.NFFG) (*unify.Receipt, error) {
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	if req.ID == "" {
+		return nil, fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
+	}
+	if _, dup := lo.services[req.ID]; dup {
+		return nil, fmt.Errorf("%w: service %s already installed", unify.ErrRejected, req.ID)
+	}
+	work := req.Copy()
+	scope := map[nffg.ID][]nffg.ID{}
+	for _, id := range work.NFIDs() {
+		nf := work.NFs[id]
+		if nf.Host == "" {
+			continue
+		}
+		if _, direct := lo.cfg.Infras[nf.Host]; direct {
+			continue
+		}
+		expanded := lo.virt.Scope(lo.cfg, nf.Host)
+		if len(expanded) == 0 {
+			return nil, fmt.Errorf("%w: NF %s pinned to unknown view node %s", unify.ErrRejected, id, nf.Host)
+		}
+		if len(expanded) == 1 {
+			nf.Host = expanded[0]
+		} else {
+			nf.Host = ""
+			scope[id] = expanded
+		}
+	}
+	mapping, err := lo.mapper.MapScoped(lo.cfg, work, scope)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+	}
+	newCfg, err := embed.Apply(lo.cfg, mapping)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+	}
+	delta, err := nffg.Diff(lo.cfg, newCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core %s: diff: %w", lo.id, err)
+	}
+	if err := lo.prog.Commit(delta, newCfg); err != nil {
+		return nil, fmt.Errorf("%w: programming failed: %v", unify.ErrRejected, err)
+	}
+	lo.cfg = newCfg
+	lo.services[req.ID] = mapping
+	receipt := &unify.Receipt{
+		ServiceID:      req.ID,
+		Placements:     map[nffg.ID]nffg.ID{},
+		HopPaths:       map[string][]string{},
+		Decompositions: mapping.Applied,
+	}
+	for nf, host := range mapping.NFHost {
+		receipt.Placements[nf] = host
+	}
+	for hid, p := range mapping.Paths {
+		var nodes []string
+		for _, n := range p.Nodes {
+			nodes = append(nodes, string(n))
+		}
+		receipt.HopPaths[hid] = nodes
+	}
+	return receipt, nil
+}
+
+// Remove implements unify.Layer.
+func (lo *LocalOrchestrator) Remove(serviceID string) error {
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	mapping, ok := lo.services[serviceID]
+	if !ok {
+		return fmt.Errorf("%w: %s", unify.ErrUnknownService, serviceID)
+	}
+	newCfg := lo.cfg.Copy()
+	if err := embed.Release(newCfg, mapping); err != nil {
+		return err
+	}
+	delta, err := nffg.Diff(lo.cfg, newCfg)
+	if err != nil {
+		return err
+	}
+	if err := lo.prog.Commit(delta, newCfg); err != nil {
+		return fmt.Errorf("core %s: programming teardown: %w", lo.id, err)
+	}
+	lo.cfg = newCfg
+	delete(lo.services, serviceID)
+	return nil
+}
+
+// Services implements unify.Layer.
+func (lo *LocalOrchestrator) Services() []string {
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	out := make([]string, 0, len(lo.services))
+	for id := range lo.services {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

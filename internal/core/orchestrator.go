@@ -1,0 +1,449 @@
+package core
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/embed"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/topo"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+// ResourceOrchestrator is the manager of the paper's architecture: it merges
+// the virtualization views of its southbound layers into a global resource
+// view (the DoV — domain of views), maps incoming requests onto it, and
+// splits the result into sub-requests for each child. It implements
+// unify.Layer northbound, so orchestrators stack recursively.
+type ResourceOrchestrator struct {
+	id     string
+	virt   Virtualizer
+	mapper *embed.Mapper
+	reg    *domain.Registry
+
+	mu       sync.Mutex
+	dov      *nffg.NFFG         // configured global resource view
+	owner    map[nffg.ID]string // DoV infra -> child ID that exported it
+	services map[string]*serviceRecord
+}
+
+type serviceRecord struct {
+	mapping *embed.Mapping
+	// children maps child ID -> sub-service IDs installed there.
+	children map[string][]string
+	receipt  *unify.Receipt
+}
+
+// Config configures a ResourceOrchestrator.
+type Config struct {
+	// ID names the orchestrator (and its layer).
+	ID string
+	// Virtualizer selects the northbound view policy (default DomainBiSBiS).
+	Virtualizer Virtualizer
+	// Mapper selects the embedding algorithm (default embed.NewDefault).
+	Mapper *embed.Mapper
+}
+
+// NewResourceOrchestrator creates an orchestrator with no children attached.
+func NewResourceOrchestrator(cfg Config) *ResourceOrchestrator {
+	if cfg.Virtualizer == nil {
+		cfg.Virtualizer = DomainBiSBiS{}
+	}
+	if cfg.Mapper == nil {
+		cfg.Mapper = embed.NewDefault()
+	}
+	if cfg.ID == "" {
+		cfg.ID = "ro"
+	}
+	return &ResourceOrchestrator{
+		id:       cfg.ID,
+		virt:     cfg.Virtualizer,
+		mapper:   cfg.Mapper,
+		reg:      domain.NewRegistry(),
+		services: map[string]*serviceRecord{},
+	}
+}
+
+// ID implements unify.Layer.
+func (ro *ResourceOrchestrator) ID() string { return ro.id }
+
+// Attach registers a southbound layer (an infrastructure domain adapter or
+// another orchestrator) and folds its view into the DoV. Children exporting
+// the same SAP IDs are stitched at those border SAPs.
+func (ro *ResourceOrchestrator) Attach(d domain.Domain) error {
+	if err := ro.reg.Register(d); err != nil {
+		return err
+	}
+	view, err := d.View()
+	if err != nil {
+		_ = ro.reg.Deregister(d.ID())
+		return fmt.Errorf("core: attach %s: %w", d.ID(), err)
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if ro.dov == nil {
+		ro.dov = nffg.New(ro.id + "-dov")
+		ro.owner = map[nffg.ID]string{}
+	}
+	if err := ro.dov.Merge(view); err != nil {
+		_ = ro.reg.Deregister(d.ID())
+		return fmt.Errorf("core: merge view of %s: %w", d.ID(), err)
+	}
+	for _, infra := range view.InfraIDs() {
+		ro.owner[infra] = d.ID()
+	}
+	return nil
+}
+
+// Children lists attached child layer IDs.
+func (ro *ResourceOrchestrator) Children() []string { return ro.reg.Names() }
+
+// DoV returns a copy of the current global resource view (for inspection).
+func (ro *ResourceOrchestrator) DoV() *nffg.NFFG {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if ro.dov == nil {
+		return nffg.New(ro.id + "-dov")
+	}
+	return ro.dov.Copy()
+}
+
+// View implements unify.Layer: the northbound virtualization of the DoV.
+func (ro *ResourceOrchestrator) View() (*nffg.NFFG, error) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if ro.dov == nil {
+		return nil, ErrEmptyView
+	}
+	return ro.virt.View(ro.dov)
+}
+
+// Install implements unify.Layer: map the request on the DoV, then deploy
+// per-child sub-requests.
+func (ro *ResourceOrchestrator) Install(req *nffg.NFFG) (*unify.Receipt, error) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if ro.dov == nil {
+		return nil, fmt.Errorf("%w: no domains attached", unify.ErrRejected)
+	}
+	if req.ID == "" {
+		return nil, fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
+	}
+	if _, dup := ro.services[req.ID]; dup {
+		return nil, fmt.Errorf("%w: service %s already installed", unify.ErrRejected, req.ID)
+	}
+	// Translate view-node pins into DoV scope constraints.
+	work := req.Copy()
+	scope := map[nffg.ID][]nffg.ID{}
+	for _, id := range work.NFIDs() {
+		nf := work.NFs[id]
+		if nf.Host == "" {
+			continue
+		}
+		if _, direct := ro.dov.Infras[nf.Host]; direct {
+			continue // already a DoV node (transparent views)
+		}
+		expanded := ro.virt.Scope(ro.dov, nf.Host)
+		if len(expanded) == 0 {
+			return nil, fmt.Errorf("%w: NF %s pinned to unknown view node %s", unify.ErrRejected, id, nf.Host)
+		}
+		if len(expanded) == 1 {
+			nf.Host = expanded[0]
+		} else {
+			nf.Host = ""
+			scope[id] = expanded
+		}
+	}
+	mapping, err := ro.mapper.MapScoped(ro.dov, work, scope)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+	}
+	newDov, err := embed.Apply(ro.dov, mapping)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+	}
+	// Split the mapped request into per-child sub-requests and deploy.
+	subs, err := ro.split(req.ID, mapping)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+	}
+	rec := &serviceRecord{mapping: mapping, children: map[string][]string{}}
+	receipt := &unify.Receipt{
+		ServiceID:      req.ID,
+		Placements:     map[nffg.ID]nffg.ID{},
+		HopPaths:       map[string][]string{},
+		Decompositions: mapping.Applied,
+		Children:       map[string]*unify.Receipt{},
+	}
+	for nf, host := range mapping.NFHost {
+		receipt.Placements[nf] = host
+	}
+	for hid, p := range mapping.Paths {
+		var nodes []string
+		for _, n := range p.Nodes {
+			nodes = append(nodes, string(n))
+		}
+		receipt.HopPaths[hid] = nodes
+	}
+	var installed []struct {
+		child string
+		id    string
+	}
+	rollback := func() {
+		for _, in := range installed {
+			if d, err := ro.reg.Get(in.child); err == nil {
+				if rerr := d.Remove(in.id); rerr != nil {
+					log.Printf("core %s: rollback of %s on %s failed: %v", ro.id, in.id, in.child, rerr)
+				}
+			}
+		}
+	}
+	for _, childID := range sortedKeys(subs) {
+		sub := subs[childID]
+		d, err := ro.reg.Get(childID)
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+		}
+		childReceipt, err := d.Install(sub)
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("%w: child %s rejected: %v", unify.ErrRejected, childID, err)
+		}
+		installed = append(installed, struct {
+			child string
+			id    string
+		}{childID, sub.ID})
+		rec.children[childID] = append(rec.children[childID], sub.ID)
+		receipt.Children[childID] = childReceipt
+	}
+	ro.dov = newDov
+	rec.receipt = receipt
+	ro.services[req.ID] = rec
+	return receipt, nil
+}
+
+// Remove implements unify.Layer.
+func (ro *ResourceOrchestrator) Remove(serviceID string) error {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	rec, ok := ro.services[serviceID]
+	if !ok {
+		return fmt.Errorf("%w: %s", unify.ErrUnknownService, serviceID)
+	}
+	var firstErr error
+	for _, childID := range sortedKeys(rec.children) {
+		d, err := ro.reg.Get(childID)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, subID := range rec.children[childID] {
+			if err := d.Remove(subID); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("core: remove %s on %s: %w", subID, childID, err)
+			}
+		}
+	}
+	if err := embed.Release(ro.dov, rec.mapping); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	delete(ro.services, serviceID)
+	return firstErr
+}
+
+// Services implements unify.Layer.
+func (ro *ResourceOrchestrator) Services() []string {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	out := make([]string, 0, len(ro.services))
+	for id := range ro.services {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Capabilities lets an orchestrator act as a native domain of a parent.
+func (ro *ResourceOrchestrator) Capabilities() []domain.Capability {
+	return []domain.Capability{domain.CapCompute, domain.CapForwarding, domain.CapNative}
+}
+
+// split turns a mapping over the DoV into per-child sub-requests: each child
+// receives the NFs placed on its nodes (pinned) plus the hop segments that
+// run inside it. Hop paths are cut at border SAPs and at links between nodes
+// of different children.
+func (ro *ResourceOrchestrator) split(serviceID string, mp *embed.Mapping) (map[string]*nffg.NFFG, error) {
+	subs := map[string]*nffg.NFFG{}
+	getSub := func(child string) *nffg.NFFG {
+		if s, ok := subs[child]; ok {
+			return s
+		}
+		s := nffg.New(fmt.Sprintf("%s#%s", serviceID, child))
+		subs[child] = s
+		return s
+	}
+	// NFs.
+	for _, nfID := range mp.Request.NFIDs() {
+		nf := mp.Request.NFs[nfID]
+		host := mp.NFHost[nfID]
+		child, ok := ro.owner[host]
+		if !ok {
+			return nil, fmt.Errorf("core: DoV node %s has no owning child", host)
+		}
+		sub := getSub(child)
+		c := &nffg.NF{
+			ID: nfID, Name: nf.Name, FunctionalType: nf.FunctionalType,
+			DeployType: nf.DeployType, Demand: nf.Demand, Host: host,
+		}
+		for _, p := range nf.Ports {
+			cp := *p
+			c.Ports = append(c.Ports, &cp)
+		}
+		if err := sub.AddNF(c); err != nil {
+			return nil, err
+		}
+	}
+	// Hop segments.
+	for _, h := range mp.Request.Hops {
+		p := mp.Paths[h.ID]
+		segments, err := ro.segment(h, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, seg := range segments {
+			sub := getSub(seg.child)
+			ensureSAPs(sub, ro.dov, seg)
+			hop := &nffg.SGHop{
+				ID:        seg.id,
+				SrcNode:   seg.srcNode,
+				SrcPort:   seg.srcPort,
+				DstNode:   seg.dstNode,
+				DstPort:   seg.dstPort,
+				Bandwidth: h.Bandwidth,
+				// Border segments must classify on the true end-to-end
+				// destination, not the border SAP the segment stops at.
+				FlowDst: chainFlowDst(mp.Request, h),
+			}
+			if err := sub.AddHop(hop); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return subs, nil
+}
+
+// segment describes one intra-child piece of a hop.
+type segmentInfo struct {
+	child            string
+	id               string
+	srcNode, dstNode nffg.ID
+	srcPort, dstPort string
+}
+
+// segment cuts one hop's DoV path into child-local pieces. Border SAPs (SAP
+// nodes in the middle of a path) are the cut points; they appear as SAP
+// endpoints in both adjacent children.
+func (ro *ResourceOrchestrator) segment(h *nffg.SGHop, p topo.Path) ([]segmentInfo, error) {
+	// Resolve which child each path node belongs to; SAPs resolve to "".
+	childOf := func(n topo.NodeID) string { return ro.owner[nffg.ID(n)] }
+	// Single-node path (co-located endpoints) or single-child path.
+	var segs []segmentInfo
+	curChild := ""
+	segSrcNode, segSrcPort := h.SrcNode, h.SrcPort
+	idx := 1
+	flush := func(dstNode nffg.ID, dstPort string) {
+		if curChild == "" {
+			return
+		}
+		segs = append(segs, segmentInfo{
+			child: curChild, id: fmt.Sprintf("%s#%d", h.ID, idx),
+			srcNode: segSrcNode, srcPort: segSrcPort,
+			dstNode: dstNode, dstPort: dstPort,
+		})
+		idx++
+	}
+	for i, n := range p.Nodes {
+		c := childOf(n)
+		if c == "" {
+			// SAP node: terminal or border cut point.
+			if i == 0 || i == len(p.Nodes)-1 {
+				continue
+			}
+			flush(nffg.ID(n), "1")
+			curChild = ""
+			segSrcNode, segSrcPort = nffg.ID(n), "1"
+			continue
+		}
+		if curChild == "" {
+			curChild = c
+			continue
+		}
+		if c != curChild {
+			// Direct inter-child link without a border SAP is not supported:
+			// children must be stitched via shared SAPs.
+			return nil, fmt.Errorf("core: hop %s crosses %s->%s without a border SAP", h.ID, curChild, c)
+		}
+	}
+	flush(h.DstNode, h.DstPort)
+	if len(segs) == 1 {
+		segs[0].id = h.ID // single-child hops keep their original ID
+	}
+	if len(segs) == 0 {
+		// Pure SAP-to-SAP path with no infra (degenerate); nothing to deploy.
+		return nil, nil
+	}
+	return segs, nil
+}
+
+// ensureSAPs copies any SAP endpoints a segment references into the
+// sub-request so it validates standalone.
+func ensureSAPs(sub *nffg.NFFG, dov *nffg.NFFG, seg segmentInfo) {
+	for _, n := range []nffg.ID{seg.srcNode, seg.dstNode} {
+		if s, ok := dov.SAPs[n]; ok {
+			if _, have := sub.SAPs[n]; !have {
+				p := *s.Port
+				_ = sub.AddSAP(&nffg.SAP{ID: n, Name: s.Name, Port: &p})
+			}
+		}
+	}
+}
+
+// chainFlowDst resolves the terminal SAP of the chain containing h within
+// the request (mirrors the walk the embedding layer performs).
+func chainFlowDst(req *nffg.NFFG, h *nffg.SGHop) nffg.ID {
+	if h.FlowDst != "" {
+		return h.FlowDst
+	}
+	cur := h
+	for steps := 0; steps <= len(req.Hops); steps++ {
+		if _, ok := req.SAPs[cur.DstNode]; ok {
+			return cur.DstNode
+		}
+		var next *nffg.SGHop
+		for _, cand := range req.Hops {
+			if cand.SrcNode == cur.DstNode {
+				next = cand
+				break
+			}
+		}
+		if next == nil {
+			return ""
+		}
+		cur = next
+	}
+	return ""
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,373 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Node is anything that can receive packets on a numbered port.
+type Node interface {
+	Name() string
+	Receive(p *Packet, inPort int)
+	attach(port int, l *Link) error
+}
+
+// Link is a unidirectional capacitated channel between two nodes. Packets
+// experience store-and-forward serialization (size/bandwidth) plus fixed
+// propagation delay; a bounded backlog drops excess traffic, modelling a
+// finite queue.
+type Link struct {
+	eng        *Engine
+	name       string
+	dst        Node
+	dstPort    int
+	Mbps       float64 // bandwidth; <=0 means infinite
+	DelayMs    float64
+	MaxQueueMs float64 // max backlog before tail drop; <=0 means unbounded
+
+	mu       sync.Mutex
+	nextFree VirtualTime
+	txPk     uint64
+	txBytes  uint64
+	drops    uint64
+}
+
+// Send enqueues a packet for transmission.
+func (l *Link) Send(p *Packet) {
+	l.mu.Lock()
+	now := l.eng.Now()
+	start := l.nextFree
+	if start < now {
+		start = now
+	}
+	var ser VirtualTime
+	if l.Mbps > 0 {
+		ser = VirtualTime(float64(p.Size) * 8 / (l.Mbps * 1000)) // Mbit/s == 1000 bit/ms
+	}
+	if l.MaxQueueMs > 0 && float64(start-now) > l.MaxQueueMs {
+		l.drops++
+		l.mu.Unlock()
+		p.Dropped = fmt.Sprintf("queue overflow on %s", l.name)
+		return
+	}
+	l.nextFree = start + ser
+	l.txPk++
+	l.txBytes += uint64(p.Size)
+	arrival := l.nextFree + VirtualTime(l.DelayMs)
+	l.mu.Unlock()
+	dst, dstPort := l.dst, l.dstPort
+	l.eng.Schedule(arrival-now, func() { dst.Receive(p, dstPort) })
+}
+
+// Stats returns transmitted packets/bytes and drops.
+func (l *Link) Stats() (pk, bytes, drops uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.txPk, l.txBytes, l.drops
+}
+
+// Name returns the link's name.
+func (l *Link) String() string { return l.name }
+
+// portBase carries shared port bookkeeping for every node type.
+type portBase struct {
+	mu    sync.Mutex
+	links map[int]*Link
+	rxPk  map[int]uint64
+	txPk  map[int]uint64
+}
+
+func newPortBase() portBase {
+	return portBase{links: map[int]*Link{}, rxPk: map[int]uint64{}, txPk: map[int]uint64{}}
+}
+
+func (b *portBase) attachLink(port int, l *Link) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.links[port]; ok {
+		return fmt.Errorf("dataplane: port %d already wired", port)
+	}
+	b.links[port] = l
+	return nil
+}
+
+func (b *portBase) detachLink(port int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.links[port]; !ok {
+		return false
+	}
+	delete(b.links, port)
+	return true
+}
+
+func (b *portBase) send(p *Packet, port int) bool {
+	b.mu.Lock()
+	l, ok := b.links[port]
+	if ok {
+		b.txPk[port]++
+	}
+	b.mu.Unlock()
+	if !ok {
+		p.Dropped = fmt.Sprintf("no link on out port %d", port)
+		return false
+	}
+	l.Send(p)
+	return true
+}
+
+func (b *portBase) markRx(port int) {
+	b.mu.Lock()
+	b.rxPk[port]++
+	b.mu.Unlock()
+}
+
+// PortStats is a per-port counter snapshot.
+type PortStats struct {
+	Port int
+	RxPk uint64
+	TxPk uint64
+}
+
+func (b *portBase) portStats() []PortStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := map[int]bool{}
+	var out []PortStats
+	for p := range b.rxPk {
+		seen[p] = true
+	}
+	for p := range b.txPk {
+		seen[p] = true
+	}
+	for p := range b.links {
+		seen[p] = true
+	}
+	for p := range seen {
+		out = append(out, PortStats{Port: p, RxPk: b.rxPk[p], TxPk: b.txPk[p]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Port < out[j].Port })
+	return out
+}
+
+// Switch is a flow-table-driven forwarding element: the datapath half of a
+// BiS-BiS. Unmatched packets are either dropped or punted to a MissHandler
+// (the OpenFlow packet-in path).
+type Switch struct {
+	portBase
+	eng  *Engine
+	name string
+	// Table is the active flow table.
+	Table *FlowTable
+	// FwdDelayMs is the per-packet pipeline latency of the switch.
+	FwdDelayMs float64
+	// MissHandler, when set, receives unmatched packets (controller punt).
+	MissHandler func(p *Packet, inPort int)
+
+	dropped uint64
+}
+
+// NewSwitch creates a switch bound to the engine.
+func NewSwitch(eng *Engine, name string) *Switch {
+	return &Switch{portBase: newPortBase(), eng: eng, name: name, Table: NewFlowTable()}
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+func (s *Switch) attach(port int, l *Link) error { return s.attachLink(port, l) }
+
+// Receive implements Node: table lookup, action, forward.
+func (s *Switch) Receive(p *Packet, inPort int) {
+	s.markRx(inPort)
+	p.Visit(s.name)
+	r := s.Table.Lookup(p, inPort)
+	if r == nil {
+		if s.MissHandler != nil {
+			s.MissHandler(p, inPort)
+			return
+		}
+		s.dropped++
+		p.Dropped = fmt.Sprintf("table miss at %s (in=%d tag=%q)", s.name, inPort, p.Tag)
+		return
+	}
+	if r.Action.Drop {
+		s.dropped++
+		p.Dropped = fmt.Sprintf("dropped by rule %s at %s", r.ID, s.name)
+		return
+	}
+	r.Action.apply(p)
+	out := r.Action.OutPort
+	if s.FwdDelayMs > 0 {
+		s.eng.Schedule(VirtualTime(s.FwdDelayMs), func() { s.send(p, out) })
+	} else {
+		s.send(p, out)
+	}
+}
+
+// Inject delivers a packet into the switch pipeline as if it arrived on the
+// given port (used by controller packet-out).
+func (s *Switch) Inject(p *Packet, port int) { s.send(p, port) }
+
+// Dropped returns the count of packets the switch dropped (miss or rule).
+func (s *Switch) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Ports returns the per-port counters.
+func (s *Switch) Ports() []PortStats { return s.portStats() }
+
+// Processor is the network-function body: it consumes a packet and returns
+// zero or more emissions. Implementations are pure packet logic; hosting
+// (Click process, Docker container, VM) is the domain's concern.
+type Processor interface {
+	// Process handles a packet arriving on inPort. Returned emissions are
+	// scheduled after the given per-emission delay.
+	Process(p *Packet, inPort int) []Emission
+}
+
+// Emission is a packet leaving an NF.
+type Emission struct {
+	Port    int
+	Pkt     *Packet
+	DelayMs float64
+}
+
+// NFHost runs a Processor as a node: the execution-environment-neutral NF
+// wrapper (Click process in the Mininet domain, container on the UN, VM in
+// OpenStack all wrap the same Processor).
+type NFHost struct {
+	portBase
+	eng  *Engine
+	name string
+	proc Processor
+
+	processed uint64
+}
+
+// NewNFHost wraps a processor.
+func NewNFHost(eng *Engine, name string, proc Processor) *NFHost {
+	return &NFHost{portBase: newPortBase(), eng: eng, name: name, proc: proc}
+}
+
+// Name returns the NF instance name.
+func (n *NFHost) Name() string { return n.name }
+
+func (n *NFHost) attach(port int, l *Link) error { return n.attachLink(port, l) }
+
+// Receive implements Node: run the processor, emit results.
+func (n *NFHost) Receive(p *Packet, inPort int) {
+	n.markRx(inPort)
+	p.Visit("nf:" + n.name)
+	n.mu.Lock()
+	n.processed++
+	n.mu.Unlock()
+	for _, em := range n.proc.Process(p, inPort) {
+		em := em
+		if em.DelayMs > 0 {
+			n.eng.Schedule(VirtualTime(em.DelayMs), func() { n.send(em.Pkt, em.Port) })
+		} else {
+			n.send(em.Pkt, em.Port)
+		}
+	}
+}
+
+// Processed returns how many packets the NF handled.
+func (n *NFHost) Processed() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.processed
+}
+
+// Ports returns per-port counters.
+func (n *NFHost) Ports() []PortStats { return n.portStats() }
+
+// SAPHost terminates traffic at a service access point: it records arrivals
+// (with end-to-end latency) and originates test traffic.
+type SAPHost struct {
+	portBase
+	eng  *Engine
+	name Endpoint
+
+	received  []*Packet
+	latencies []float64
+	seq       uint64
+}
+
+// NewSAPHost creates a SAP endpoint host.
+func NewSAPHost(eng *Engine, name Endpoint) *SAPHost {
+	return &SAPHost{portBase: newPortBase(), eng: eng, name: name}
+}
+
+// Name returns the SAP name.
+func (s *SAPHost) Name() string { return string(s.name) }
+
+func (s *SAPHost) attach(port int, l *Link) error { return s.attachLink(port, l) }
+
+// Receive records the arrival.
+func (s *SAPHost) Receive(p *Packet, inPort int) {
+	s.markRx(inPort)
+	p.Visit("sap:" + string(s.name))
+	s.mu.Lock()
+	s.received = append(s.received, p)
+	s.latencies = append(s.latencies, float64(s.eng.Now()-p.Born))
+	s.mu.Unlock()
+}
+
+// Send originates a packet toward dst out of port 1 (the SAP uplink).
+func (s *SAPHost) Send(dst Endpoint, size int) *Packet {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	s.mu.Unlock()
+	p := NewPacket(s.name, dst, seq, size)
+	p.Born = s.eng.Now()
+	p.Visit("sap:" + string(s.name))
+	s.send(p, 1)
+	return p
+}
+
+// Received returns the packets that arrived at this SAP.
+func (s *SAPHost) Received() []*Packet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Packet(nil), s.received...)
+}
+
+// Latencies returns per-packet end-to-end delays in ms.
+func (s *SAPHost) Latencies() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.latencies...)
+}
+
+// Detach unwires a node port (NF teardown); it reports whether a link was
+// attached. In-flight packets already scheduled on the old link still arrive.
+func Detach(n Node, port int) bool {
+	switch t := n.(type) {
+	case *Switch:
+		return t.detachLink(port)
+	case *NFHost:
+		return t.detachLink(port)
+	case *SAPHost:
+		return t.detachLink(port)
+	}
+	return false
+}
+
+// Connect wires a duplex link between two node ports with the given capacity
+// (Mbit/s) and propagation delay (ms).
+func Connect(eng *Engine, a Node, aPort int, b Node, bPort int, mbps, delayMs float64) error {
+	ab := &Link{eng: eng, name: fmt.Sprintf("%s.%d->%s.%d", a.Name(), aPort, b.Name(), bPort), dst: b, dstPort: bPort, Mbps: mbps, DelayMs: delayMs}
+	ba := &Link{eng: eng, name: fmt.Sprintf("%s.%d->%s.%d", b.Name(), bPort, a.Name(), aPort), dst: a, dstPort: aPort, Mbps: mbps, DelayMs: delayMs}
+	if err := a.attach(aPort, ab); err != nil {
+		return err
+	}
+	if err := b.attach(bPort, ba); err != nil {
+		return err
+	}
+	return nil
+}

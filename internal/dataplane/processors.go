@@ -1,0 +1,122 @@
+package dataplane
+
+import "sync"
+
+// PassThrough forwards packets between ports according to a static port map
+// (bidirectional NFs typically map 1->2 and 2->1), adding a fixed processing
+// latency. It is the body of "bump in the wire" NFs.
+type PassThrough struct {
+	PortMap   map[int]int
+	LatencyMs float64
+	// Mark, when non-empty, is appended to the packet trace so tests can
+	// assert which concrete NF touched the packet.
+	Mark string
+}
+
+// NewPipe returns a 1<->2 pass-through with the given latency.
+func NewPipe(latencyMs float64, mark string) *PassThrough {
+	return &PassThrough{PortMap: map[int]int{1: 2, 2: 1}, LatencyMs: latencyMs, Mark: mark}
+}
+
+// Process implements Processor.
+func (f *PassThrough) Process(p *Packet, inPort int) []Emission {
+	out, ok := f.PortMap[inPort]
+	if !ok {
+		p.Dropped = "no port mapping"
+		return nil
+	}
+	if f.Mark != "" {
+		p.Visit(f.Mark)
+	}
+	return []Emission{{Port: out, Pkt: p, DelayMs: f.LatencyMs}}
+}
+
+// Filter drops packets failing the predicate, forwarding the rest 1<->2.
+// It models firewalls and policers.
+type Filter struct {
+	Allow     func(*Packet) bool
+	LatencyMs float64
+	Mark      string
+
+	mu      sync.Mutex
+	dropped uint64
+	passed  uint64
+}
+
+// Process implements Processor.
+func (f *Filter) Process(p *Packet, inPort int) []Emission {
+	out := 2
+	if inPort == 2 {
+		out = 1
+	}
+	f.mu.Lock()
+	allowed := f.Allow == nil || f.Allow(p)
+	if allowed {
+		f.passed++
+	} else {
+		f.dropped++
+	}
+	f.mu.Unlock()
+	if !allowed {
+		p.Dropped = "filtered by " + f.Mark
+		return nil
+	}
+	if f.Mark != "" {
+		p.Visit(f.Mark)
+	}
+	return []Emission{{Port: out, Pkt: p, DelayMs: f.LatencyMs}}
+}
+
+// Counters returns (passed, dropped).
+func (f *Filter) Counters() (passed, dropped uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.passed, f.dropped
+}
+
+// Tee forwards the original 1->2 and copies to every extra port (monitoring
+// taps, lawful intercept).
+type Tee struct {
+	CopyPorts []int
+	LatencyMs float64
+	Mark      string
+}
+
+// Process implements Processor.
+func (t *Tee) Process(p *Packet, inPort int) []Emission {
+	out := 2
+	if inPort == 2 {
+		out = 1
+	}
+	if t.Mark != "" {
+		p.Visit(t.Mark)
+	}
+	ems := []Emission{{Port: out, Pkt: p, DelayMs: t.LatencyMs}}
+	for _, cp := range t.CopyPorts {
+		ems = append(ems, Emission{Port: cp, Pkt: p.Copy(), DelayMs: t.LatencyMs})
+	}
+	return ems
+}
+
+// Transformer rewrites packets (payload compression, NAT-style header
+// rewrite) via a user function, forwarding 1<->2.
+type Transformer struct {
+	Apply     func(*Packet)
+	LatencyMs float64
+	Mark      string
+}
+
+// Process implements Processor.
+func (tr *Transformer) Process(p *Packet, inPort int) []Emission {
+	out := 2
+	if inPort == 2 {
+		out = 1
+	}
+	if tr.Apply != nil {
+		tr.Apply(p)
+	}
+	if tr.Mark != "" {
+		p.Visit(tr.Mark)
+	}
+	return []Emission{{Port: out, Pkt: p, DelayMs: tr.LatencyMs}}
+}

@@ -1,0 +1,252 @@
+// Package click implements a Click-modular-router-style packet processing
+// runtime: NFs are linear pipelines of small elements configured by a
+// textual description ("Counter -> Mark(fw1) -> PayloadDrop(attack)"),
+// mirroring how the original demo ran NFs as isolated Click processes inside
+// the Mininet domain.
+package click
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/unify-repro/escape/internal/dataplane"
+)
+
+// Element is one stage of a pipeline. Handle returns keep=false to consume
+// (drop) the packet and an extra per-packet delay contribution in ms.
+type Element interface {
+	Name() string
+	Handle(p *dataplane.Packet) (keep bool, delayMs float64)
+}
+
+// Counter counts packets and bytes.
+type Counter struct {
+	mu      sync.Mutex
+	packets uint64
+	bytes   uint64
+}
+
+// Name implements Element.
+func (c *Counter) Name() string { return "Counter" }
+
+// Handle implements Element.
+func (c *Counter) Handle(p *dataplane.Packet) (bool, float64) {
+	c.mu.Lock()
+	c.packets++
+	c.bytes += uint64(p.Size)
+	c.mu.Unlock()
+	return true, 0
+}
+
+// Counters returns the counts.
+func (c *Counter) Counters() (packets, bytes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.packets, c.bytes
+}
+
+// Mark appends a trace tag to every packet.
+type Mark struct{ Tag string }
+
+// Name implements Element.
+func (m *Mark) Name() string { return "Mark" }
+
+// Handle implements Element.
+func (m *Mark) Handle(p *dataplane.Packet) (bool, float64) {
+	p.Visit(m.Tag)
+	return true, 0
+}
+
+// PayloadDrop drops packets whose payload contains a substring (DPI-style).
+type PayloadDrop struct {
+	Needle string
+
+	mu      sync.Mutex
+	dropped uint64
+}
+
+// Name implements Element.
+func (d *PayloadDrop) Name() string { return "PayloadDrop" }
+
+// Handle implements Element.
+func (d *PayloadDrop) Handle(p *dataplane.Packet) (bool, float64) {
+	if strings.Contains(string(p.Payload), d.Needle) {
+		d.mu.Lock()
+		d.dropped++
+		d.mu.Unlock()
+		p.Dropped = "click: payload match " + d.Needle
+		return false, 0
+	}
+	return true, 0
+}
+
+// Dropped returns the drop count.
+func (d *PayloadDrop) Dropped() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped
+}
+
+// DstDrop drops packets addressed to a given endpoint (ACL-style).
+type DstDrop struct{ Dst string }
+
+// Name implements Element.
+func (d *DstDrop) Name() string { return "DstDrop" }
+
+// Handle implements Element.
+func (d *DstDrop) Handle(p *dataplane.Packet) (bool, float64) {
+	if string(p.Flow.Dst) == d.Dst {
+		p.Dropped = "click: dst filtered " + d.Dst
+		return false, 0
+	}
+	return true, 0
+}
+
+// Delay adds fixed latency (Queue-ish).
+type Delay struct{ Ms float64 }
+
+// Name implements Element.
+func (d *Delay) Name() string { return "Delay" }
+
+// Handle implements Element.
+func (d *Delay) Handle(*dataplane.Packet) (bool, float64) { return true, d.Ms }
+
+// Resize scales the packet size: "half", "double", or "+N"/"-N" bytes.
+type Resize struct{ Op string }
+
+// Name implements Element.
+func (r *Resize) Name() string { return "Resize" }
+
+// Handle implements Element.
+func (r *Resize) Handle(p *dataplane.Packet) (bool, float64) {
+	switch {
+	case r.Op == "half":
+		if p.Size > 64 {
+			p.Size = p.Size/2 + 32
+		}
+	case r.Op == "double":
+		p.Size *= 2
+	case strings.HasPrefix(r.Op, "+"):
+		if v, err := strconv.Atoi(r.Op[1:]); err == nil {
+			p.Size += v
+		}
+	case strings.HasPrefix(r.Op, "-"):
+		if v, err := strconv.Atoi(r.Op[1:]); err == nil && p.Size > v {
+			p.Size -= v
+		}
+	}
+	return true, 0
+}
+
+// Parse builds a pipeline from "Elem(arg) -> Elem -> ..." syntax.
+func Parse(config string) ([]Element, error) {
+	var out []Element
+	for _, tok := range strings.Split(config, "->") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		name, arg := tok, ""
+		if i := strings.IndexByte(tok, '('); i >= 0 {
+			if !strings.HasSuffix(tok, ")") {
+				return nil, fmt.Errorf("click: malformed element %q", tok)
+			}
+			name = tok[:i]
+			arg = tok[i+1 : len(tok)-1]
+		}
+		switch name {
+		case "Counter":
+			out = append(out, &Counter{})
+		case "Mark":
+			if arg == "" {
+				return nil, fmt.Errorf("click: Mark needs a tag")
+			}
+			out = append(out, &Mark{Tag: arg})
+		case "PayloadDrop":
+			if arg == "" {
+				return nil, fmt.Errorf("click: PayloadDrop needs a needle")
+			}
+			out = append(out, &PayloadDrop{Needle: arg})
+		case "DstDrop":
+			if arg == "" {
+				return nil, fmt.Errorf("click: DstDrop needs a destination")
+			}
+			out = append(out, &DstDrop{Dst: arg})
+		case "Delay":
+			ms, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return nil, fmt.Errorf("click: Delay(%q): %w", arg, err)
+			}
+			out = append(out, &Delay{Ms: ms})
+		case "Resize":
+			if arg == "" {
+				return nil, fmt.Errorf("click: Resize needs an op")
+			}
+			out = append(out, &Resize{Op: arg})
+		default:
+			return nil, fmt.Errorf("click: unknown element %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("click: empty pipeline")
+	}
+	return out, nil
+}
+
+// NF runs a pipeline as a bidirectional bump-in-the-wire processor
+// (ports 1 <-> 2), implementing dataplane.Processor. It stands in for one
+// isolated Click process.
+type NF struct {
+	Pipeline []Element
+}
+
+// NewNF parses a config into a runnable NF.
+func NewNF(config string) (*NF, error) {
+	pipe, err := Parse(config)
+	if err != nil {
+		return nil, err
+	}
+	return &NF{Pipeline: pipe}, nil
+}
+
+// Process implements dataplane.Processor.
+func (nf *NF) Process(p *dataplane.Packet, inPort int) []dataplane.Emission {
+	out := 2
+	if inPort == 2 {
+		out = 1
+	}
+	var delay float64
+	for _, el := range nf.Pipeline {
+		keep, d := el.Handle(p)
+		delay += d
+		if !keep {
+			return nil
+		}
+	}
+	return []dataplane.Emission{{Port: out, Pkt: p, DelayMs: delay}}
+}
+
+// DefaultConfigs maps functional types to Click pipeline templates; "%m" is
+// replaced with the instance mark.
+var DefaultConfigs = map[string]string{
+	"firewall": "Counter -> Mark(%m) -> PayloadDrop(blocked)",
+	"dpi":      "Counter -> Mark(%m) -> Delay(0.2) -> PayloadDrop(attack)",
+	"nat":      "Counter -> Mark(%m)",
+	"compress": "Counter -> Mark(%m) -> Resize(half) -> Delay(0.15)",
+	"encrypt":  "Counter -> Mark(%m) -> Resize(+40) -> Delay(0.1)",
+	"cache":    "Counter -> Mark(%m)",
+	"monitor":  "Counter -> Mark(%m)",
+	"lb":       "Counter -> Mark(%m)",
+}
+
+// ConfigFor renders the pipeline config for a functional type and instance.
+func ConfigFor(functional string, instance string) (string, error) {
+	tpl, ok := DefaultConfigs[functional]
+	if !ok {
+		return "", fmt.Errorf("click: no pipeline template for %q", functional)
+	}
+	mark := fmt.Sprintf("click:%s:%s", functional, instance)
+	return strings.ReplaceAll(tpl, "%m", mark), nil
+}

@@ -1,0 +1,321 @@
+// Package mininet implements the paper's Mininet-based infrastructure
+// domain: an emulated SDN network whose NFs run as isolated Click processes,
+// "orchestrated by a dedicated ESCAPEv2 entity via NETCONF and OpenFlow
+// control channels". Both control channels are real protocol sessions over
+// loopback TCP — NF lifecycle travels as NETCONF actions, flowrules as
+// OpenFlow flow-mods — so swapping in external infrastructure means
+// re-pointing two addresses.
+package mininet
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/dataplane"
+	"github.com/unify-repro/escape/internal/domain/emunet"
+	"github.com/unify-repro/escape/internal/domain/mininet/click"
+	"github.com/unify-repro/escape/internal/netconf"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/openflow"
+)
+
+// Domain is the Mininet technology domain: a local orchestrator whose
+// programmer drives the emulated network through NETCONF and OpenFlow.
+type Domain struct {
+	*core.LocalOrchestrator
+
+	net    *emunet.Net
+	ctrl   *openflow.Controller
+	agents []*openflow.SwitchAgent
+	ncSrv  *netconf.Server
+	ncCli  *netconf.Client
+
+	mu      sync.Mutex
+	nfPorts map[nffg.ID]map[string]int
+}
+
+// Config assembles the domain.
+type Config struct {
+	// ID names the domain (default "mininet").
+	ID string
+	// Substrate describes the emulated topology (BiS-BiS switches, SAPs).
+	Substrate *nffg.NFFG
+	// Engine is the shared dataplane engine (one per multi-domain demo).
+	Engine *dataplane.Engine
+	// Borders lists SAPs that are inter-domain stitch points (no host).
+	Borders map[nffg.ID]bool
+	// Virtualizer selects the exported view (default SingleBiSBiS).
+	Virtualizer core.Virtualizer
+}
+
+// New builds and starts the domain: emulated network, OpenFlow controller
+// plus per-switch agents, NETCONF server for NF lifecycle, and the local
+// orchestrator gluing them together.
+func New(cfg Config) (*Domain, error) {
+	if cfg.ID == "" {
+		cfg.ID = "mininet"
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = dataplane.NewEngine()
+	}
+	net, err := emunet.Build(cfg.Engine, cfg.Substrate, cfg.Borders)
+	if err != nil {
+		return nil, fmt.Errorf("mininet: build net: %w", err)
+	}
+	d := &Domain{net: net, nfPorts: map[nffg.ID]map[string]int{}}
+
+	// OpenFlow: the dedicated ESCAPE entity is the controller; every
+	// emulated switch runs an agent that dials it.
+	d.ctrl = openflow.NewController()
+	ofAddr, err := d.ctrl.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("mininet: controller: %w", err)
+	}
+	for _, swID := range net.SwitchIDs() {
+		sw, _ := net.Switch(swID)
+		var ports []uint16
+		for _, p := range cfg.Substrate.Infras[swID].Ports {
+			var v int
+			if _, err := fmt.Sscanf(p.ID, "%d", &v); err == nil {
+				ports = append(ports, uint16(v))
+			}
+		}
+		ag := openflow.NewSwitchAgent(string(swID), sw, ports)
+		if err := ag.Connect(ofAddr); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("mininet: agent %s: %w", swID, err)
+		}
+		d.agents = append(d.agents, ag)
+	}
+	if err := d.ctrl.WaitForSwitches(len(d.agents), 5*time.Second); err != nil {
+		d.Close()
+		return nil, fmt.Errorf("mininet: handshake: %w", err)
+	}
+
+	// NETCONF: NF lifecycle endpoint of the domain.
+	d.ncSrv = netconf.NewServer(&mnDatastore{net: net, substrate: cfg.Substrate})
+	ncAddr, err := d.ncSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		d.Close()
+		return nil, fmt.Errorf("mininet: netconf server: %w", err)
+	}
+	d.ncCli, err = netconf.Dial(ncAddr)
+	if err != nil {
+		d.Close()
+		return nil, fmt.Errorf("mininet: netconf client: %w", err)
+	}
+
+	lo, err := core.NewLocalOrchestrator(core.LocalConfig{
+		ID:          cfg.ID,
+		Substrate:   cfg.Substrate,
+		Virtualizer: cfg.Virtualizer,
+		Programmer:  core.ProgrammerFunc(d.commit),
+	})
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.LocalOrchestrator = lo
+	return d, nil
+}
+
+// Net exposes the emulated network (traffic injection in demos/tests).
+func (d *Domain) Net() *emunet.Net { return d.net }
+
+// Close tears down control sessions.
+func (d *Domain) Close() {
+	if d.ncCli != nil {
+		_ = d.ncCli.Close()
+	}
+	if d.ncSrv != nil {
+		d.ncSrv.Close()
+	}
+	for _, ag := range d.agents {
+		ag.Close()
+	}
+	if d.ctrl != nil {
+		d.ctrl.Close()
+	}
+}
+
+// commit is the Programmer: deltas arrive from the local orchestrator and
+// leave as NETCONF actions and OpenFlow flow-mods.
+func (d *Domain) commit(delta *nffg.Delta, cfg *nffg.NFFG) error {
+	// 1. Rule deletions (free match slots before rewrites).
+	for _, infra := range sortedInfraKeys(delta.DelRules) {
+		for _, f := range delta.DelRules[infra] {
+			fm := &openflow.FlowMod{Cmd: openflow.FlowDelete, RuleID: f.ID}
+			if err := d.ctrl.FlowMod(string(infra), fm); err != nil {
+				return fmt.Errorf("mininet: del rule %s: %w", f.ID, err)
+			}
+		}
+	}
+	// 2. NF teardowns.
+	for _, id := range delta.DelNFs {
+		body := fmt.Sprintf("<nf><id>%s</id></nf>", id)
+		if _, err := d.ncCli.Call("stop-nf", []byte(body)); err != nil {
+			return fmt.Errorf("mininet: stop-nf %s: %w", id, err)
+		}
+		d.mu.Lock()
+		delete(d.nfPorts, id)
+		d.mu.Unlock()
+	}
+	// 3. NF starts (NETCONF), recording port allocations.
+	for _, nf := range delta.AddNFs {
+		var portIDs []string
+		for _, p := range nf.Ports {
+			portIDs = append(portIDs, p.ID)
+		}
+		req := startNFReq{ID: string(nf.ID), Host: string(nf.Host), Type: nf.FunctionalType, Ports: portIDs}
+		body, err := xml.Marshal(req)
+		if err != nil {
+			return err
+		}
+		data, err := d.ncCli.Call("start-nf", body)
+		if err != nil {
+			return fmt.Errorf("mininet: start-nf %s: %w", nf.ID, err)
+		}
+		var rep startNFReply
+		if err := xml.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("mininet: start-nf reply: %w", err)
+		}
+		ports := map[string]int{}
+		for _, p := range rep.Ports {
+			ports[p.ID] = p.SwitchPort
+		}
+		d.mu.Lock()
+		d.nfPorts[nf.ID] = ports
+		d.mu.Unlock()
+	}
+	// 4. Rule installs (OpenFlow).
+	for _, infra := range sortedInfraKeys(delta.AddRules) {
+		for _, f := range delta.AddRules[infra] {
+			r, err := emunet.TranslateRule(f, d.lookupNFPorts)
+			if err != nil {
+				return fmt.Errorf("mininet: translate rule %s: %w", f.ID, err)
+			}
+			fm := &openflow.FlowMod{
+				Cmd: openflow.FlowAdd, RuleID: r.ID, Priority: uint16(r.Priority),
+				InPort: uint16(r.Match.InPort), Tag: r.Match.Tag, AnyTag: r.Match.AnyTag,
+				MatchDst: string(r.Match.Dst),
+				OutPort:  uint16(r.Action.OutPort), PushTag: r.Action.PushTag, PopTag: r.Action.PopTag,
+			}
+			if err := d.ctrl.FlowMod(string(infra), fm); err != nil {
+				return fmt.Errorf("mininet: add rule %s: %w", f.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Domain) lookupNFPorts(nf nffg.ID) (map[string]int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ports, ok := d.nfPorts[nf]
+	if !ok {
+		return nil, fmt.Errorf("mininet: NF %s has no recorded ports", nf)
+	}
+	return ports, nil
+}
+
+// Stats pulls flow statistics from a switch over the OpenFlow channel.
+func (d *Domain) Stats(sw nffg.ID) (*openflow.StatsReply, error) {
+	return d.ctrl.Stats(string(sw))
+}
+
+// --- NETCONF datastore (the domain-side agent) ------------------------------
+
+type startNFReq struct {
+	XMLName xml.Name `xml:"nf"`
+	ID      string   `xml:"id"`
+	Host    string   `xml:"host"`
+	Type    string   `xml:"type"`
+	Ports   []string `xml:"ports>port"`
+}
+
+type startNFReply struct {
+	XMLName xml.Name      `xml:"allocation"`
+	Ports   []portBinding `xml:"port"`
+}
+
+type portBinding struct {
+	ID         string `xml:"id,attr"`
+	SwitchPort int    `xml:"switch-port,attr"`
+}
+
+type stopNFReq struct {
+	XMLName xml.Name `xml:"nf"`
+	ID      string   `xml:"id"`
+}
+
+// mnDatastore exposes the domain's NF lifecycle over NETCONF.
+type mnDatastore struct {
+	net       *emunet.Net
+	substrate *nffg.NFFG
+}
+
+// GetConfig returns the substrate in the virtualizer XML rendering.
+func (ds *mnDatastore) GetConfig() ([]byte, error) {
+	s, err := ds.substrate.XMLString()
+	if err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+// EditConfig is not used by this domain (lifecycle is action-based).
+func (ds *mnDatastore) EditConfig([]byte) error {
+	return fmt.Errorf("mininet: edit-config unsupported; use start-nf/stop-nf actions")
+}
+
+// Call dispatches NF lifecycle actions.
+func (ds *mnDatastore) Call(action string, body []byte) ([]byte, error) {
+	switch action {
+	case "start-nf":
+		var req startNFReq
+		if err := xml.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("mininet: start-nf body: %w", err)
+		}
+		config, err := click.ConfigFor(req.Type, req.ID)
+		if err != nil {
+			return nil, err
+		}
+		nf, err := click.NewNF(config)
+		if err != nil {
+			return nil, err
+		}
+		ports, err := ds.net.StartNF(nffg.ID(req.ID), nffg.ID(req.Host), req.Ports, nf)
+		if err != nil {
+			return nil, err
+		}
+		rep := startNFReply{}
+		for id, sp := range ports {
+			rep.Ports = append(rep.Ports, portBinding{ID: id, SwitchPort: sp})
+		}
+		return xml.Marshal(rep)
+	case "stop-nf":
+		var req stopNFReq
+		if err := xml.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("mininet: stop-nf body: %w", err)
+		}
+		return nil, ds.net.StopNF(nffg.ID(req.ID))
+	default:
+		return nil, fmt.Errorf("mininet: unknown action %q", action)
+	}
+}
+
+func sortedInfraKeys(m map[nffg.ID][]*nffg.Flowrule) []nffg.ID {
+	out := make([]nffg.ID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package openstack
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/dataplane"
+	"github.com/unify-repro/escape/internal/nffg"
+)
+
+// Domain is the OpenStack technology domain: the UNIFY-conform local
+// orchestrator whose programmer realizes deltas as Nova and ODL REST calls
+// against the cloud's API.
+type Domain struct {
+	*core.LocalOrchestrator
+	cloud  *Cloud
+	client *http.Client
+	base   string
+}
+
+// Config assembles the domain.
+type Config struct {
+	// ID names the domain (default "openstack").
+	ID string
+	// Substrate describes the DC fabric + SAPs.
+	Substrate *nffg.NFFG
+	// Engine is the shared dataplane engine.
+	Engine *dataplane.Engine
+	// Borders lists inter-domain SAPs.
+	Borders map[nffg.ID]bool
+	// Virtualizer selects the exported view (default SingleBiSBiS).
+	Virtualizer core.Virtualizer
+}
+
+// New builds the cloud and its local orchestrator.
+func New(cfg Config) (*Domain, error) {
+	if cfg.ID == "" {
+		cfg.ID = "openstack"
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = dataplane.NewEngine()
+	}
+	cloud, err := NewCloud(cfg.Engine, cfg.Substrate, cfg.Borders)
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{cloud: cloud, client: &http.Client{}, base: cloud.BaseURL()}
+	lo, err := core.NewLocalOrchestrator(core.LocalConfig{
+		ID:          cfg.ID,
+		Substrate:   cfg.Substrate,
+		Virtualizer: cfg.Virtualizer,
+		Programmer:  core.ProgrammerFunc(d.commit),
+	})
+	if err != nil {
+		cloud.Close()
+		return nil, err
+	}
+	d.LocalOrchestrator = lo
+	return d, nil
+}
+
+// Cloud exposes the simulated cloud (tests, demo traffic).
+func (d *Domain) Cloud() *Cloud { return d.cloud }
+
+// Close stops the cloud API.
+func (d *Domain) Close() { d.cloud.Close() }
+
+// commit realizes a delta through the REST APIs.
+func (d *Domain) commit(delta *nffg.Delta, cfg *nffg.NFFG) error {
+	for infra, rules := range delta.DelRules {
+		for _, f := range rules {
+			if err := d.do(http.MethodDelete, fmt.Sprintf("/restconf/config/flows/%s/%s", infra, f.ID), nil, http.StatusNoContent); err != nil {
+				return fmt.Errorf("openstack: del flow %s: %w", f.ID, err)
+			}
+		}
+	}
+	for _, id := range delta.DelNFs {
+		if err := d.do(http.MethodDelete, "/v2.1/servers/"+string(id), nil, http.StatusNoContent); err != nil {
+			return fmt.Errorf("openstack: delete server %s: %w", id, err)
+		}
+	}
+	for _, nf := range delta.AddNFs {
+		var portIDs []string
+		for _, p := range nf.Ports {
+			portIDs = append(portIDs, p.ID)
+		}
+		var req createServerReq
+		req.Server.Name = string(nf.ID)
+		req.Server.Flavor = flavorFor(nf.Demand)
+		req.Server.Metadata = map[string]string{
+			"nf_type": nf.FunctionalType,
+			"nf_id":   string(nf.ID),
+			"host":    string(nf.Host),
+			"ports":   strings.Join(portIDs, ","),
+		}
+		if err := d.do(http.MethodPost, "/v2.1/servers", req, http.StatusCreated); err != nil {
+			return fmt.Errorf("openstack: boot %s: %w", nf.ID, err)
+		}
+	}
+	for infra, rules := range delta.AddRules {
+		for _, f := range rules {
+			fr := FlowRule{
+				Priority: f.Priority,
+				InPort:   f.Match.InPort.String(),
+				Tag:      f.Match.Tag,
+				Untagged: f.Match.MatchUntagged,
+				Dst:      string(f.Match.DstSAP),
+				Output:   f.Action.Output.String(),
+				PushTag:  f.Action.PushTag,
+				PopTag:   f.Action.PopTag,
+			}
+			if err := d.do(http.MethodPut, fmt.Sprintf("/restconf/config/flows/%s/%s", infra, f.ID), fr, http.StatusOK); err != nil {
+				return fmt.Errorf("openstack: put flow %s: %w", f.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Domain) do(method, path string, body any, wantStatus int) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, d.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s %s: status %d (want %d): %s", method, path, resp.StatusCode, wantStatus, msg)
+	}
+	return nil
+}
+
+// flavorFor picks the smallest flavor covering the demand.
+func flavorFor(r nffg.Resources) string {
+	switch {
+	case r.CPU <= 1 && r.Mem <= 2048:
+		return "m1.small"
+	case r.CPU <= 2 && r.Mem <= 4096:
+		return "m1.medium"
+	default:
+		return "m1.large"
+	}
+}

@@ -1,0 +1,296 @@
+// Package openstack implements the paper's legacy data-center domain:
+// "clouds managed by OpenStack and OpenDaylight", with a UNIFY-conform local
+// orchestrator implemented on top. The cloud is simulated but its control
+// surface is real HTTP: a Nova-style compute API (servers, flavors), and an
+// OpenDaylight-style flow-programming API for the DC fabric. The local
+// orchestrator only ever talks to those REST endpoints, so pointing it at a
+// real cloud is a matter of changing the base URL.
+package openstack
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/unify-repro/escape/internal/dataplane"
+	"github.com/unify-repro/escape/internal/domain/emunet"
+	"github.com/unify-repro/escape/internal/domain/nfcat"
+	"github.com/unify-repro/escape/internal/nffg"
+)
+
+// Server is a Nova-style compute instance hosting one NF.
+type Server struct {
+	ID       string            `json:"id"`
+	Name     string            `json:"name"`
+	Flavor   string            `json:"flavorRef"`
+	Status   string            `json:"status"`
+	Metadata map[string]string `json:"metadata"`
+	// Ports maps NF port IDs to fabric switch ports (neutron port binding).
+	Ports map[string]int `json:"ports"`
+}
+
+// Flavor is a Nova flavor.
+type Flavor struct {
+	ID    string  `json:"id"`
+	Name  string  `json:"name"`
+	VCPUs float64 `json:"vcpus"`
+	RAM   float64 `json:"ram"`
+	Disk  float64 `json:"disk"`
+}
+
+// Cloud is the simulated data center: a fabric of switches (from the
+// substrate) plus a compute service instantiating VMs as NF hosts.
+type Cloud struct {
+	net *emunet.Net
+	cat *nfcat.Catalogue
+
+	mu      sync.Mutex
+	servers map[string]*Server
+	flavors []Flavor
+
+	httpSrv *http.Server
+	baseURL string
+}
+
+// NewCloud builds the cloud over an emulated fabric and starts its REST API
+// on loopback. Callers must Close it.
+func NewCloud(eng *dataplane.Engine, substrate *nffg.NFFG, borders map[nffg.ID]bool) (*Cloud, error) {
+	n, err := emunet.Build(eng, substrate, borders)
+	if err != nil {
+		return nil, fmt.Errorf("openstack: fabric: %w", err)
+	}
+	c := &Cloud{
+		net:     n,
+		cat:     nfcat.New(),
+		servers: map[string]*Server{},
+		flavors: []Flavor{
+			{ID: "m1.small", Name: "m1.small", VCPUs: 1, RAM: 2048, Disk: 20},
+			{ID: "m1.medium", Name: "m1.medium", VCPUs: 2, RAM: 4096, Disk: 40},
+			{ID: "m1.large", Name: "m1.large", VCPUs: 4, RAM: 8192, Disk: 80},
+		},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2.1/flavors", c.handleFlavors)
+	mux.HandleFunc("GET /v2.1/servers", c.handleListServers)
+	mux.HandleFunc("POST /v2.1/servers", c.handleCreateServer)
+	mux.HandleFunc("DELETE /v2.1/servers/{id}", c.handleDeleteServer)
+	mux.HandleFunc("PUT /restconf/config/flows/{node}/{rule}", c.handlePutFlow)
+	mux.HandleFunc("DELETE /restconf/config/flows/{node}/{rule}", c.handleDeleteFlow)
+	mux.HandleFunc("GET /restconf/operational/stats/{node}", c.handleStats)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	c.baseURL = "http://" + ln.Addr().String()
+	c.httpSrv = &http.Server{Handler: mux}
+	go func() { _ = c.httpSrv.Serve(ln) }()
+	return c, nil
+}
+
+// BaseURL returns the REST endpoint ("http://127.0.0.1:port").
+func (c *Cloud) BaseURL() string { return c.baseURL }
+
+// Net exposes the DC fabric (demo traffic).
+func (c *Cloud) Net() *emunet.Net { return c.net }
+
+// Close stops the REST API.
+func (c *Cloud) Close() {
+	if c.httpSrv != nil {
+		_ = c.httpSrv.Close()
+	}
+}
+
+// Servers lists compute instances, sorted by ID.
+func (c *Cloud) Servers() []*Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		cp := *s
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (c *Cloud) handleFlavors(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"flavors": c.flavors})
+}
+
+func (c *Cloud) handleListServers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"servers": c.Servers()})
+}
+
+// createServerReq is the Nova boot payload subset the orchestrator sends.
+type createServerReq struct {
+	Server struct {
+		Name     string            `json:"name"`
+		Flavor   string            `json:"flavorRef"`
+		Metadata map[string]string `json:"metadata"`
+	} `json:"server"`
+}
+
+func (c *Cloud) handleCreateServer(w http.ResponseWriter, r *http.Request) {
+	var req createServerReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad payload: %v", err)
+		return
+	}
+	md := req.Server.Metadata
+	nfType, host := md["nf_type"], md["host"]
+	if nfType == "" || host == "" {
+		writeErr(w, http.StatusBadRequest, "metadata nf_type and host are required")
+		return
+	}
+	id := req.Server.Name
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, "server name required")
+		return
+	}
+	proc, _, err := c.cat.Instantiate(nfType, "vm", id)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var portIDs []string
+	if md["ports"] != "" {
+		portIDs = strings.Split(md["ports"], ",")
+	} else {
+		portIDs = []string{"1", "2"}
+	}
+	ports, err := c.net.StartNF(nffg.ID(id), nffg.ID(host), portIDs, proc)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "boot failed: %v", err)
+		return
+	}
+	srv := &Server{ID: id, Name: id, Flavor: req.Server.Flavor, Status: "ACTIVE", Metadata: md, Ports: ports}
+	c.mu.Lock()
+	c.servers[id] = srv
+	c.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{"server": srv})
+}
+
+func (c *Cloud) handleDeleteServer(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	_, ok := c.servers[id]
+	delete(c.servers, id)
+	c.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "server %s not found", id)
+		return
+	}
+	if err := c.net.StopNF(nffg.ID(id)); err != nil {
+		writeErr(w, http.StatusInternalServerError, "teardown: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// FlowRule is the ODL-style flow payload.
+type FlowRule struct {
+	Priority int    `json:"priority"`
+	InPort   string `json:"in-port"` // PortRef string form ("3" or "nf:x:1")
+	Tag      string `json:"tag,omitempty"`
+	Untagged bool   `json:"untagged,omitempty"`
+	Dst      string `json:"dst,omitempty"`
+	Output   string `json:"output"`
+	PushTag  string `json:"push-tag,omitempty"`
+	PopTag   bool   `json:"pop-tag,omitempty"`
+}
+
+func (c *Cloud) handlePutFlow(w http.ResponseWriter, r *http.Request) {
+	node, ruleID := r.PathValue("node"), r.PathValue("rule")
+	var fr FlowRule
+	if err := json.NewDecoder(r.Body).Decode(&fr); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad flow: %v", err)
+		return
+	}
+	inRef, err := nffg.ParsePortRef(fr.InPort)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "in-port: %v", err)
+		return
+	}
+	outRef, err := nffg.ParsePortRef(fr.Output)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "output: %v", err)
+		return
+	}
+	f := &nffg.Flowrule{
+		ID:       ruleID,
+		Priority: fr.Priority,
+		Match:    nffg.Match{InPort: inRef, Tag: fr.Tag, MatchUntagged: fr.Untagged, DstSAP: nffg.ID(fr.Dst)},
+		Action:   nffg.Action{Output: outRef, PushTag: fr.PushTag, PopTag: fr.PopTag},
+	}
+	rule, err := emunet.TranslateRule(f, func(nf nffg.ID) (map[string]int, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		srv, ok := c.servers[string(nf)]
+		if !ok {
+			return nil, fmt.Errorf("openstack: no server %s", nf)
+		}
+		return srv.Ports, nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "translate: %v", err)
+		return
+	}
+	sw, err := c.net.Switch(nffg.ID(node))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	sw.Table.Install(rule)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Cloud) handleDeleteFlow(w http.ResponseWriter, r *http.Request) {
+	node, ruleID := r.PathValue("node"), r.PathValue("rule")
+	sw, err := c.net.Switch(nffg.ID(node))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if !sw.Table.Remove(ruleID) {
+		writeErr(w, http.StatusNotFound, "rule %s not found on %s", ruleID, node)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Cloud) handleStats(w http.ResponseWriter, r *http.Request) {
+	node := r.PathValue("node")
+	sw, err := c.net.Switch(nffg.ID(node))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	type flowStat struct {
+		ID      string `json:"id"`
+		Packets uint64 `json:"packets"`
+		Bytes   uint64 `json:"bytes"`
+	}
+	var flows []flowStat
+	for _, rule := range sw.Table.Rules() {
+		pk, by := rule.Counters()
+		flows = append(flows, flowStat{ID: rule.ID, Packets: pk, Bytes: by})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": node, "flows": flows})
+}

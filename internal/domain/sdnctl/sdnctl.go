@@ -1,0 +1,147 @@
+// Package sdnctl implements the paper's legacy OpenFlow network domain:
+// "the control of legacy OpenFlow networks is realized by a POX controller
+// and a corresponding adapter module". The domain is forwarding-only — it
+// cannot host NFs, it can only steer traffic between its SAPs — which is
+// exactly what makes it a useful transit segment in multi-domain chains.
+package sdnctl
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/dataplane"
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/domain/emunet"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/openflow"
+)
+
+// Domain is the legacy SDN domain: POX-like controller + adapter.
+type Domain struct {
+	*core.LocalOrchestrator
+	net    *emunet.Net
+	ctrl   *openflow.Controller
+	agents []*openflow.SwitchAgent
+}
+
+// Config assembles the domain.
+type Config struct {
+	// ID names the domain (default "sdn").
+	ID string
+	// Substrate lists the legacy switches (forwarding-only: no supported NF
+	// types) and the SAPs they interconnect.
+	Substrate *nffg.NFFG
+	// Engine is the shared dataplane engine.
+	Engine *dataplane.Engine
+	// Borders lists inter-domain SAPs.
+	Borders map[nffg.ID]bool
+	// Virtualizer selects the exported view (default SingleBiSBiS).
+	Virtualizer core.Virtualizer
+}
+
+// New starts the controller, connects every switch agent and builds the
+// adapter's local orchestrator.
+func New(cfg Config) (*Domain, error) {
+	if cfg.ID == "" {
+		cfg.ID = "sdn"
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = dataplane.NewEngine()
+	}
+	for _, id := range cfg.Substrate.InfraIDs() {
+		if len(cfg.Substrate.Infras[id].Supported) != 0 {
+			return nil, fmt.Errorf("sdnctl: node %s supports NFs; legacy switches are forwarding-only", id)
+		}
+	}
+	net, err := emunet.Build(cfg.Engine, cfg.Substrate, cfg.Borders)
+	if err != nil {
+		return nil, fmt.Errorf("sdnctl: build net: %w", err)
+	}
+	d := &Domain{net: net, ctrl: openflow.NewController()}
+	addr, err := d.ctrl.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("sdnctl: controller: %w", err)
+	}
+	for _, swID := range net.SwitchIDs() {
+		sw, _ := net.Switch(swID)
+		var ports []uint16
+		for _, p := range cfg.Substrate.Infras[swID].Ports {
+			var v int
+			if _, err := fmt.Sscanf(p.ID, "%d", &v); err == nil {
+				ports = append(ports, uint16(v))
+			}
+		}
+		ag := openflow.NewSwitchAgent(string(swID), sw, ports)
+		if err := ag.Connect(addr); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("sdnctl: agent %s: %w", swID, err)
+		}
+		d.agents = append(d.agents, ag)
+	}
+	if err := d.ctrl.WaitForSwitches(len(d.agents), 5*time.Second); err != nil {
+		d.Close()
+		return nil, fmt.Errorf("sdnctl: handshake: %w", err)
+	}
+	lo, err := core.NewLocalOrchestrator(core.LocalConfig{
+		ID:           cfg.ID,
+		Substrate:    cfg.Substrate,
+		Virtualizer:  cfg.Virtualizer,
+		Programmer:   core.ProgrammerFunc(d.commit),
+		Capabilities: []domain.Capability{domain.CapForwarding},
+	})
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.LocalOrchestrator = lo
+	return d, nil
+}
+
+// Net exposes the emulated network.
+func (d *Domain) Net() *emunet.Net { return d.net }
+
+// Close stops the control plane.
+func (d *Domain) Close() {
+	for _, ag := range d.agents {
+		ag.Close()
+	}
+	if d.ctrl != nil {
+		d.ctrl.Close()
+	}
+}
+
+// commit programs flowrules through the POX-like controller. NF operations
+// are rejected: this domain has no compute.
+func (d *Domain) commit(delta *nffg.Delta, _ *nffg.NFFG) error {
+	if len(delta.AddNFs) > 0 || len(delta.DelNFs) > 0 {
+		return fmt.Errorf("sdnctl: domain cannot host NFs")
+	}
+	for infra, rules := range delta.DelRules {
+		for _, f := range rules {
+			if err := d.ctrl.FlowMod(string(infra), &openflow.FlowMod{Cmd: openflow.FlowDelete, RuleID: f.ID}); err != nil {
+				return fmt.Errorf("sdnctl: del rule %s: %w", f.ID, err)
+			}
+		}
+	}
+	for infra, rules := range delta.AddRules {
+		for _, f := range rules {
+			r, err := emunet.TranslateRule(f, func(nf nffg.ID) (map[string]int, error) {
+				return nil, fmt.Errorf("sdnctl: rule references NF %s in forwarding-only domain", nf)
+			})
+			if err != nil {
+				return err
+			}
+			fm := &openflow.FlowMod{
+				Cmd: openflow.FlowAdd, RuleID: r.ID, Priority: uint16(r.Priority),
+				InPort: uint16(r.Match.InPort), Tag: r.Match.Tag, AnyTag: r.Match.AnyTag,
+				MatchDst: string(r.Match.Dst),
+				OutPort:  uint16(r.Action.OutPort), PushTag: r.Action.PushTag, PopTag: r.Action.PopTag,
+			}
+			if err := d.ctrl.FlowMod(string(infra), fm); err != nil {
+				return fmt.Errorf("sdnctl: add rule %s: %w", f.ID, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package sdnctl
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+// transit substrate: two legacy switches connecting two border SAPs.
+func substrate(t testing.TB) *nffg.NFFG {
+	t.Helper()
+	g, err := nffg.NewBuilder("sdn-sub").
+		Switch("sdn-s1", "sdn", 4).
+		Switch("sdn-s2", "sdn", 4).
+		SAP("b-west").SAP("b-east").
+		Link("w", "b-west", "1", "sdn-s1", "1", 1000, 1).
+		Link("m", "sdn-s1", "2", "sdn-s2", "1", 1000, 2).
+		Link("e", "sdn-s2", "2", "b-east", "1", 1000, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newDomain(t *testing.T) *Domain {
+	t.Helper()
+	d, err := New(Config{Substrate: substrate(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestRejectsComputeSubstrate(t *testing.T) {
+	bad := nffg.NewBuilder("bad").
+		BiSBiS("x", "sdn", 2, nffg.Resources{CPU: 4}, "firewall").
+		MustBuild()
+	if _, err := New(Config{Substrate: bad}); err == nil {
+		t.Fatal("compute nodes must be rejected in a legacy SDN domain")
+	}
+}
+
+func TestTransitInstall(t *testing.T) {
+	d := newDomain(t)
+	// Pure transit request: a hop between the two border SAPs, no NFs.
+	req := nffg.NewBuilder("transit1").
+		SAP("b-west").SAP("b-east").
+		MustBuild()
+	if _, err := nffg.BuildChain(req, "t", 50, 0, "b-west", "b-east"); err != nil {
+		t.Fatal(err)
+	}
+	receipt, err := d.Install(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(receipt.HopPaths) != 1 {
+		t.Fatalf("hop paths: %v", receipt.HopPaths)
+	}
+	// Rules landed on both switches via the POX-like controller.
+	for _, swID := range d.Net().SwitchIDs() {
+		sw, _ := d.Net().Switch(swID)
+		if sw.Table.Len() == 0 {
+			t.Fatalf("switch %s not programmed", swID)
+		}
+	}
+	if err := d.Remove("transit1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, swID := range d.Net().SwitchIDs() {
+		sw, _ := d.Net().Switch(swID)
+		if sw.Table.Len() != 0 {
+			t.Fatalf("switch %s rules remain", swID)
+		}
+	}
+}
+
+func TestRejectsNFRequests(t *testing.T) {
+	d := newDomain(t)
+	req := nffg.NewBuilder("withnf").
+		SAP("b-west").SAP("b-east").
+		NF("x", "firewall", 2, nffg.Resources{CPU: 1, Mem: 64, Storage: 1}).
+		Chain("c", 10, 0, "b-west", "x", "b-east").
+		MustBuild()
+	if _, err := d.Install(req); !errors.Is(err, unify.ErrRejected) {
+		t.Fatalf("NF requests must be rejected: %v", err)
+	}
+}
+
+func TestForwardingOnlyView(t *testing.T) {
+	d := newDomain(t)
+	v, err := d.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range v.InfraIDs() {
+		if len(v.Infras[id].Supported) != 0 {
+			t.Fatalf("view must advertise no NF support: %v", v.Infras[id].Supported)
+		}
+	}
+	caps := d.Capabilities()
+	if len(caps) != 1 || string(caps[0]) != "forwarding" {
+		t.Fatalf("capabilities: %v", caps)
+	}
+}

@@ -1,0 +1,316 @@
+package embed
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/topo"
+)
+
+// ErrConflict is returned when a generated flowrule would collide with an
+// existing one (same node, same match); typically two chains entering the
+// same SAP-facing port untagged.
+var ErrConflict = errors.New("embed: flowrule conflict")
+
+// Apply realizes a mapping on (a copy of) the substrate: NFs are placed with
+// StatusMapped, every SG hop becomes a set of flowrules along its path using
+// tag-based steering (push the hop tag at the ingress BiS-BiS, match it at
+// transit nodes, pop it on delivery), and link capacities are decremented by
+// the reserved bandwidth. This is the paper's "SFC programming = assigning
+// NFs to BiS-BiS nodes + editing flowrules within BiS-BiS nodes".
+func Apply(sub *nffg.NFFG, mp *Mapping) (*nffg.NFFG, error) {
+	out := sub.Copy()
+	// 1. Place NFs.
+	for _, id := range mp.Request.NFIDs() {
+		nf := mp.Request.NFs[id]
+		host, ok := mp.NFHost[id]
+		if !ok {
+			return nil, fmt.Errorf("embed: NF %s has no host in mapping", id)
+		}
+		c := &nffg.NF{
+			ID: id, Name: nf.Name, FunctionalType: nf.FunctionalType,
+			DeployType: nf.DeployType, Demand: nf.Demand,
+			Host: host, Status: nffg.StatusMapped,
+		}
+		for _, p := range nf.Ports {
+			cp := *p
+			c.Ports = append(c.Ports, &cp)
+		}
+		if err := out.AddNF(c); err != nil {
+			return nil, err
+		}
+	}
+	// 2. Copy SG hops and requirements into the configured view for
+	// bookkeeping (teardown, monitoring).
+	for _, h := range mp.Request.Hops {
+		ch := *h
+		if err := out.AddHop(&ch); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range mp.Request.Reqs {
+		cr := *r
+		cr.HopIDs = append([]string(nil), r.HopIDs...)
+		out.Reqs = append(out.Reqs, &cr)
+	}
+	// 3. Generate flowrules per hop.
+	for _, h := range mp.Request.Hops {
+		p, ok := mp.Paths[h.ID]
+		if !ok {
+			return nil, fmt.Errorf("embed: hop %s missing from mapping", h.ID)
+		}
+		if err := programHop(out, mp, h, p); err != nil {
+			return nil, err
+		}
+	}
+	// 4. Reserve link bandwidth.
+	for _, h := range mp.Request.Hops {
+		p := mp.Paths[h.ID]
+		for _, lid := range p.Links {
+			l := out.LinkByID(string(lid))
+			if l == nil {
+				return nil, fmt.Errorf("embed: path link %s not in substrate", lid)
+			}
+			if l.Bandwidth < h.Bandwidth {
+				return nil, fmt.Errorf("embed: link %s capacity exhausted applying hop %s", lid, h.ID)
+			}
+			l.Bandwidth -= h.Bandwidth
+		}
+	}
+	out.NextVersion()
+	return out, nil
+}
+
+// Release undoes an applied mapping on g in place: removes the hops' rules,
+// restores link bandwidth, unmaps the NFs and drops the hops.
+func Release(g *nffg.NFFG, mp *Mapping) error {
+	for _, h := range mp.Request.Hops {
+		g.RemoveFlowrulesByHop(h.ID)
+		p := mp.Paths[h.ID]
+		for _, lid := range p.Links {
+			if l := g.LinkByID(string(lid)); l != nil {
+				l.Bandwidth += h.Bandwidth
+			}
+		}
+		// Drop the hop record.
+		for i, gh := range g.Hops {
+			if gh.ID == h.ID {
+				g.Hops = append(g.Hops[:i], g.Hops[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, id := range mp.Request.NFIDs() {
+		if _, ok := g.NFs[id]; ok {
+			if err := g.RemoveNF(id); err != nil {
+				return err
+			}
+		}
+	}
+	// Drop requirements belonging to the request.
+	kept := g.Reqs[:0]
+	reqIDs := map[string]bool{}
+	for _, r := range mp.Request.Reqs {
+		reqIDs[r.ID] = true
+	}
+	for _, r := range g.Reqs {
+		if !reqIDs[r.ID] {
+			kept = append(kept, r)
+		}
+	}
+	g.Reqs = kept
+	g.NextVersion()
+	return nil
+}
+
+// chainDst resolves the terminal SAP of the chain a hop belongs to: the hop's
+// FlowDst when the orchestrator above pre-resolved it, otherwise a walk along
+// successor hops until a SAP endpoint.
+func chainDst(req *nffg.NFFG, h *nffg.SGHop) nffg.ID {
+	if h.FlowDst != "" {
+		return h.FlowDst
+	}
+	cur := h
+	for steps := 0; steps <= len(req.Hops); steps++ {
+		if _, ok := req.SAPs[cur.DstNode]; ok {
+			return cur.DstNode
+		}
+		var next *nffg.SGHop
+		for _, cand := range req.Hops {
+			if cand.SrcNode == cur.DstNode {
+				next = cand
+				break
+			}
+		}
+		if next == nil {
+			return ""
+		}
+		cur = next
+	}
+	return ""
+}
+
+// programHop writes the flowrules realizing one hop along its path.
+func programHop(g *nffg.NFFG, mp *Mapping, h *nffg.SGHop, p topo.Path) error {
+	tag := h.ID
+	_, srcIsNF := mp.Request.NFs[h.SrcNode]
+	_, dstIsNF := mp.Request.NFs[h.DstNode]
+	_, srcIsSAP := mp.Request.SAPs[h.SrcNode]
+
+	// Infra nodes along the path (SAP endpoints are not programmable).
+	type seg struct {
+		node    nffg.ID
+		inPort  nffg.PortRef // where hop traffic enters this node
+		outPort nffg.PortRef // where it leaves
+	}
+	var segs []seg
+
+	if len(p.Links) == 0 {
+		// Co-located endpoints on one BiS-BiS.
+		host := nffg.ID(p.Nodes[0])
+		in, err := endpointPort(g, mp, h.SrcNode, h.SrcPort, srcIsNF)
+		if err != nil {
+			return fmt.Errorf("hop %s src: %w", h.ID, err)
+		}
+		out, err := endpointPort(g, mp, h.DstNode, h.DstPort, dstIsNF)
+		if err != nil {
+			return fmt.Errorf("hop %s dst: %w", h.ID, err)
+		}
+		return installRule(g, host, &nffg.Flowrule{
+			ID:        fmt.Sprintf("%s@%s", h.ID, host),
+			Match:     nffg.Match{InPort: in, MatchUntagged: true},
+			Action:    nffg.Action{Output: out},
+			Bandwidth: h.Bandwidth,
+			HopID:     h.ID,
+		})
+	}
+
+	for i, node := range p.Nodes {
+		if _, isInfra := g.Infras[nffg.ID(node)]; !isInfra {
+			continue // SAP endpoint
+		}
+		s := seg{node: nffg.ID(node)}
+		if i == 0 {
+			// First node is an infra: the hop starts at an NF on this node.
+			in, err := endpointPort(g, mp, h.SrcNode, h.SrcPort, srcIsNF)
+			if err != nil {
+				return fmt.Errorf("hop %s src: %w", h.ID, err)
+			}
+			s.inPort = in
+		} else {
+			lid := string(p.Links[i-1])
+			port, err := linkPortOn(g, lid, nffg.ID(node), false)
+			if err != nil {
+				return fmt.Errorf("hop %s: %w", h.ID, err)
+			}
+			s.inPort = nffg.InfraPort(port)
+		}
+		if i == len(p.Nodes)-1 {
+			out, err := endpointPort(g, mp, h.DstNode, h.DstPort, dstIsNF)
+			if err != nil {
+				return fmt.Errorf("hop %s dst: %w", h.ID, err)
+			}
+			s.outPort = out
+		} else {
+			lid := string(p.Links[i])
+			port, err := linkPortOn(g, lid, nffg.ID(node), true)
+			if err != nil {
+				return fmt.Errorf("hop %s: %w", h.ID, err)
+			}
+			s.outPort = nffg.InfraPort(port)
+		}
+		segs = append(segs, s)
+	}
+
+	for i, s := range segs {
+		first := i == 0
+		last := i == len(segs)-1
+		m := nffg.Match{InPort: s.inPort}
+		a := nffg.Action{Output: s.outPort}
+		if first {
+			m.MatchUntagged = true // traffic from SAP or NF is untagged
+			if srcIsSAP {
+				// Chain-ingress classification: several chains may share an
+				// ingress SAP when their destinations differ.
+				m.DstSAP = chainDst(mp.Request, h)
+			}
+			if !last {
+				a.PushTag = tag
+			}
+		} else {
+			m.Tag = tag
+			if last {
+				a.PopTag = true
+			}
+		}
+		if err := installRule(g, s.node, &nffg.Flowrule{
+			ID:        fmt.Sprintf("%s@%s", h.ID, s.node),
+			Match:     m,
+			Action:    a,
+			Bandwidth: h.Bandwidth,
+			HopID:     h.ID,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// endpointPort resolves a hop endpoint into the PortRef visible inside the
+// terminal BiS-BiS: NF ports stay NF ports; SAP endpoints resolve to the
+// infra port that faces the SAP (via the static link).
+func endpointPort(g *nffg.NFFG, mp *Mapping, node nffg.ID, port string, isNF bool) (nffg.PortRef, error) {
+	if isNF {
+		return nffg.NFPort(node, port), nil
+	}
+	if _, isSAP := g.SAPs[node]; isSAP {
+		// Find the infra port the SAP's link lands on.
+		for _, l := range g.Links {
+			if l.SrcNode == node {
+				if _, ok := g.Infras[l.DstNode]; ok {
+					return nffg.InfraPort(l.DstPort), nil
+				}
+			}
+			if l.DstNode == node {
+				if _, ok := g.Infras[l.SrcNode]; ok {
+					return nffg.InfraPort(l.SrcPort), nil
+				}
+			}
+		}
+		return nffg.PortRef{}, fmt.Errorf("SAP %s has no infra uplink", node)
+	}
+	return nffg.InfraPort(port), nil
+}
+
+// linkPortOn returns the local port of a directed substrate link on the given
+// node; src selects the source side.
+func linkPortOn(g *nffg.NFFG, linkID string, node nffg.ID, src bool) (string, error) {
+	l := g.LinkByID(linkID)
+	if l == nil {
+		return "", fmt.Errorf("link %s not found", linkID)
+	}
+	if src {
+		if l.SrcNode != node {
+			return "", fmt.Errorf("link %s does not start at %s", linkID, node)
+		}
+		return l.SrcPort, nil
+	}
+	if l.DstNode != node {
+		return "", fmt.Errorf("link %s does not end at %s", linkID, node)
+	}
+	return l.DstPort, nil
+}
+
+func installRule(g *nffg.NFFG, node nffg.ID, f *nffg.Flowrule) error {
+	infra, ok := g.Infras[node]
+	if !ok {
+		return fmt.Errorf("embed: rule target %s is not an infra node", node)
+	}
+	for _, existing := range infra.Flowrules {
+		if existing.Match == f.Match {
+			return fmt.Errorf("%w: %s on %s collides with rule %s", ErrConflict, f.ID, node, existing.ID)
+		}
+	}
+	return g.AddFlowrule(node, f)
+}

@@ -1,0 +1,132 @@
+// Package netconf implements the NETCONF-style control channel of the
+// Mininet domain: RFC-4741-shaped XML RPCs (hello with capability exchange,
+// get-config, edit-config, named actions) framed with the classic "]]>]]>"
+// end-of-message delimiter over TCP.
+//
+// The configuration payload is opaque XML at this layer; the ESCAPE domain
+// adapter puts the nffg virtualizer rendering inside <config>/<data>, which
+// is exactly how the paper's Yang-modelled virtualizer travels.
+package netconf
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Delimiter terminates every NETCONF 1.0 frame.
+const Delimiter = "]]>]]>"
+
+// BaseCapability is always announced in hello.
+const BaseCapability = "urn:ietf:params:xml:ns:netconf:base:1.0"
+
+// maxFrame bounds one message (defensive).
+const maxFrame = 8 << 20
+
+// Errors of the framing and RPC layers.
+var (
+	ErrFrameTooLarge = errors.New("netconf: frame too large")
+	ErrClosed        = errors.New("netconf: session closed")
+	ErrRPC           = errors.New("netconf: rpc-error")
+)
+
+// WriteFrame sends one delimited frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, Delimiter)
+	return err
+}
+
+// ReadFrame reads bytes until the delimiter, returning the payload.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	var buf bytes.Buffer
+	delim := []byte(Delimiter)
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		buf.WriteByte(b)
+		if buf.Len() > maxFrame {
+			return nil, ErrFrameTooLarge
+		}
+		if buf.Len() >= len(delim) && bytes.Equal(buf.Bytes()[buf.Len()-len(delim):], delim) {
+			return bytes.TrimSpace(buf.Bytes()[:buf.Len()-len(delim)]), nil
+		}
+	}
+}
+
+// Hello is the session-open message.
+type Hello struct {
+	XMLName      xml.Name `xml:"hello"`
+	Capabilities []string `xml:"capabilities>capability"`
+	SessionID    uint64   `xml:"session-id,omitempty"`
+}
+
+// RPC is a request envelope. Exactly one operation field is set.
+type RPC struct {
+	XMLName   xml.Name `xml:"rpc"`
+	MessageID string   `xml:"message-id,attr"`
+
+	GetConfig  *GetConfig  `xml:"get-config,omitempty"`
+	EditConfig *EditConfig `xml:"edit-config,omitempty"`
+	Action     *Action     `xml:"action,omitempty"`
+	Close      *struct{}   `xml:"close-session,omitempty"`
+}
+
+// GetConfig requests the running datastore.
+type GetConfig struct {
+	Source string `xml:"source>datastore"`
+}
+
+// EditConfig replaces/merges configuration; Config carries opaque XML.
+type EditConfig struct {
+	Target string  `xml:"target>datastore"`
+	Config RawBody `xml:"config"`
+}
+
+// Action is a named custom operation (NF lifecycle on the Mininet domain:
+// "start-nf", "stop-nf", "connect-port", ...).
+type Action struct {
+	Name string  `xml:"name,attr"`
+	Body RawBody `xml:"body"`
+}
+
+// RawBody preserves inner XML verbatim.
+type RawBody struct {
+	Inner []byte `xml:",innerxml"`
+}
+
+// Reply is the response envelope.
+type Reply struct {
+	XMLName   xml.Name  `xml:"rpc-reply"`
+	MessageID string    `xml:"message-id,attr"`
+	OK        *struct{} `xml:"ok,omitempty"`
+	Data      *RawBody  `xml:"data,omitempty"`
+	Error     *RPCError `xml:"rpc-error,omitempty"`
+}
+
+// RPCError reports an operation failure.
+type RPCError struct {
+	Type    string `xml:"error-type"`
+	Tag     string `xml:"error-tag"`
+	Message string `xml:"error-message"`
+}
+
+func (e *RPCError) Error() string {
+	return fmt.Sprintf("netconf: rpc-error %s/%s: %s", e.Type, e.Tag, e.Message)
+}
+
+// marshalFrame encodes any message and writes it as one frame.
+func marshalFrame(w io.Writer, v any) error {
+	b, err := xml.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, b)
+}

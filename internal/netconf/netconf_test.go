@@ -1,0 +1,302 @@
+package netconf
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFramingRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := []string{"<a/>", "<b>text with ]]> almost-delimiter</b>", "<c></c>"}
+	for _, p := range payloads[:1] {
+		if err := WriteFrame(&buf, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	got, err := ReadFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payloads[0] {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFramingMultipleFrames(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteFrame(&buf, []byte(fmt.Sprintf("<m>%d</m>", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i := 0; i < 3; i++ {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("<m>%d</m>", i)
+		if string(got) != want {
+			t.Fatalf("frame %d: got %q want %q", i, got, want)
+		}
+	}
+}
+
+// Property: frames written then read return the payload (payloads must not
+// contain the delimiter — guaranteed for XML bodies).
+func TestFramingProperty(t *testing.T) {
+	f := func(s string) bool {
+		if strings.Contains(s, Delimiter) || len(s) > maxFrame/2 {
+			return true
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, []byte(s)); err != nil {
+			return false
+		}
+		got, err := ReadFrame(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		return string(got) == strings.TrimSpace(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// memDatastore is a test double recording edits and serving actions.
+type memDatastore struct {
+	mu      sync.Mutex
+	config  []byte
+	actions []string
+	failOn  string
+}
+
+func (m *memDatastore) GetConfig() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failOn == "get" {
+		return nil, errors.New("boom")
+	}
+	return m.config, nil
+}
+
+func (m *memDatastore) EditConfig(cfg []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failOn == "edit" {
+		return errors.New("rejected")
+	}
+	m.config = append([]byte(nil), cfg...)
+	return nil
+}
+
+func (m *memDatastore) Call(action string, body []byte) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failOn == action {
+		return nil, fmt.Errorf("action %s failed", action)
+	}
+	m.actions = append(m.actions, action)
+	if action == "echo" {
+		return body, nil
+	}
+	return nil, nil
+}
+
+func startServer(t *testing.T, ds Datastore) string {
+	t.Helper()
+	srv := NewServer(ds)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return addr
+}
+
+func TestHelloExchange(t *testing.T) {
+	addr := startServer(t, &memDatastore{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.SessionID == 0 {
+		t.Fatal("server must assign a session ID")
+	}
+	found := false
+	for _, cap := range c.ServerCapabilities {
+		if cap == "urn:unify:virtualizer:1.0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("server should announce the virtualizer capability: %v", c.ServerCapabilities)
+	}
+}
+
+func TestGetEditConfig(t *testing.T) {
+	ds := &memDatastore{config: []byte("<virtualizer id=\"d1\"/>")}
+	addr := startServer(t, ds)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	got, err := c.GetConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "virtualizer") {
+		t.Fatalf("get-config: %q", got)
+	}
+
+	newCfg := []byte("<virtualizer id=\"d1\"><nodes/></virtualizer>")
+	if err := c.EditConfig(newCfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.GetConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newCfg) {
+		t.Fatalf("edit-config not persisted: %q", got)
+	}
+}
+
+func TestActions(t *testing.T) {
+	ds := &memDatastore{}
+	addr := startServer(t, ds)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Call("start-nf", []byte("<nf>fw1</nf>")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.Call("echo", []byte("<x>42</x>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "<x>42</x>" {
+		t.Fatalf("echo: %q", data)
+	}
+	ds.mu.Lock()
+	acts := append([]string(nil), ds.actions...)
+	ds.mu.Unlock()
+	if len(acts) != 2 || acts[0] != "start-nf" {
+		t.Fatalf("actions recorded: %v", acts)
+	}
+}
+
+func TestRPCErrors(t *testing.T) {
+	ds := &memDatastore{failOn: "edit"}
+	addr := startServer(t, ds)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.EditConfig([]byte("<x/>"))
+	if !errors.Is(err, ErrRPC) {
+		t.Fatalf("edit failure should map to ErrRPC: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("error should carry server message: %v", err)
+	}
+}
+
+func TestActionError(t *testing.T) {
+	ds := &memDatastore{failOn: "stop-nf"}
+	addr := startServer(t, ds)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("stop-nf", nil); !errors.Is(err, ErrRPC) {
+		t.Fatalf("want ErrRPC, got %v", err)
+	}
+}
+
+func TestMultipleSequentialRPCs(t *testing.T) {
+	ds := &memDatastore{}
+	addr := startServer(t, ds)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		cfg := []byte(fmt.Sprintf("<v n=\"%d\"/>", i))
+		if err := c.EditConfig(cfg); err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+		got, err := c.GetConfig()
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, cfg) {
+			t.Fatalf("iteration %d: %q", i, got)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ds := &memDatastore{}
+	addr := startServer(t, ds)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				if _, err := c.Call("start-nf", nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ds.mu.Lock()
+	n := len(ds.actions)
+	ds.mu.Unlock()
+	if n != 80 {
+		t.Fatalf("want 80 actions, got %d", n)
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	addr := startServer(t, &memDatastore{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	if _, err := c.GetConfig(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed client should fail fast: %v", err)
+	}
+}

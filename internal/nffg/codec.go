@@ -1,0 +1,186 @@
+package nffg
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// wire is the serialized shape shared by the JSON and XML codecs: maps become
+// sorted lists so output is deterministic and diff-friendly — the property
+// the paper gets from its Yang model.
+type wire struct {
+	XMLName xml.Name       `json:"-" xml:"virtualizer"`
+	ID      string         `json:"id" xml:"id,attr"`
+	Name    string         `json:"name,omitempty" xml:"name,attr,omitempty"`
+	Version int            `json:"version" xml:"version,attr"`
+	Infras  []*Infra       `json:"infras,omitempty" xml:"nodes>infra,omitempty"`
+	NFs     []*NF          `json:"nfs,omitempty" xml:"nodes>nf,omitempty"`
+	SAPs    []*SAP         `json:"saps,omitempty" xml:"nodes>sap,omitempty"`
+	Links   []*Link        `json:"links,omitempty" xml:"links>link,omitempty"`
+	Hops    []*SGHop       `json:"sg_hops,omitempty" xml:"sg_hops>hop,omitempty"`
+	Reqs    []*Requirement `json:"requirements,omitempty" xml:"requirements>requirement,omitempty"`
+}
+
+func (g *NFFG) toWire() *wire {
+	w := &wire{ID: g.ID, Name: g.Name, Version: g.Version, Links: g.Links, Hops: g.Hops, Reqs: g.Reqs}
+	for _, id := range g.InfraIDs() {
+		w.Infras = append(w.Infras, g.Infras[id])
+	}
+	for _, id := range g.NFIDs() {
+		w.NFs = append(w.NFs, g.NFs[id])
+	}
+	for _, id := range g.SAPIDs() {
+		w.SAPs = append(w.SAPs, g.SAPs[id])
+	}
+	return w
+}
+
+func fromWire(w *wire) (*NFFG, error) {
+	g := New(w.ID)
+	g.Name = w.Name
+	g.Version = w.Version
+	for _, i := range w.Infras {
+		if err := g.AddInfra(i); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range w.NFs {
+		if err := g.AddNF(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range w.SAPs {
+		if err := g.AddSAP(s); err != nil {
+			return nil, err
+		}
+	}
+	g.Links = w.Links
+	g.Hops = w.Hops
+	g.Reqs = w.Reqs
+	return g, nil
+}
+
+// MarshalJSON encodes the graph deterministically.
+func (g *NFFG) MarshalJSON() ([]byte, error) { return json.Marshal(g.toWire()) }
+
+// UnmarshalJSON decodes a graph produced by MarshalJSON.
+func (g *NFFG) UnmarshalJSON(b []byte) error {
+	var w wire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	ng, err := fromWire(&w)
+	if err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}
+
+// EncodeJSON writes the graph as indented JSON.
+func (g *NFFG) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// DecodeJSON reads a graph from JSON.
+func DecodeJSON(r io.Reader) (*NFFG, error) {
+	g := New("")
+	if err := json.NewDecoder(r).Decode(g); err != nil {
+		return nil, fmt.Errorf("nffg: decode json: %w", err)
+	}
+	return g, nil
+}
+
+// EncodeXML writes the graph in the virtualizer XML rendering (the shape a
+// Yang-modelled NETCONF datastore would expose).
+func (g *NFFG) EncodeXML(w io.Writer) error {
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(g.toWire()); err != nil {
+		return err
+	}
+	return enc.Flush()
+}
+
+// MarshalXML makes NFFG usable directly as an xml.Marshaler field.
+func (g *NFFG) MarshalXML(e *xml.Encoder, _ xml.StartElement) error {
+	return e.Encode(g.toWire())
+}
+
+// DecodeXML reads a graph from the virtualizer XML rendering.
+func DecodeXML(r io.Reader) (*NFFG, error) {
+	var w wire
+	if err := xml.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("nffg: decode xml: %w", err)
+	}
+	return fromWire(&w)
+}
+
+// XMLString returns the XML rendering, for logging and NETCONF payloads.
+func (g *NFFG) XMLString() (string, error) {
+	var sb strings.Builder
+	if err := g.EncodeXML(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// Summary renders a compact single-line description, e.g.
+// "view[dov v3]: 4 BiSBiS, 3 NF (2 mapped), 2 SAP, 10 links, 4 hops".
+func (g *NFFG) Summary() string {
+	mapped := 0
+	for _, nf := range g.NFs {
+		if nf.Host != "" {
+			mapped++
+		}
+	}
+	return fmt.Sprintf("%s v%d: %d BiSBiS, %d NF (%d mapped), %d SAP, %d links, %d hops, %d reqs",
+		g.ID, g.Version, len(g.Infras), len(g.NFs), mapped, len(g.SAPs), len(g.Links), len(g.Hops), len(g.Reqs))
+}
+
+// Render draws an ASCII description of the graph: every BiS-BiS with its
+// resources, mapped NFs and flowtable, then links and hops. Deterministic
+// ordering makes it diffable in tests and demo transcripts.
+func (g *NFFG) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NFFG %s (version %d)\n", g.ID, g.Version)
+	for _, id := range g.InfraIDs() {
+		i := g.Infras[id]
+		avail, _ := g.AvailableResources(id)
+		fmt.Fprintf(&b, "  [BiSBiS %s] domain=%s type=%s cpu=%.0f/%.0f mem=%.0f/%.0f\n",
+			id, i.Domain, i.Type, avail.CPU, i.Capacity.CPU, avail.Mem, i.Capacity.Mem)
+		if len(i.Supported) > 0 {
+			fmt.Fprintf(&b, "    supports: %s\n", strings.Join(sortedStrings(i.Supported), ","))
+		}
+		for _, nf := range g.NFsOn(id) {
+			fmt.Fprintf(&b, "    NF %s (%s) status=%s\n", nf.ID, nf.FunctionalType, nf.Status)
+		}
+		for _, f := range i.Flowrules {
+			fmt.Fprintf(&b, "    rule %s: %s\n", f.ID, f.String())
+		}
+	}
+	for _, id := range g.SAPIDs() {
+		fmt.Fprintf(&b, "  [SAP %s]\n", id)
+	}
+	for _, l := range g.Links {
+		fmt.Fprintf(&b, "  link %s: %s.%s -> %s.%s bw=%.0f delay=%.1f\n",
+			l.ID, l.SrcNode, l.SrcPort, l.DstNode, l.DstPort, l.Bandwidth, l.Delay)
+	}
+	for _, h := range g.Hops {
+		fmt.Fprintf(&b, "  hop %s: %s.%s -> %s.%s bw=%.0f delay<=%.1f\n",
+			h.ID, h.SrcNode, h.SrcPort, h.DstNode, h.DstPort, h.Bandwidth, h.Delay)
+	}
+	return b.String()
+}
+
+func sortedStrings(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}

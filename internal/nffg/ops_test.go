@@ -1,0 +1,197 @@
+package nffg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// substrate returns a 3-BiSBiS line usable as both "old" and "new" sides of
+// a diff.
+func substrate() *NFFG {
+	return NewBuilder("sub").
+		BiSBiS("a", "d", 4, Resources{CPU: 8, Mem: 8192, Storage: 100}, "fw", "dpi", "nat").
+		BiSBiS("b", "d", 4, Resources{CPU: 8, Mem: 8192, Storage: 100}, "fw", "dpi", "nat").
+		BiSBiS("c", "d", 4, Resources{CPU: 8, Mem: 8192, Storage: 100}, "fw", "dpi", "nat").
+		Link("ab", "a", "2", "b", "1", 1000, 1).
+		Link("bc", "b", "2", "c", "1", 1000, 1).
+		MustBuild()
+}
+
+func TestDiffEmpty(t *testing.T) {
+	a := substrate()
+	d, err := Diff(a, a.Copy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("identical graphs must diff empty: %+v", d)
+	}
+}
+
+func TestDiffAddNFAndRules(t *testing.T) {
+	oldG := substrate()
+	newG := oldG.Copy()
+	newG.NFs["fw1"] = &NF{ID: "fw1", FunctionalType: "fw", Ports: []*Port{{ID: "1"}, {ID: "2"}}, Demand: Resources{CPU: 1}, Host: "a", Status: StatusMapped}
+	if err := newG.AddFlowrule("a", &Flowrule{ID: "r1", Match: Match{InPort: InfraPort("1"), Tag: "c"}, Action: Action{Output: NFPort("fw1", "1")}, HopID: "h1"}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(oldG, newG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, dn, ar, dr := d.Counts()
+	if an != 1 || dn != 0 || ar != 1 || dr != 0 {
+		t.Fatalf("unexpected delta counts: %d %d %d %d", an, dn, ar, dr)
+	}
+	// Applying to old must converge to new.
+	if err := oldG.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Diff(oldG, newG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Empty() {
+		t.Fatalf("apply(diff) must converge, residual: %+v", d2)
+	}
+}
+
+func TestDiffMigration(t *testing.T) {
+	oldG := substrate()
+	oldG.NFs["nf"] = &NF{ID: "nf", FunctionalType: "fw", Ports: []*Port{{ID: "1"}}, Host: "a", Status: StatusDeployed}
+	newG := oldG.Copy()
+	newG.NFs["nf"].Host = "b"
+	d, err := Diff(oldG, newG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, dn, _, _ := d.Counts()
+	if an != 1 || dn != 1 {
+		t.Fatalf("migration should be del+add, got add=%d del=%d", an, dn)
+	}
+	if err := oldG.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if oldG.NFs["nf"].Host != "b" {
+		t.Fatalf("NF should land on b, got %s", oldG.NFs["nf"].Host)
+	}
+}
+
+func TestDiffRuleRewrite(t *testing.T) {
+	oldG := substrate()
+	_ = oldG.AddFlowrule("a", &Flowrule{ID: "r", Match: Match{InPort: InfraPort("1")}, Action: Action{Output: InfraPort("2")}})
+	newG := oldG.Copy()
+	newG.Infras["a"].Flowrules[0].Action.Output = InfraPort("3")
+	d, err := Diff(oldG, newG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ar, dr := d.Counts()
+	if ar != 1 || dr != 1 {
+		t.Fatalf("rewrite should be del+add of same match, got add=%d del=%d", ar, dr)
+	}
+	if err := oldG.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if len(oldG.Infras["a"].Flowrules) != 1 || oldG.Infras["a"].Flowrules[0].Action.Output != InfraPort("3") {
+		t.Fatalf("rule not rewritten: %v", oldG.Infras["a"].Flowrules[0])
+	}
+}
+
+func TestDiffTopologyMismatch(t *testing.T) {
+	a := substrate()
+	b := substrate()
+	_ = b.AddInfra(&Infra{ID: "extra"})
+	if _, err := Diff(a, b); err == nil {
+		t.Fatal("infra set mismatch must fail")
+	}
+	if _, err := Diff(b, a); err == nil {
+		t.Fatal("infra set mismatch must fail (reverse)")
+	}
+}
+
+func TestDeltaRemoveNF(t *testing.T) {
+	oldG := substrate()
+	oldG.NFs["nf"] = &NF{ID: "nf", FunctionalType: "fw", Ports: []*Port{{ID: "1"}}, Host: "a", Status: StatusDeployed}
+	newG := oldG.Copy()
+	newG.NFs["nf"].Host = ""
+	d, err := Diff(oldG, newG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.DelNFs) != 1 || d.DelNFs[0] != "nf" {
+		t.Fatalf("want DelNFs [nf], got %v", d.DelNFs)
+	}
+	if err := oldG.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if oldG.NFs["nf"].Host != "" || oldG.NFs["nf"].Status != StatusStopped {
+		t.Fatalf("NF should be unmapped+stopped: %+v", oldG.NFs["nf"])
+	}
+}
+
+// randomConfig derives a random "configured" version of the substrate:
+// random NF placements and random flowrules.
+func randomConfig(rng *rand.Rand, base *NFFG) *NFFG {
+	g := base.Copy()
+	hosts := g.InfraIDs()
+	nNF := rng.Intn(4)
+	for i := 0; i < nNF; i++ {
+		id := ID(fmt.Sprintf("nf%d", i))
+		host := hosts[rng.Intn(len(hosts))]
+		g.NFs[id] = &NF{ID: id, FunctionalType: "fw", Ports: []*Port{{ID: "1"}, {ID: "2"}}, Demand: Resources{CPU: 1}, Host: host, Status: StatusMapped}
+	}
+	nRules := rng.Intn(5)
+	for i := 0; i < nRules; i++ {
+		host := hosts[rng.Intn(len(hosts))]
+		inP := fmt.Sprint(1 + rng.Intn(4))
+		outP := fmt.Sprint(1 + rng.Intn(4))
+		_ = g.AddFlowrule(host, &Flowrule{
+			ID:     fmt.Sprintf("r%d", i),
+			Match:  Match{InPort: InfraPort(inP), Tag: fmt.Sprintf("t%d", rng.Intn(3))},
+			Action: Action{Output: InfraPort(outP)},
+		})
+	}
+	return g
+}
+
+// Property: for arbitrary old/new configurations over the same substrate,
+// Apply(Diff(old,new), old) converges (the residual diff is empty).
+func TestDiffApplyConvergenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := substrate()
+		oldG := randomConfig(rng, base)
+		newG := randomConfig(rng, base)
+		d, err := Diff(oldG, newG)
+		if err != nil {
+			return false
+		}
+		if err := oldG.Apply(d); err != nil {
+			return false
+		}
+		d2, err := Diff(oldG, newG)
+		if err != nil {
+			return false
+		}
+		return d2.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Diff of a graph against itself is empty even after Copy.
+func TestDiffSelfProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConfig(rng, substrate())
+		d, err := Diff(g, g.Copy())
+		return err == nil && d.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,279 @@
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNoDatapath is returned for operations on unknown switches.
+var ErrNoDatapath = errors.New("openflow: unknown datapath")
+
+// ErrTimeout is returned when a request/reply exchange expires.
+var ErrTimeout = errors.New("openflow: request timed out")
+
+// Datapath is a connected switch from the controller's perspective.
+type Datapath struct {
+	ID    string
+	Ports []uint16
+
+	conn    *Conn
+	pending sync.Map // xid -> chan *Message
+}
+
+// Controller is the controller-side library (the role POX plays in the
+// paper's legacy-SDN domain): it accepts switch connections, handshakes, and
+// offers synchronous flow programming and statistics collection.
+type Controller struct {
+	ln     net.Listener
+	xid    atomic.Uint32
+	closed atomic.Bool
+
+	mu  sync.Mutex
+	dps map[string]*Datapath
+	// waiters signalled when a datapath completes its handshake.
+	waiters []chan string
+
+	// OnPacketIn, when set, receives table-miss notifications.
+	OnPacketIn func(dpid string, pi *PacketIn)
+}
+
+// NewController returns an unstarted controller.
+func NewController() *Controller {
+	return &Controller{dps: map[string]*Datapath{}}
+}
+
+// Listen binds the controller to addr ("127.0.0.1:0" for ephemeral) and
+// starts accepting switches. It returns the bound address.
+func (c *Controller) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("openflow: controller listen: %w", err)
+	}
+	c.ln = ln
+	go c.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the controller and all sessions.
+func (c *Controller) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	if c.ln != nil {
+		_ = c.ln.Close()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, dp := range c.dps {
+		_ = dp.conn.Close()
+	}
+}
+
+// Datapaths lists connected switch IDs, sorted.
+func (c *Controller) Datapaths() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.dps))
+	for id := range c.dps {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Datapath returns the ports of a connected switch.
+func (c *Controller) Datapath(id string) (*Datapath, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dp, ok := c.dps[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDatapath, id)
+	}
+	return dp, nil
+}
+
+// WaitForSwitches blocks until n switches have completed their handshake or
+// the timeout elapses.
+func (c *Controller) WaitForSwitches(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		have := len(c.dps)
+		var ch chan string
+		if have < n {
+			ch = make(chan string, 1)
+			c.waiters = append(c.waiters, ch)
+		}
+		c.mu.Unlock()
+		if have >= n {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-time.After(time.Until(deadline)):
+			return fmt.Errorf("%w: %d/%d switches after %v", ErrTimeout, have, n, timeout)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: waiting for %d switches", ErrTimeout, n)
+		}
+	}
+}
+
+// FlowMod sends a flow modification and waits for a barrier, guaranteeing
+// the rule is applied when it returns.
+func (c *Controller) FlowMod(dpid string, fm *FlowMod) error {
+	dp, err := c.Datapath(dpid)
+	if err != nil {
+		return err
+	}
+	if err := dp.conn.Write(fm.Marshal(c.xid.Add(1))); err != nil {
+		return err
+	}
+	_, err = c.request(dp, &Message{Type: TypeBarrierRequest}, TypeBarrierReply)
+	return err
+}
+
+// Stats fetches port and flow counters from a switch.
+func (c *Controller) Stats(dpid string) (*StatsReply, error) {
+	dp, err := c.Datapath(dpid)
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.request(dp, &Message{Type: TypeStatsRequest}, TypeStatsReply)
+	if err != nil {
+		return nil, err
+	}
+	return ParseStatsReply(m)
+}
+
+// PacketOut injects a packet at a switch port.
+func (c *Controller) PacketOut(dpid string, po *PacketOut) error {
+	dp, err := c.Datapath(dpid)
+	if err != nil {
+		return err
+	}
+	return dp.conn.Write(po.Marshal(c.xid.Add(1)))
+}
+
+// Echo round-trips an echo request (liveness probe).
+func (c *Controller) Echo(dpid string) error {
+	dp, err := c.Datapath(dpid)
+	if err != nil {
+		return err
+	}
+	_, err = c.request(dp, &Message{Type: TypeEchoRequest}, TypeEchoReply)
+	return err
+}
+
+func (c *Controller) request(dp *Datapath, m *Message, want MsgType) (*Message, error) {
+	xid := c.xid.Add(1)
+	m.XID = xid
+	ch := make(chan *Message, 1)
+	dp.pending.Store(xid, ch)
+	defer dp.pending.Delete(xid)
+	if err := dp.conn.Write(m); err != nil {
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		if reply.Type == TypeError {
+			e, _ := ParseError(reply)
+			return nil, fmt.Errorf("openflow: peer error %d: %s", e.Code, e.Reason)
+		}
+		if reply.Type != want {
+			return nil, fmt.Errorf("%w: got %s want %s", ErrBadType, reply.Type, want)
+		}
+		return reply, nil
+	case <-time.After(5 * time.Second):
+		return nil, ErrTimeout
+	}
+}
+
+func (c *Controller) acceptLoop() {
+	for {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go c.serve(NewConn(nc))
+	}
+}
+
+func (c *Controller) serve(conn *Conn) {
+	// Handshake: expect hello, send hello + features request.
+	m, err := conn.Read()
+	if err != nil || m.Type != TypeHello {
+		_ = conn.Close()
+		return
+	}
+	if err := conn.Write(&Message{Type: TypeHello, XID: c.xid.Add(1)}); err != nil {
+		_ = conn.Close()
+		return
+	}
+	frXID := c.xid.Add(1)
+	if err := conn.Write(&Message{Type: TypeFeaturesRequest, XID: frXID}); err != nil {
+		_ = conn.Close()
+		return
+	}
+	var dp *Datapath
+	for {
+		m, err := conn.Read()
+		if err != nil {
+			if dp != nil {
+				c.mu.Lock()
+				delete(c.dps, dp.ID)
+				c.mu.Unlock()
+			} else {
+				_ = conn.Close()
+			}
+			return
+		}
+		if dp == nil {
+			if m.Type != TypeFeaturesReply {
+				continue
+			}
+			fr, err := ParseFeaturesReply(m)
+			if err != nil {
+				_ = conn.Close()
+				return
+			}
+			dp = &Datapath{ID: fr.DatapathID, Ports: fr.Ports, conn: conn}
+			c.mu.Lock()
+			c.dps[dp.ID] = dp
+			ws := c.waiters
+			c.waiters = nil
+			c.mu.Unlock()
+			for _, w := range ws {
+				select {
+				case w <- dp.ID:
+				default:
+				}
+			}
+			continue
+		}
+		if ch, ok := dp.pending.Load(m.XID); ok {
+			ch.(chan *Message) <- m
+			continue
+		}
+		switch m.Type {
+		case TypePacketIn:
+			if c.OnPacketIn != nil {
+				pi, err := ParsePacketIn(m)
+				if err == nil {
+					c.OnPacketIn(dp.ID, pi)
+				}
+			}
+		case TypeEchoRequest:
+			_ = conn.Write(&Message{Type: TypeEchoReply, XID: m.XID, Body: m.Body})
+		case TypeError:
+			e, _ := ParseError(m)
+			log.Printf("openflow controller: async error from %s: %d %s", dp.ID, e.Code, e.Reason)
+		}
+	}
+}

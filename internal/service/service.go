@@ -1,0 +1,298 @@
+// Package service implements the paper's service layer: where users define
+// service requests (service graphs with bandwidth/delay constraints between
+// arbitrary elements) and a service orchestrator maps them onto the
+// virtualization view exposed by the layer below.
+//
+// When that view is a single BiS-BiS node the orchestration task is trivial
+// and all resource management is delegated downward — exactly the
+// delegation-vs-control dial the paper demonstrates.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/unify-repro/escape/internal/embed"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+// State is the lifecycle of a service request.
+type State string
+
+// Request states.
+const (
+	StateReceived State = "received"
+	StateMapped   State = "mapped"
+	StateDeployed State = "deployed"
+	StateFailed   State = "failed"
+	StateRemoved  State = "removed"
+)
+
+// Errors of the service layer.
+var (
+	ErrDuplicate = errors.New("service: duplicate request ID")
+	ErrUnknown   = errors.New("service: unknown request")
+	ErrInvalid   = errors.New("service: invalid service graph")
+)
+
+// Request tracks one submitted service.
+type Request struct {
+	ID    string
+	Graph *nffg.NFFG
+	State State
+	// Error holds the failure reason when State == StateFailed.
+	Error string
+	// Receipt is the deployment record from the layer below.
+	Receipt *unify.Receipt
+	// Submitted/Finished are wall-clock bounds of the deployment.
+	Submitted time.Time
+	Finished  time.Time
+}
+
+// Orchestrator is the service orchestrator: it owns the user-facing request
+// book and talks to one southbound Unify layer.
+type Orchestrator struct {
+	south  unify.Layer
+	mapper *embed.Mapper
+
+	mu       sync.Mutex
+	requests map[string]*Request
+}
+
+// NewOrchestrator builds a service layer on top of a Unify layer. mapper
+// selects how requests are pre-mapped onto multi-node views (nil = default
+// greedy mapper).
+func NewOrchestrator(south unify.Layer, mapper *embed.Mapper) *Orchestrator {
+	if mapper == nil {
+		mapper = embed.NewDefault()
+	}
+	return &Orchestrator{south: south, mapper: mapper, requests: map[string]*Request{}}
+}
+
+// View exposes the southbound virtualization view (what the GUI shows).
+func (o *Orchestrator) View() (*nffg.NFFG, error) { return o.south.View() }
+
+// Submit validates, maps and deploys a service graph. On success the request
+// is StateDeployed; on failure it is recorded as StateFailed and the error
+// returned.
+func (o *Orchestrator) Submit(g *nffg.NFFG) (*Request, error) {
+	if g.ID == "" {
+		return nil, fmt.Errorf("%w: request needs an ID", ErrInvalid)
+	}
+	o.mu.Lock()
+	if _, dup := o.requests[g.ID]; dup {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, g.ID)
+	}
+	req := &Request{ID: g.ID, Graph: g.Copy(), State: StateReceived, Submitted: time.Now()}
+	o.requests[g.ID] = req
+	o.mu.Unlock()
+
+	fail := func(err error) (*Request, error) {
+		o.mu.Lock()
+		req.State = StateFailed
+		req.Error = err.Error()
+		req.Finished = time.Now()
+		o.mu.Unlock()
+		return req, err
+	}
+
+	if err := validateServiceGraph(g); err != nil {
+		return fail(err)
+	}
+	view, err := o.south.View()
+	if err != nil {
+		return fail(fmt.Errorf("service: fetching view: %w", err))
+	}
+	pinned, err := o.premap(view, g)
+	if err != nil {
+		return fail(err)
+	}
+	o.mu.Lock()
+	req.State = StateMapped
+	o.mu.Unlock()
+
+	receipt, err := o.south.Install(pinned)
+	if err != nil {
+		return fail(err)
+	}
+	o.mu.Lock()
+	req.State = StateDeployed
+	req.Receipt = receipt
+	req.Finished = time.Now()
+	o.mu.Unlock()
+	return req, nil
+}
+
+// premap decides NF pins against the view. Single-node views delegate
+// everything; multi-node views run the embedding locally and pin NFs to the
+// chosen view nodes (the service orchestrator's "mapping the service request
+// to the virtualizer").
+func (o *Orchestrator) premap(view, g *nffg.NFFG) (*nffg.NFFG, error) {
+	out := g.Copy()
+	// SAPs referenced by the service graph must exist in the view.
+	for _, id := range g.SAPIDs() {
+		if _, ok := view.SAPs[id]; !ok {
+			return nil, fmt.Errorf("%w: SAP %s not present in the view", ErrInvalid, id)
+		}
+	}
+	if len(view.Infras) == 1 {
+		var node nffg.ID
+		for id := range view.Infras {
+			node = id
+		}
+		for _, id := range out.NFIDs() {
+			if out.NFs[id].Host == "" {
+				out.NFs[id].Host = node
+			}
+		}
+		return out, nil
+	}
+	mp, err := o.mapper.Map(view, out)
+	if err != nil {
+		return nil, fmt.Errorf("service: pre-mapping on view: %w", err)
+	}
+	// Decomposition during pre-mapping is the lower layer's business; we map
+	// the original graph only for placement hints, so only pin NFs that
+	// exist in the original request.
+	for nf, host := range mp.NFHost {
+		if n, ok := out.NFs[nf]; ok {
+			n.Host = host
+		}
+	}
+	return out, nil
+}
+
+// Migrate moves a deployed service's NFs to new placements (the paper's
+// "migration between technologies": e.g. a Click-hosted firewall re-homed
+// onto the Universal Node). pins maps NF IDs to new view-node hosts; NFs not
+// listed keep their previous pin (if any). The operation is remove +
+// redeploy; on redeploy failure the original request is restored best-effort.
+func (o *Orchestrator) Migrate(id string, pins map[nffg.ID]nffg.ID) (*Request, error) {
+	o.mu.Lock()
+	req, ok := o.requests[id]
+	if !ok {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknown, id)
+	}
+	if req.State != StateDeployed {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("%w: service %s is %s, not deployed", ErrInvalid, id, req.State)
+	}
+	original := req.Graph.Copy()
+	o.mu.Unlock()
+
+	moved := original.Copy()
+	for nf, host := range pins {
+		n, ok := moved.NFs[nf]
+		if !ok {
+			return nil, fmt.Errorf("%w: NF %s not in service %s", ErrInvalid, nf, id)
+		}
+		n.Host = host
+	}
+	if err := o.south.Remove(id); err != nil && !errors.Is(err, unify.ErrUnknownService) {
+		return nil, err
+	}
+	o.mu.Lock()
+	delete(o.requests, id)
+	o.mu.Unlock()
+	migrated, err := o.Submit(moved)
+	if err != nil {
+		// Roll back to the original placement.
+		o.mu.Lock()
+		delete(o.requests, id)
+		o.mu.Unlock()
+		if restored, rerr := o.Submit(original); rerr == nil {
+			return restored, fmt.Errorf("service: migration failed (%v); original restored", err)
+		}
+		return nil, fmt.Errorf("service: migration failed and restore failed: %w", err)
+	}
+	return migrated, nil
+}
+
+// Remove tears a deployed service down.
+func (o *Orchestrator) Remove(id string) error {
+	o.mu.Lock()
+	req, ok := o.requests[id]
+	if !ok {
+		o.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknown, id)
+	}
+	state := req.State
+	o.mu.Unlock()
+	if state == StateDeployed {
+		if err := o.south.Remove(id); err != nil && !errors.Is(err, unify.ErrUnknownService) {
+			return err
+		}
+	}
+	o.mu.Lock()
+	req.State = StateRemoved
+	o.mu.Unlock()
+	return nil
+}
+
+// Get returns a request by ID.
+func (o *Orchestrator) Get(id string) (*Request, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	req, ok := o.requests[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknown, id)
+	}
+	cp := *req
+	return &cp, nil
+}
+
+// List returns all requests sorted by ID.
+func (o *Orchestrator) List() []*Request {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Request, 0, len(o.requests))
+	for _, r := range o.requests {
+		cp := *r
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats summarizes the request book per state.
+func (o *Orchestrator) Stats() map[State]int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := map[State]int{}
+	for _, r := range o.requests {
+		out[r.State]++
+	}
+	return out
+}
+
+// validateServiceGraph checks that a request is a pure service graph: NFs +
+// SAPs + hops + requirements, no infrastructure.
+func validateServiceGraph(g *nffg.NFFG) error {
+	if len(g.Infras) != 0 {
+		return fmt.Errorf("%w: service graphs must not contain infrastructure nodes", ErrInvalid)
+	}
+	if len(g.Hops) == 0 {
+		return fmt.Errorf("%w: service graph has no hops", ErrInvalid)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	// Every NF must be reachable by some hop (no orphans).
+	touched := map[nffg.ID]bool{}
+	for _, h := range g.Hops {
+		touched[h.SrcNode] = true
+		touched[h.DstNode] = true
+	}
+	for _, id := range g.NFIDs() {
+		if !touched[id] {
+			return fmt.Errorf("%w: NF %s is not part of any chain", ErrInvalid, id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+// Package topo provides the weighted directed multigraph that underlies
+// resource views, domain topologies and the embedding algorithms.
+//
+// The graph is deliberately small and deterministic: nodes and links are
+// identified by string IDs, all iteration orders are sorted, and every
+// mutation is O(log n) or better. Links are directed; bidirectional physical
+// links are added as two directed links sharing a base ID (see AddDuplexLink).
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node in the graph.
+type NodeID string
+
+// LinkID identifies a directed link in the graph. IDs are unique per graph;
+// multiple links may connect the same node pair (multigraph).
+type LinkID string
+
+// Link is a directed, capacitated edge.
+type Link struct {
+	ID        LinkID
+	Src, Dst  NodeID
+	Bandwidth float64 // available bandwidth, arbitrary units (e.g. Mbit/s)
+	Delay     float64 // propagation delay, arbitrary units (e.g. ms)
+	Cost      float64 // administrative cost used when Metric is MetricCost
+}
+
+// Errors returned by graph mutations and queries.
+var (
+	ErrNodeExists   = errors.New("topo: node already exists")
+	ErrNodeNotFound = errors.New("topo: node not found")
+	ErrLinkExists   = errors.New("topo: link already exists")
+	ErrLinkNotFound = errors.New("topo: link not found")
+	ErrNoPath       = errors.New("topo: no feasible path")
+)
+
+// Graph is a directed multigraph. The zero value is not usable; call New.
+type Graph struct {
+	nodes map[NodeID]struct{}
+	links map[LinkID]Link
+	// out maps a node to the IDs of links leaving it.
+	out map[NodeID][]LinkID
+	// in maps a node to the IDs of links entering it.
+	in map[NodeID][]LinkID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[NodeID]struct{}),
+		links: make(map[LinkID]Link),
+		out:   make(map[NodeID][]LinkID),
+		in:    make(map[NodeID][]LinkID),
+	}
+}
+
+// AddNode inserts a node. It fails if the node already exists.
+func (g *Graph) AddNode(id NodeID) error {
+	if _, ok := g.nodes[id]; ok {
+		return fmt.Errorf("%w: %s", ErrNodeExists, id)
+	}
+	g.nodes[id] = struct{}{}
+	return nil
+}
+
+// EnsureNode inserts a node if absent.
+func (g *Graph) EnsureNode(id NodeID) {
+	g.nodes[id] = struct{}{}
+}
+
+// HasNode reports whether the node exists.
+func (g *Graph) HasNode(id NodeID) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// RemoveNode deletes a node and every link touching it.
+func (g *Graph) RemoveNode(id NodeID) error {
+	if !g.HasNode(id) {
+		return fmt.Errorf("%w: %s", ErrNodeNotFound, id)
+	}
+	for _, lid := range append(append([]LinkID{}, g.out[id]...), g.in[id]...) {
+		// RemoveLink is idempotent-safe here because a self-loop appears in
+		// both out and in; ignore the not-found on the second removal.
+		_ = g.RemoveLink(lid)
+	}
+	delete(g.nodes, id)
+	delete(g.out, id)
+	delete(g.in, id)
+	return nil
+}
+
+// AddLink inserts a directed link. Both endpoints must exist.
+func (g *Graph) AddLink(l Link) error {
+	if _, ok := g.links[l.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrLinkExists, l.ID)
+	}
+	if !g.HasNode(l.Src) {
+		return fmt.Errorf("%w: src %s", ErrNodeNotFound, l.Src)
+	}
+	if !g.HasNode(l.Dst) {
+		return fmt.Errorf("%w: dst %s", ErrNodeNotFound, l.Dst)
+	}
+	g.links[l.ID] = l
+	g.out[l.Src] = insertSorted(g.out[l.Src], l.ID)
+	g.in[l.Dst] = insertSorted(g.in[l.Dst], l.ID)
+	return nil
+}
+
+// AddDuplexLink inserts a bidirectional link as two directed links with IDs
+// "<id>/fwd" and "<id>/rev" sharing the given capacity and delay.
+func (g *Graph) AddDuplexLink(id LinkID, a, b NodeID, bandwidth, delay, cost float64) error {
+	fwd := Link{ID: id + "/fwd", Src: a, Dst: b, Bandwidth: bandwidth, Delay: delay, Cost: cost}
+	rev := Link{ID: id + "/rev", Src: b, Dst: a, Bandwidth: bandwidth, Delay: delay, Cost: cost}
+	if err := g.AddLink(fwd); err != nil {
+		return err
+	}
+	if err := g.AddLink(rev); err != nil {
+		_ = g.RemoveLink(fwd.ID)
+		return err
+	}
+	return nil
+}
+
+// ReverseOf returns the LinkID of the opposite direction for a duplex link
+// created by AddDuplexLink, and whether the input follows that convention.
+func ReverseOf(id LinkID) (LinkID, bool) {
+	s := string(id)
+	switch {
+	case len(s) > 4 && s[len(s)-4:] == "/fwd":
+		return LinkID(s[:len(s)-4] + "/rev"), true
+	case len(s) > 4 && s[len(s)-4:] == "/rev":
+		return LinkID(s[:len(s)-4] + "/fwd"), true
+	}
+	return "", false
+}
+
+// RemoveLink deletes a link by ID.
+func (g *Graph) RemoveLink(id LinkID) error {
+	l, ok := g.links[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrLinkNotFound, id)
+	}
+	delete(g.links, id)
+	g.out[l.Src] = removeSorted(g.out[l.Src], id)
+	g.in[l.Dst] = removeSorted(g.in[l.Dst], id)
+	return nil
+}
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) (Link, error) {
+	l, ok := g.links[id]
+	if !ok {
+		return Link{}, fmt.Errorf("%w: %s", ErrLinkNotFound, id)
+	}
+	return l, nil
+}
+
+// SetLinkBandwidth updates the available bandwidth of a link in place.
+func (g *Graph) SetLinkBandwidth(id LinkID, bw float64) error {
+	l, ok := g.links[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrLinkNotFound, id)
+	}
+	l.Bandwidth = bw
+	g.links[id] = l
+	return nil
+}
+
+// AdjustLinkBandwidth adds delta (may be negative) to the available bandwidth
+// of a link. It fails if the result would be negative.
+func (g *Graph) AdjustLinkBandwidth(id LinkID, delta float64) error {
+	l, ok := g.links[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrLinkNotFound, id)
+	}
+	if l.Bandwidth+delta < 0 {
+		return fmt.Errorf("topo: link %s bandwidth would become negative (%g%+g)", id, l.Bandwidth, delta)
+	}
+	l.Bandwidth += delta
+	g.links[id] = l
+	return nil
+}
+
+// Nodes returns all node IDs in sorted order.
+func (g *Graph) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Links returns all links sorted by ID.
+func (g *Graph) Links() []Link {
+	out := make([]Link, 0, len(g.links))
+	for _, l := range g.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Out returns the links leaving a node, sorted by link ID.
+func (g *Graph) Out(id NodeID) []Link {
+	ids := g.out[id]
+	out := make([]Link, 0, len(ids))
+	for _, lid := range ids {
+		out = append(out, g.links[lid])
+	}
+	return out
+}
+
+// In returns the links entering a node, sorted by link ID.
+func (g *Graph) In(id NodeID) []Link {
+	ids := g.in[id]
+	out := make([]Link, 0, len(ids))
+	for _, lid := range ids {
+		out = append(out, g.links[lid])
+	}
+	return out
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the directed link count.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for id := range g.nodes {
+		c.nodes[id] = struct{}{}
+	}
+	for id, l := range g.links {
+		c.links[id] = l
+	}
+	for n, ids := range g.out {
+		c.out[n] = append([]LinkID(nil), ids...)
+	}
+	for n, ids := range g.in {
+		c.in[n] = append([]LinkID(nil), ids...)
+	}
+	return c
+}
+
+// Components returns the weakly connected components, each sorted, the list
+// sorted by its first element.
+func (g *Graph) Components() [][]NodeID {
+	seen := make(map[NodeID]bool, len(g.nodes))
+	var comps [][]NodeID
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []NodeID
+		queue := []NodeID{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			comp = append(comp, n)
+			for _, l := range g.Out(n) {
+				if !seen[l.Dst] {
+					seen[l.Dst] = true
+					queue = append(queue, l.Dst)
+				}
+			}
+			for _, l := range g.In(n) {
+				if !seen[l.Src] {
+					seen[l.Src] = true
+					queue = append(queue, l.Src)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// Connected reports whether dst is reachable from src following directed links.
+func (g *Graph) Connected(src, dst NodeID) bool {
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return false
+	}
+	if src == dst {
+		return true
+	}
+	seen := map[NodeID]bool{src: true}
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, l := range g.Out(n) {
+			if l.Dst == dst {
+				return true
+			}
+			if !seen[l.Dst] {
+				seen[l.Dst] = true
+				queue = append(queue, l.Dst)
+			}
+		}
+	}
+	return false
+}
+
+func insertSorted(s []LinkID, id LinkID) []LinkID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+func removeSorted(s []LinkID, id LinkID) []LinkID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}

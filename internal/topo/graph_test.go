@@ -1,0 +1,238 @@
+package topo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func lineGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(NodeID(string(rune('a' + i))))
+	}
+	for i := 0; i < n-1; i++ {
+		a := NodeID(string(rune('a' + i)))
+		b := NodeID(string(rune('a' + i + 1)))
+		mustAdd(t, g.AddDuplexLink(LinkID("l"+string(rune('0'+i))), a, b, 100, 1, 1))
+	}
+	return g
+}
+
+func TestAddRemoveNode(t *testing.T) {
+	g := New()
+	mustAdd(t, g.AddNode("a"))
+	if err := g.AddNode("a"); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("want ErrNodeExists, got %v", err)
+	}
+	if !g.HasNode("a") {
+		t.Fatal("node a should exist")
+	}
+	mustAdd(t, g.RemoveNode("a"))
+	if g.HasNode("a") {
+		t.Fatal("node a should be gone")
+	}
+	if err := g.RemoveNode("a"); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("want ErrNodeNotFound, got %v", err)
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	g := New()
+	g.EnsureNode("a")
+	err := g.AddLink(Link{ID: "l1", Src: "a", Dst: "missing"})
+	if !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("want ErrNodeNotFound, got %v", err)
+	}
+	err = g.AddLink(Link{ID: "l1", Src: "missing", Dst: "a"})
+	if !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("want ErrNodeNotFound, got %v", err)
+	}
+	g.EnsureNode("b")
+	mustAdd(t, g.AddLink(Link{ID: "l1", Src: "a", Dst: "b"}))
+	if err := g.AddLink(Link{ID: "l1", Src: "a", Dst: "b"}); !errors.Is(err, ErrLinkExists) {
+		t.Fatalf("want ErrLinkExists, got %v", err)
+	}
+}
+
+func TestRemoveNodeCascades(t *testing.T) {
+	g := lineGraph(t, 3)
+	if g.NumLinks() != 4 {
+		t.Fatalf("want 4 directed links, got %d", g.NumLinks())
+	}
+	mustAdd(t, g.RemoveNode("b"))
+	if g.NumLinks() != 0 {
+		t.Fatalf("links touching b should be gone, got %d", g.NumLinks())
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("want 2 nodes, got %d", g.NumNodes())
+	}
+}
+
+func TestSelfLoopRemove(t *testing.T) {
+	g := New()
+	g.EnsureNode("a")
+	mustAdd(t, g.AddLink(Link{ID: "loop", Src: "a", Dst: "a"}))
+	mustAdd(t, g.RemoveNode("a"))
+	if g.NumLinks() != 0 || g.NumNodes() != 0 {
+		t.Fatal("self loop removal failed")
+	}
+}
+
+func TestDuplexLink(t *testing.T) {
+	g := New()
+	g.EnsureNode("a")
+	g.EnsureNode("b")
+	mustAdd(t, g.AddDuplexLink("ab", "a", "b", 10, 2, 1))
+	if g.NumLinks() != 2 {
+		t.Fatalf("want 2 links, got %d", g.NumLinks())
+	}
+	rev, ok := ReverseOf("ab/fwd")
+	if !ok || rev != "ab/rev" {
+		t.Fatalf("ReverseOf fwd failed: %v %v", rev, ok)
+	}
+	fwd, ok := ReverseOf("ab/rev")
+	if !ok || fwd != "ab/fwd" {
+		t.Fatalf("ReverseOf rev failed: %v %v", fwd, ok)
+	}
+	if _, ok := ReverseOf("plain"); ok {
+		t.Fatal("plain ID should not have a reverse")
+	}
+}
+
+func TestBandwidthAdjust(t *testing.T) {
+	g := New()
+	g.EnsureNode("a")
+	g.EnsureNode("b")
+	mustAdd(t, g.AddLink(Link{ID: "l", Src: "a", Dst: "b", Bandwidth: 10}))
+	mustAdd(t, g.AdjustLinkBandwidth("l", -4))
+	l, err := g.Link("l")
+	mustAdd(t, err)
+	if l.Bandwidth != 6 {
+		t.Fatalf("want 6, got %g", l.Bandwidth)
+	}
+	if err := g.AdjustLinkBandwidth("l", -7); err == nil {
+		t.Fatal("over-allocation should fail")
+	}
+	mustAdd(t, g.AdjustLinkBandwidth("l", 4))
+	l, _ = g.Link("l")
+	if l.Bandwidth != 10 {
+		t.Fatalf("release should restore, got %g", l.Bandwidth)
+	}
+}
+
+func TestNodesLinksSorted(t *testing.T) {
+	g := New()
+	for _, n := range []NodeID{"z", "a", "m"} {
+		g.EnsureNode(n)
+	}
+	nodes := g.Nodes()
+	if nodes[0] != "a" || nodes[1] != "m" || nodes[2] != "z" {
+		t.Fatalf("nodes not sorted: %v", nodes)
+	}
+	mustAdd(t, g.AddLink(Link{ID: "z", Src: "a", Dst: "m"}))
+	mustAdd(t, g.AddLink(Link{ID: "a", Src: "a", Dst: "z"}))
+	links := g.Links()
+	if links[0].ID != "a" || links[1].ID != "z" {
+		t.Fatalf("links not sorted: %v", links)
+	}
+	outs := g.Out("a")
+	if outs[0].ID != "a" || outs[1].ID != "z" {
+		t.Fatalf("out links not sorted: %v", outs)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := lineGraph(t, 3)
+	c := g.Clone()
+	mustAdd(t, c.RemoveNode("a"))
+	if !g.HasNode("a") {
+		t.Fatal("clone mutation leaked into original")
+	}
+	mustAdd(t, g.AdjustLinkBandwidth("l1/fwd", -50))
+	cl, err := c.Link("l1/fwd")
+	mustAdd(t, err)
+	if cl.Bandwidth != 100 {
+		t.Fatalf("original mutation leaked into clone: %g", cl.Bandwidth)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New()
+	for _, n := range []NodeID{"a", "b", "c", "d", "e"} {
+		g.EnsureNode(n)
+	}
+	mustAdd(t, g.AddLink(Link{ID: "ab", Src: "a", Dst: "b"}))
+	mustAdd(t, g.AddLink(Link{ID: "cd", Src: "d", Dst: "c"})) // direction must not matter
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("want 3 components, got %d: %v", len(comps), comps)
+	}
+	if comps[0][0] != "a" || comps[1][0] != "c" || comps[2][0] != "e" {
+		t.Fatalf("unexpected components: %v", comps)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New()
+	g.EnsureNode("a")
+	g.EnsureNode("b")
+	g.EnsureNode("c")
+	mustAdd(t, g.AddLink(Link{ID: "ab", Src: "a", Dst: "b"}))
+	if !g.Connected("a", "b") {
+		t.Fatal("a->b should be connected")
+	}
+	if g.Connected("b", "a") {
+		t.Fatal("b->a should not be connected (directed)")
+	}
+	if g.Connected("a", "c") {
+		t.Fatal("a->c should not be connected")
+	}
+	if !g.Connected("a", "a") {
+		t.Fatal("a->a trivially connected")
+	}
+	if g.Connected("a", "missing") {
+		t.Fatal("missing node should not be connected")
+	}
+}
+
+// Property: for random graphs, every component partitions the node set.
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			g.EnsureNode(NodeID(string(rune('A' + i))))
+		}
+		nodes := g.Nodes()
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			a := nodes[rng.Intn(n)]
+			b := nodes[rng.Intn(n)]
+			_ = g.AddLink(Link{ID: LinkID(string(rune('a'))) + LinkID(string(rune('0'+i%10))) + LinkID(string(rune('A'+i/10))), Src: a, Dst: b})
+		}
+		seen := map[NodeID]int{}
+		for ci, comp := range g.Components() {
+			for _, nd := range comp {
+				if _, dup := seen[nd]; dup {
+					return false
+				}
+				seen[nd] = ci
+			}
+		}
+		return len(seen) == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

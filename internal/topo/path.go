@@ -1,0 +1,334 @@
+package topo
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metric selects the per-link weight used by the shortest-path algorithms.
+type Metric int
+
+// Supported metrics.
+const (
+	// MetricDelay weights links by their Delay field.
+	MetricDelay Metric = iota
+	// MetricHops weights every link as 1.
+	MetricHops
+	// MetricCost weights links by their Cost field.
+	MetricCost
+)
+
+func (m Metric) weight(l Link) float64 {
+	switch m {
+	case MetricHops:
+		return 1
+	case MetricCost:
+		return l.Cost
+	default:
+		return l.Delay
+	}
+}
+
+// PathOpts constrains path computation.
+type PathOpts struct {
+	// MinBandwidth prunes links with less available bandwidth.
+	MinBandwidth float64
+	// MaxDelay rejects paths whose summed Delay exceeds it (0 = unbounded).
+	MaxDelay float64
+	// Metric is the optimization objective (default MetricDelay).
+	Metric Metric
+	// Avoid lists nodes that must not appear as intermediate hops.
+	Avoid map[NodeID]bool
+	// AvoidLinks lists links that must not be used.
+	AvoidLinks map[LinkID]bool
+}
+
+// Path is a walk through the graph. Nodes has one more element than Links.
+type Path struct {
+	Nodes  []NodeID
+	Links  []LinkID
+	Weight float64 // total weight under the metric used to compute the path
+	Delay  float64 // total link delay along the path
+	MinBW  float64 // bottleneck available bandwidth along the path
+}
+
+// Hops returns the number of links in the path.
+func (p Path) Hops() int { return len(p.Links) }
+
+// String renders the path as "a -> b -> c (w=..)".
+func (p Path) String() string {
+	s := ""
+	for i, n := range p.Nodes {
+		if i > 0 {
+			s += " -> "
+		}
+		s += string(n)
+	}
+	return fmt.Sprintf("%s (w=%.3g)", s, p.Weight)
+}
+
+type pqItem struct {
+	node NodeID
+	dist float64
+	idx  int
+}
+
+type priorityQueue []*pqItem
+
+func (pq priorityQueue) Len() int { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool {
+	if pq[i].dist != pq[j].dist {
+		return pq[i].dist < pq[j].dist
+	}
+	return pq[i].node < pq[j].node // deterministic tie-break
+}
+func (pq priorityQueue) Swap(i, j int) {
+	pq[i], pq[j] = pq[j], pq[i]
+	pq[i].idx, pq[j].idx = i, j
+}
+func (pq *priorityQueue) Push(x any) {
+	it := x.(*pqItem)
+	it.idx = len(*pq)
+	*pq = append(*pq, it)
+}
+func (pq *priorityQueue) Pop() any {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*pq = old[:n-1]
+	return it
+}
+
+// ShortestPath runs Dijkstra from src to dst under the given constraints.
+// It returns ErrNoPath when dst is unreachable under the constraints.
+func (g *Graph) ShortestPath(src, dst NodeID, opts PathOpts) (Path, error) {
+	if !g.HasNode(src) {
+		return Path{}, fmt.Errorf("%w: src %s", ErrNodeNotFound, src)
+	}
+	if !g.HasNode(dst) {
+		return Path{}, fmt.Errorf("%w: dst %s", ErrNodeNotFound, dst)
+	}
+	dist := map[NodeID]float64{src: 0}
+	delayTo := map[NodeID]float64{src: 0}
+	prevLink := map[NodeID]LinkID{}
+	prevNode := map[NodeID]NodeID{}
+	items := map[NodeID]*pqItem{}
+	pq := priorityQueue{}
+	heap.Init(&pq)
+	start := &pqItem{node: src, dist: 0}
+	heap.Push(&pq, start)
+	items[src] = start
+	done := map[NodeID]bool{}
+
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(*pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, l := range g.Out(u) {
+			if l.Bandwidth < opts.MinBandwidth {
+				continue
+			}
+			if opts.AvoidLinks[l.ID] {
+				continue
+			}
+			v := l.Dst
+			if opts.Avoid[v] && v != dst && v != src {
+				continue
+			}
+			if done[v] {
+				continue
+			}
+			nd := dist[u] + opts.Metric.weight(l)
+			ndelay := delayTo[u] + l.Delay
+			if opts.MaxDelay > 0 && ndelay > opts.MaxDelay {
+				continue
+			}
+			cur, seen := dist[v]
+			if !seen || nd < cur || (nd == cur && ndelay < delayTo[v]) {
+				dist[v] = nd
+				delayTo[v] = ndelay
+				prevLink[v] = l.ID
+				prevNode[v] = u
+				if item, ok := items[v]; ok && item.idx >= 0 && item.idx < len(pq) && pq[item.idx] == item {
+					item.dist = nd
+					heap.Fix(&pq, item.idx)
+				} else {
+					ni := &pqItem{node: v, dist: nd}
+					heap.Push(&pq, ni)
+					items[v] = ni
+				}
+			}
+		}
+	}
+	if _, ok := dist[dst]; !ok || !done[dst] {
+		if src == dst {
+			return Path{Nodes: []NodeID{src}, MinBW: math.Inf(1)}, nil
+		}
+		return Path{}, fmt.Errorf("%w: %s -> %s", ErrNoPath, src, dst)
+	}
+	return g.assemble(src, dst, dist[dst], prevNode, prevLink)
+}
+
+func (g *Graph) assemble(src, dst NodeID, weight float64, prevNode map[NodeID]NodeID, prevLink map[NodeID]LinkID) (Path, error) {
+	var nodes []NodeID
+	var links []LinkID
+	for at := dst; ; {
+		nodes = append(nodes, at)
+		if at == src {
+			break
+		}
+		lid, ok := prevLink[at]
+		if !ok {
+			return Path{}, fmt.Errorf("%w: broken predecessor chain at %s", ErrNoPath, at)
+		}
+		links = append(links, lid)
+		at = prevNode[at]
+	}
+	// Reverse in place.
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	p := Path{Nodes: nodes, Links: links, Weight: weight, MinBW: math.Inf(1)}
+	for _, lid := range links {
+		l := g.links[lid]
+		p.Delay += l.Delay
+		if l.Bandwidth < p.MinBW {
+			p.MinBW = l.Bandwidth
+		}
+	}
+	return p, nil
+}
+
+// KShortestPaths returns up to k loopless paths in non-decreasing weight
+// order using Yen's algorithm. Constraints in opts apply to every path.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int, opts PathOpts) ([]Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first, err := g.ShortestPath(src, dst, opts)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	var candidates []Path
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spurNode := prev.Nodes[i]
+			rootNodes := prev.Nodes[:i+1]
+			rootLinks := prev.Links[:i]
+
+			sub := opts
+			sub.Avoid = copyNodeSet(opts.Avoid)
+			sub.AvoidLinks = copyLinkSet(opts.AvoidLinks)
+			// Remove links that would recreate an already-found path that
+			// shares this root.
+			for _, p := range paths {
+				if len(p.Links) > i && equalPrefix(p.Nodes, rootNodes) {
+					sub.AvoidLinks[p.Links[i]] = true
+				}
+			}
+			// Remove root nodes other than the spur node to keep paths loopless.
+			for _, n := range rootNodes[:len(rootNodes)-1] {
+				sub.Avoid[n] = true
+			}
+			spur, err := g.ShortestPath(spurNode, dst, sub)
+			if err != nil {
+				continue
+			}
+			cand := joinPaths(g, rootNodes, rootLinks, spur, opts.Metric)
+			if opts.MaxDelay > 0 && cand.Delay > opts.MaxDelay {
+				continue
+			}
+			if !containsPath(paths, cand) && !containsPath(candidates, cand) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].Weight != candidates[b].Weight {
+				return candidates[a].Weight < candidates[b].Weight
+			}
+			return fmt.Sprint(candidates[a].Nodes) < fmt.Sprint(candidates[b].Nodes)
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+func copyNodeSet(in map[NodeID]bool) map[NodeID]bool {
+	out := make(map[NodeID]bool, len(in)+4)
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func copyLinkSet(in map[LinkID]bool) map[LinkID]bool {
+	out := make(map[LinkID]bool, len(in)+4)
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func equalPrefix(nodes, prefix []NodeID) bool {
+	if len(nodes) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if nodes[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinPaths(g *Graph, rootNodes []NodeID, rootLinks []LinkID, spur Path, m Metric) Path {
+	nodes := append(append([]NodeID{}, rootNodes...), spur.Nodes[1:]...)
+	links := append(append([]LinkID{}, rootLinks...), spur.Links...)
+	p := Path{Nodes: nodes, Links: links, MinBW: math.Inf(1)}
+	for _, lid := range links {
+		l := g.links[lid]
+		p.Delay += l.Delay
+		p.Weight += m.weight(l)
+		if l.Bandwidth < p.MinBW {
+			p.MinBW = l.Bandwidth
+		}
+	}
+	return p
+}
+
+func containsPath(ps []Path, p Path) bool {
+	for _, q := range ps {
+		if len(q.Links) != len(p.Links) {
+			continue
+		}
+		same := true
+		for i := range q.Links {
+			if q.Links[i] != p.Links[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

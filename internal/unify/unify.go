@@ -1,0 +1,61 @@
+// Package unify defines the recursive Unify interface: the narrow waist of
+// the joint SFC control plane. A Layer exposes a virtualization view
+// northbound (interconnected BiS-BiS nodes) and accepts service requests
+// expressed against that view. Resource orchestrators implement Layer
+// northbound and consume Layers southbound, so "Unify domains can be stacked
+// into a multi-level control hierarchy" (paper, Section 2) — the manager–
+// virtualizer relationship is the same at every level.
+package unify
+
+import (
+	"errors"
+
+	"github.com/unify-repro/escape/internal/nffg"
+)
+
+// Errors shared across layer implementations.
+var (
+	// ErrRejected is returned when a request cannot be admitted (no feasible
+	// embedding, constraint violation, or conflict).
+	ErrRejected = errors.New("unify: request rejected")
+	// ErrUnknownService is returned by Remove for unknown service IDs.
+	ErrUnknownService = errors.New("unify: unknown service")
+	// ErrBusy is returned when state-changing operations collide with an
+	// in-flight reconfiguration.
+	ErrBusy = errors.New("unify: layer busy")
+)
+
+// Layer is the Unify interface. Implementations must be safe for concurrent
+// use.
+type Layer interface {
+	// ID identifies the layer (domain name, orchestrator name).
+	ID() string
+	// View returns the current virtualization view: topology, available
+	// resources, supported NF types, SAPs, and the configuration deployed so
+	// far. The caller owns the returned graph.
+	View() (*nffg.NFFG, error)
+	// Install deploys a service request expressed against the view: NFs
+	// (optionally pinned to view nodes), SG hops and e2e requirements. The
+	// request's ID becomes the service ID.
+	Install(req *nffg.NFFG) (*Receipt, error)
+	// Remove tears down a previously installed service.
+	Remove(serviceID string) error
+	// Services lists installed service IDs, sorted.
+	Services() []string
+}
+
+// Receipt reports how a request was realized.
+type Receipt struct {
+	// ServiceID echoes the request ID.
+	ServiceID string
+	// Placements maps each NF (after any decomposition) to the node of this
+	// layer's resource view it landed on.
+	Placements map[nffg.ID]nffg.ID
+	// HopPaths maps each hop to its node sequence through the layer's view.
+	HopPaths map[string][]string
+	// Decompositions lists applied NF rewrites ("nf:rule").
+	Decompositions []string
+	// Children collects the receipts returned by southbound layers,
+	// keyed by child ID — the recursive deployment record.
+	Children map[string]*Receipt
+}
