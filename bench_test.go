@@ -14,7 +14,9 @@ package escape
 // table rows directly.
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -157,10 +159,10 @@ func BenchmarkE2ChainDeployment(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				req := chainReqN(fmt.Sprintf("bench-%d", i), "sap1", "sap2", k, 10)
-				if _, err := sys.MdO.Install(req); err != nil {
+				if _, err := sys.MdO.Install(context.Background(), req); err != nil {
 					b.Fatal(err)
 				}
-				if err := sys.MdO.Remove(req.ID); err != nil {
+				if err := sys.MdO.Remove(context.Background(), req.ID); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -271,10 +273,10 @@ func BenchmarkE3RecursionDepth(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				req := chainReqN(fmt.Sprintf("svc%d-%d", depth, i), "sap0", "sap1", 2, 5)
-				if _, err := top.Install(req); err != nil {
+				if _, err := top.Install(context.Background(), req); err != nil {
 					b.Fatal(err)
 				}
-				if err := top.Remove(req.ID); err != nil {
+				if err := top.Remove(context.Background(), req.ID); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -505,4 +507,164 @@ func BenchmarkE5UNFastPath(b *testing.B) {
 		})
 		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds()/1e6, "Mlookups/s")
 	})
+}
+
+// --- E6: concurrent orchestration pipeline ------------------------------------
+
+// benchLineRO builds n leaf domains in a line (sap1 - d0 - b0 - ... - sap2),
+// each with an artificial device-programming latency, under one resource
+// orchestrator — the setup behind the parallel fan-out claim.
+func benchLineRO(b *testing.B, n int, delay time.Duration) *core.ResourceOrchestrator {
+	b.Helper()
+	ro := core.NewResourceOrchestrator(core.Config{ID: "ro"})
+	slow := core.ProgrammerFunc(func(ctx context.Context, _ *nffg.Delta, _ *nffg.NFFG) error {
+		select {
+		case <-time.After(delay):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("d%d", i)
+		left := nffg.ID(fmt.Sprintf("b%d", i-1))
+		if i == 0 {
+			left = "sap1"
+		}
+		right := nffg.ID(fmt.Sprintf("b%d", i))
+		if i == n-1 {
+			right = "sap2"
+		}
+		sub := nffg.NewBuilder(name).
+			BiSBiS(nffg.ID(name+"-n"), name, 4, nffg.Resources{CPU: 1 << 20, Mem: 1 << 30, Storage: 1 << 20},
+				"firewall", "dpi", "nat", "compress").
+			SAP(left).SAP(right).
+			Link("l", left, "1", nffg.ID(name+"-n"), "1", 1e6, 1).
+			Link("r", nffg.ID(name+"-n"), "2", right, "1", 1e6, 1).
+			MustBuild()
+		lo, err := core.NewLocalOrchestrator(core.LocalConfig{ID: name, Substrate: sub, Programmer: slow})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ro.Attach(lo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ro
+}
+
+// benchDomainReq builds a 1-NF chain pinned entirely inside domain i of an
+// n-domain line (distinct flow endpoints per domain, so requests are
+// independent).
+func benchDomainReq(id string, i, n int) *nffg.NFFG {
+	left := fmt.Sprintf("b%d", i-1)
+	if i == 0 {
+		left = "sap1"
+	}
+	right := fmt.Sprintf("b%d", i)
+	if i == n-1 {
+		right = "sap2"
+	}
+	nf := nffg.ID(id + "-nf")
+	g := nffg.NewBuilder(id).
+		SAP(nffg.ID(left)).SAP(nffg.ID(right)).
+		NF(nf, "firewall", 2, nffg.Resources{CPU: 2, Mem: 512, Storage: 1}).
+		Chain(id, 1, 0, nffg.ID(left), nf, nffg.ID(right)).
+		MustBuild()
+	g.NFs[nf].Host = nffg.ID(fmt.Sprintf("bisbis@d%d", i))
+	return g
+}
+
+// BenchmarkE6ParallelInstall measures the tentpole speedup: N independent
+// services over M slow domains (10ms child-install latency), deployed
+// serially versus from N goroutines. The concurrent batch should finish in
+// ~1 child latency instead of N of them; batch wall-clock is reported as
+// ms/batch.
+func BenchmarkE6ParallelInstall(b *testing.B) {
+	const domains = 4
+	const childLatency = 10 * time.Millisecond
+	for _, mode := range []string{"serial", "concurrent"} {
+		b.Run(fmt.Sprintf("%s/domains=%d", mode, domains), func(b *testing.B) {
+			ro := benchLineRO(b, domains, childLatency)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := make([]string, domains)
+				for d := 0; d < domains; d++ {
+					ids[d] = fmt.Sprintf("s%d-%d", i, d)
+				}
+				if mode == "serial" {
+					for d := 0; d < domains; d++ {
+						if _, err := ro.Install(ctx, benchDomainReq(ids[d], d, domains)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					var wg sync.WaitGroup
+					errs := make([]error, domains)
+					for d := 0; d < domains; d++ {
+						wg.Add(1)
+						go func(d int) {
+							defer wg.Done()
+							_, errs[d] = ro.Install(ctx, benchDomainReq(ids[d], d, domains))
+						}(d)
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StopTimer()
+				for _, id := range ids {
+					if err := ro.Remove(ctx, id); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "ms/batch")
+		})
+	}
+}
+
+// BenchmarkE6FanOut measures a single service spanning all M domains: child
+// deploys fan out in parallel goroutines, so install latency tracks the
+// slowest child, not the sum.
+func BenchmarkE6FanOut(b *testing.B) {
+	const childLatency = 10 * time.Millisecond
+	for _, domains := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("domains=%d", domains), func(b *testing.B) {
+			ro := benchLineRO(b, domains, childLatency)
+			ctx := context.Background()
+			types := []string{"firewall", "dpi", "nat", "compress"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := fmt.Sprintf("span%d", i)
+				bld := nffg.NewBuilder(id).SAP("sap1").SAP("sap2")
+				nodes := []nffg.ID{"sap1"}
+				for d := 0; d < domains; d++ {
+					nf := nffg.ID(fmt.Sprintf("%s-nf%d", id, d))
+					bld.NF(nf, types[d%len(types)], 2, nffg.Resources{CPU: 2, Mem: 512, Storage: 1})
+					nodes = append(nodes, nf)
+				}
+				nodes = append(nodes, "sap2")
+				bld.Chain(id, 1, 0, nodes...)
+				req := bld.MustBuild()
+				for d := 0; d < domains; d++ {
+					req.NFs[nffg.ID(fmt.Sprintf("%s-nf%d", id, d))].Host = nffg.ID(fmt.Sprintf("bisbis@d%d", d))
+				}
+				if _, err := ro.Install(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := ro.Remove(ctx, id); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/1000, "ms/install")
+		})
+	}
 }

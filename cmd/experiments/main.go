@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -174,10 +175,10 @@ func e3() {
 		start := time.Now()
 		for i := 0; i < reps; i++ {
 			req := chainReq(fmt.Sprintf("svc%d-%d", depth, i), "sap0", "sap1", 2, 5)
-			if _, err := top.Install(req); err != nil {
+			if _, err := top.Install(context.Background(), req); err != nil {
 				log.Fatal(err)
 			}
-			if err := top.Remove(req.ID); err != nil {
+			if err := top.Remove(context.Background(), req.ID); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	unifyctl -server http://127.0.0.1:8181 view [-format text|json|xml]
+//	unifyctl -server http://127.0.0.1:8181 [-timeout 30s] view [-format text|json|xml]
 //	unifyctl -server http://127.0.0.1:8181 submit request.json
 //	unifyctl -server http://127.0.0.1:8181 list
 //	unifyctl -server http://127.0.0.1:8181 remove <service-id>
@@ -12,10 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/unify-repro/escape/internal/api"
 	"github.com/unify-repro/escape/internal/nffg"
@@ -26,10 +30,20 @@ func main() {
 	log.SetFlags(0)
 	server := flag.String("server", "http://127.0.0.1:8181", "Unify interface endpoint")
 	format := flag.String("format", "text", "view output: text | json | xml")
+	timeout := flag.Duration("timeout", 30*time.Second, "deadline for the remote operation (0 = none)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Ctrl-C cancels the in-flight operation server-side too: the deadline and
+	// cancellation propagate down the whole orchestration hierarchy.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	cli, err := api.Dial("remote", *server)
 	if err != nil {
@@ -37,7 +51,7 @@ func main() {
 	}
 	switch cmd := flag.Arg(0); cmd {
 	case "view":
-		v, err := cli.View()
+		v, err := cli.View(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +81,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		receipt, err := cli.Install(req)
+		receipt, err := cli.Install(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,7 +100,7 @@ func main() {
 		if flag.NArg() < 2 {
 			log.Fatal("remove needs a service ID")
 		}
-		if err := cli.Remove(flag.Arg(1)); err != nil {
+		if err := cli.Remove(ctx, flag.Arg(1)); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("removed", flag.Arg(1))

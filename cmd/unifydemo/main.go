@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	escape "github.com/unify-repro/escape"
 	"github.com/unify-repro/escape/internal/core"
@@ -27,7 +30,9 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		log.Fatalf("unifydemo: %v", err)
 	}
 }
@@ -39,7 +44,7 @@ func section(title string) {
 	fmt.Println(strings.Repeat("=", 72))
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// Decomposition rule used in part (iii-b): "vpn" has no native
 	// implementation anywhere; it decomposes into encrypt + compress.
 	rules := decomp.NewRules()
@@ -69,7 +74,7 @@ func run() error {
 	dov := sys.MdO.DoV()
 	fmt.Println("domain-of-views (DoV) — each domain exports one BiS-BiS:")
 	fmt.Print(dov.Render())
-	view, err := sys.MdO.View()
+	view, err := sys.MdO.View(ctx)
 	if err != nil {
 		return err
 	}
@@ -83,7 +88,7 @@ func run() error {
 		return err
 	}
 	fmt.Println("service request: sap1 -> firewall(Click) -> dpi(VM) -> compress(container) -> sap2")
-	req, err := sys.Service.Submit(chain)
+	req, err := sys.Service.Submit(ctx, chain)
 	if err != nil {
 		return fmt.Errorf("deploy: %w (%s)", err, req.Error)
 	}
@@ -134,7 +139,7 @@ func run() error {
 	snap.Render(os.Stdout)
 
 	fmt.Println("\ntearing the demo chain down (sap1->sap2 is free again)...")
-	if err := sys.Service.Remove("demo"); err != nil {
+	if err := sys.Service.Remove(ctx, "demo"); err != nil {
 		return err
 	}
 
@@ -144,7 +149,7 @@ func run() error {
 	if err := top.Attach(sys.MdO); err != nil {
 		return err
 	}
-	topView, err := top.View()
+	topView, err := top.View(ctx)
 	if err != nil {
 		return err
 	}
@@ -155,13 +160,13 @@ func run() error {
 		NF("rec-nat", "nat", 2, escape.Resources{CPU: 2, Mem: 1024, Storage: 2}).
 		Chain("rec", 10, 0, "sap1", "rec-nat", "sap2").
 		MustBuild()
-	recReceipt, err := top.Install(recReq)
+	recReceipt, err := top.Install(ctx, recReq)
 	if err != nil {
 		return err
 	}
 	fmt.Println("request installed through the extra layer; receipt chain:")
 	printReceiptTree(recReceipt, "  ")
-	if err := top.Remove("rec"); err != nil {
+	if err := top.Remove(ctx, "rec"); err != nil {
 		return err
 	}
 	fmt.Println("removed through the same recursive path")
@@ -174,7 +179,7 @@ func run() error {
 		Chain("vpnsvc", 10, 0, "sap1", "vpn1", "sap2").
 		MustBuild()
 	fmt.Println("request: sap1 -> vpn -> sap2 (no domain supports 'vpn' natively)")
-	vpnDone, err := sys.Service.Submit(vpnReq)
+	vpnDone, err := sys.Service.Submit(ctx, vpnReq)
 	if err != nil {
 		return fmt.Errorf("vpn submit: %w", err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 		NF("rt1", "nat", 2, escape.Resources{CPU: 4, Mem: 4096, Storage: 16}).
 		Chain("router-v1", 100, 0, "siteA", "rt1", "uplink").
 		MustBuild()
-	if _, err := svc.Submit(small); err != nil {
+	if _, err := svc.Submit(context.Background(), small); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("phase 1: router-v1 deployed (1 worker)")
@@ -60,7 +61,7 @@ func main() {
 	// Phase 2: the operator decides 50 packets is saturation — scale out.
 	// Reconfiguration = remove + reinstall with the scaled topology; the
 	// second site comes online at the same time.
-	if err := svc.Remove("router-v1"); err != nil {
+	if err := svc.Remove(context.Background(), "router-v1"); err != nil {
 		log.Fatal(err)
 	}
 	big := escape.NewBuilder("router-v2").
@@ -74,7 +75,7 @@ func main() {
 	if _, err := escape.BuildChain(big, "pathB", 100, 0, "siteB", "rtB", "uplink"); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := svc.Submit(big); err != nil {
+	if _, err := svc.Submit(context.Background(), big); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nphase 2: router-v2 deployed (2 workers, 2 sites)")
@@ -97,7 +98,7 @@ func main() {
 	}
 
 	// Capacity accounting survives the churn.
-	view, err := node.View()
+	view, err := node.View(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -23,7 +24,7 @@ func main() {
 	defer sys.Close()
 
 	fmt.Println("domains under the multi-domain orchestrator:", sys.MdO.Children())
-	view, err := sys.MdO.View()
+	view, err := sys.MdO.View(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	req, err := sys.Service.Submit(chain)
+	req, err := sys.Service.Submit(context.Background(), chain)
 	if err != nil {
 		log.Fatalf("deploy: %v", err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 
 	// 3. Put the service layer on top and look at the view a user sees.
 	svc := escape.NewServiceLayer(dom, nil)
-	view, err := svc.View()
+	view, err := svc.View(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func main() {
 		MustBuild()
 
 	// 5. Submit and inspect the outcome.
-	deployed, err := svc.Submit(request)
+	deployed, err := svc.Submit(context.Background(), request)
 	if err != nil {
 		log.Fatalf("deploy failed: %v", err)
 	}
@@ -77,7 +78,7 @@ func main() {
 	fmt.Print(dom.Internal().Render())
 
 	// 7. Tear down.
-	if err := svc.Remove("web-protect"); err != nil {
+	if err := svc.Remove(context.Background(), "web-protect"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nservice removed; domain back to", len(dom.Services()), "services")

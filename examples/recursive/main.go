@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -76,14 +77,14 @@ func main() {
 	log.SetFlags(0)
 	for depth := 0; depth <= 3; depth++ {
 		top := stack(depth)
-		receipt, err := top.Install(request("svc"))
+		receipt, err := top.Install(context.Background(), request("svc"))
 		if err != nil {
 			log.Fatalf("depth %d: %v", depth, err)
 		}
 		fmt.Printf("layers above the leaf: %d\n", depth)
 		fmt.Println("  concrete placements:", fmtPlacements(leafPlacements(receipt)))
 		fmt.Println("  receipt depth:      ", receiptDepth(receipt))
-		if err := top.Remove("svc"); err != nil {
+		if err := top.Remove(context.Background(), "svc"); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package escape
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -16,7 +17,7 @@ func TestFig1Migration(t *testing.T) {
 		Chain("mig", 10, 0, "sap1", "mig-nat", "sap2").
 		MustBuild()
 	g.NFs["mig-nat"].Host = "bisbis@mininet"
-	if _, err := sys.Service.Submit(g); err != nil {
+	if _, err := sys.Service.Submit(context.Background(), g); err != nil {
 		t.Fatal(err)
 	}
 	if nfs := sys.Mininet.Net().RunningNFs(); len(nfs) != 1 {
@@ -32,7 +33,7 @@ func TestFig1Migration(t *testing.T) {
 	}
 
 	// Migrate to the UN.
-	migrated, err := sys.Service.Migrate("mig", map[ID]ID{"mig-nat": "bisbis@un"})
+	migrated, err := sys.Service.Migrate(context.Background(), "mig", map[ID]ID{"mig-nat": "bisbis@un"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +70,11 @@ func TestMigrationRollback(t *testing.T) {
 		Chain("roll", 10, 0, "sap1", "roll-fw", "sap2").
 		MustBuild()
 	g.NFs["roll-fw"].Host = "bisbis@mininet"
-	if _, err := sys.Service.Submit(g); err != nil {
+	if _, err := sys.Service.Submit(context.Background(), g); err != nil {
 		t.Fatal(err)
 	}
 	// The SDN domain cannot host NFs: migration must fail and restore.
-	restored, err := sys.Service.Migrate("roll", map[ID]ID{"roll-fw": "bisbis@sdn"})
+	restored, err := sys.Service.Migrate(context.Background(), "roll", map[ID]ID{"roll-fw": "bisbis@sdn"})
 	if err == nil {
 		t.Fatal("migration to a forwarding-only domain must fail")
 	}
@@ -96,7 +97,7 @@ func TestMigrationRollback(t *testing.T) {
 // TestMigrationValidation covers the error paths.
 func TestMigrationValidation(t *testing.T) {
 	sys := newSys(t)
-	if _, err := sys.Service.Migrate("ghost", nil); err == nil {
+	if _, err := sys.Service.Migrate(context.Background(), "ghost", nil); err == nil {
 		t.Fatal("unknown service must fail")
 	}
 	g := NewBuilder("v").
@@ -104,16 +105,16 @@ func TestMigrationValidation(t *testing.T) {
 		NF("v-fw", "firewall", 2, Resources{CPU: 1, Mem: 512, Storage: 1}).
 		Chain("v", 5, 0, "sap1", "v-fw", "sap2").
 		MustBuild()
-	if _, err := sys.Service.Submit(g); err != nil {
+	if _, err := sys.Service.Submit(context.Background(), g); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Service.Migrate("v", map[ID]ID{"nonexistent": "bisbis@un"}); err == nil {
+	if _, err := sys.Service.Migrate(context.Background(), "v", map[ID]ID{"nonexistent": "bisbis@un"}); err == nil {
 		t.Fatal("unknown NF must fail")
 	}
-	if err := sys.Service.Remove("v"); err != nil {
+	if err := sys.Service.Remove(context.Background(), "v"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Service.Migrate("v", nil); err == nil {
+	if _, err := sys.Service.Migrate(context.Background(), "v", nil); err == nil {
 		t.Fatal("migrating a removed service must fail")
 	}
 }

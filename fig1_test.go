@@ -1,6 +1,7 @@
 package escape
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -28,7 +29,7 @@ func TestFig1SystemBringUp(t *testing.T) {
 		t.Fatalf("domains not stitched:\n%s", dov.Render())
 	}
 	// MdO northbound: a single BiS-BiS (full delegation view).
-	v, err := sys.MdO.View()
+	v, err := sys.MdO.View(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestFig1EndToEndDeploymentAndTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req, err := sys.Service.Submit(chain)
+	req, err := sys.Service.Submit(context.Background(), chain)
 	if err != nil {
 		t.Fatalf("submit: %v (state %s: %s)", err, req.State, req.Error)
 	}
@@ -123,7 +124,7 @@ func TestFig1EndToEndDeploymentAndTraffic(t *testing.T) {
 	}
 
 	// Teardown propagates to every domain.
-	if err := sys.Service.Remove("demo"); err != nil {
+	if err := sys.Service.Remove(context.Background(), "demo"); err != nil {
 		t.Fatal(err)
 	}
 	if len(sys.Mininet.Net().RunningNFs()) != 0 {
@@ -149,7 +150,7 @@ func TestFig1FreePlacementChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Service.Submit(g); err != nil {
+	if _, err := sys.Service.Submit(context.Background(), g); err != nil {
 		t.Fatal(err)
 	}
 	sap1, _ := sys.SAP1()
@@ -172,7 +173,7 @@ func TestFig1RecursiveReceipts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req, err := sys.Service.Submit(chain)
+	req, err := sys.Service.Submit(context.Background(), chain)
 	if err != nil {
 		t.Fatal(err)
 	}

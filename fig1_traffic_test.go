@@ -1,6 +1,7 @@
 package escape
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -20,10 +21,10 @@ func TestFig1BidirectionalChains(t *testing.T) {
 		NF("rev-nat", "nat", 2, Resources{CPU: 2, Mem: 1024, Storage: 2}).
 		Chain("rev", 20, 0, "sap2", "rev-nat", "sap1").
 		MustBuild()
-	if _, err := sys.Service.Submit(fwd); err != nil {
+	if _, err := sys.Service.Submit(context.Background(), fwd); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Service.Submit(rev); err != nil {
+	if _, err := sys.Service.Submit(context.Background(), rev); err != nil {
 		t.Fatalf("reverse chain should coexist: %v", err)
 	}
 	sap1, _ := sys.SAP1()
@@ -59,10 +60,10 @@ func TestFig1AmbiguousChainsRejected(t *testing.T) {
 			Chain(id, 5, 0, "sap1", ID(id+"-fw"), "sap2").
 			MustBuild()
 	}
-	if _, err := sys.Service.Submit(mk("first")); err != nil {
+	if _, err := sys.Service.Submit(context.Background(), mk("first")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Service.Submit(mk("second")); err == nil {
+	if _, err := sys.Service.Submit(context.Background(), mk("second")); err == nil {
 		t.Fatal("ambiguous second chain must be rejected")
 	}
 	// The failed install must not leave debris behind.
@@ -82,7 +83,7 @@ func TestFig1SnapshotAndHopHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Service.Submit(chain); err != nil {
+	if _, err := sys.Service.Submit(context.Background(), chain); err != nil {
 		t.Fatal(err)
 	}
 	sap1, _ := sys.SAP1()
@@ -115,7 +116,7 @@ func TestFig1CapacityAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Service.Submit(chain); err != nil {
+	if _, err := sys.Service.Submit(context.Background(), chain); err != nil {
 		t.Fatal(err)
 	}
 	during := sys.MdO.DoV()
@@ -129,7 +130,7 @@ func TestFig1CapacityAccounting(t *testing.T) {
 	if !lost {
 		t.Fatal("no bandwidth reserved while deployed")
 	}
-	if err := sys.Service.Remove("acct"); err != nil {
+	if err := sys.Service.Remove(context.Background(), "acct"); err != nil {
 		t.Fatal(err)
 	}
 	after := sys.MdO.DoV()
@@ -156,7 +157,7 @@ func TestFig1TransparentMdOView(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(sys.Close)
-	view, err := sys.Service.View()
+	view, err := sys.Service.View(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestFig1TransparentMdOView(t *testing.T) {
 		NF("ctl-nat", "nat", 2, Resources{CPU: 2, Mem: 1024, Storage: 2}).
 		Chain("ctl", 10, 0, "sap1", "ctl-nat", "sap2").
 		MustBuild()
-	req, err := sys.Service.Submit(g)
+	req, err := sys.Service.Submit(context.Background(), g)
 	if err != nil {
 		t.Fatalf("submit: %v (%s)", err, req.Error)
 	}

@@ -1,0 +1,3 @@
+module github.com/unify-repro/escape
+
+go 1.24

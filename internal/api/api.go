@@ -17,6 +17,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -74,8 +75,8 @@ func (s *Server) Close() {
 	}
 }
 
-func (s *Server) handleView(w http.ResponseWriter, _ *http.Request) {
-	v, err := s.layer.View()
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
+	v, err := s.layer.View(r.Context())
 	if err != nil {
 		httpError(w, err)
 		return
@@ -108,7 +109,7 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	receipt, err := s.layer.Install(req)
+	receipt, err := s.layer.Install(r.Context(), req)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -117,7 +118,7 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
-	if err := s.layer.Remove(r.PathValue("id")); err != nil {
+	if err := s.layer.Remove(r.Context(), r.PathValue("id")); err != nil {
 		httpError(w, err)
 		return
 	}
@@ -131,6 +132,8 @@ func httpError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, unify.ErrUnknownService):
 		status = http.StatusNotFound
+	case errors.Is(err, unify.ErrBusy):
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -168,8 +171,12 @@ func Dial(id, baseURL string) (*Client, error) {
 func (c *Client) ID() string { return c.id }
 
 // View implements unify.Layer.
-func (c *Client) View() (*nffg.NFFG, error) {
-	resp, err := c.client.Get(c.base + "/unify/view")
+func (c *Client) View(ctx context.Context) (*nffg.NFFG, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/unify/view", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -181,12 +188,17 @@ func (c *Client) View() (*nffg.NFFG, error) {
 }
 
 // Install implements unify.Layer.
-func (c *Client) Install(req *nffg.NFFG) (*unify.Receipt, error) {
+func (c *Client) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
 	var buf bytes.Buffer
 	if err := req.EncodeJSON(&buf); err != nil {
 		return nil, err
 	}
-	resp, err := c.client.Post(c.base+"/unify/services", "application/json", &buf)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/unify/services", &buf)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
 	if err != nil {
 		return nil, err
 	}
@@ -202,10 +214,10 @@ func (c *Client) Install(req *nffg.NFFG) (*unify.Receipt, error) {
 }
 
 // Remove implements unify.Layer.
-func (c *Client) Remove(serviceID string) error {
+func (c *Client) Remove(ctx context.Context, serviceID string) error {
 	// Service IDs may contain separators ('#' in orchestrator sub-requests)
 	// that URL parsing would otherwise eat.
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/unify/services/"+url.PathEscape(serviceID), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/unify/services/"+url.PathEscape(serviceID), nil)
 	if err != nil {
 		return err
 	}
@@ -264,6 +276,8 @@ func remoteError(resp *http.Response) error {
 		return fmt.Errorf("%w: %s", unify.ErrRejected, msg)
 	case http.StatusNotFound:
 		return fmt.Errorf("%w: %s", unify.ErrUnknownService, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", unify.ErrBusy, msg)
 	default:
 		return fmt.Errorf("api: remote error %d: %s", resp.StatusCode, msg)
 	}

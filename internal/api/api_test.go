@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -68,11 +69,11 @@ func TestDialHealth(t *testing.T) {
 
 func TestViewOverHTTP(t *testing.T) {
 	lo, cli := startPair(t)
-	local, err := lo.View()
+	local, err := lo.View(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	remote, err := cli.View()
+	remote, err := cli.View(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestViewOverHTTP(t *testing.T) {
 
 func TestInstallRemoveOverHTTP(t *testing.T) {
 	lo, cli := startPair(t)
-	receipt, err := cli.Install(sg(t, "svc1"))
+	receipt, err := cli.Install(context.Background(), sg(t, "svc1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestInstallRemoveOverHTTP(t *testing.T) {
 	if got := cli.Services(); len(got) != 1 || got[0] != "svc1" {
 		t.Fatalf("client list: %v", got)
 	}
-	if err := cli.Remove("svc1"); err != nil {
+	if err := cli.Remove(context.Background(), "svc1"); err != nil {
 		t.Fatal(err)
 	}
 	if got := lo.Services(); len(got) != 0 {
@@ -112,11 +113,11 @@ func TestErrorMapping(t *testing.T) {
 		NF("bad-nf", "quantum", 2, res(1, 64)).
 		Chain("bad", 1, 0, "sapA", "bad-nf", "sapB").
 		MustBuild()
-	if _, err := cli.Install(bad); !errors.Is(err, unify.ErrRejected) {
+	if _, err := cli.Install(context.Background(), bad); !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("rejection mapping: %v", err)
 	}
 	// Unknown service -> ErrUnknownService.
-	if err := cli.Remove("ghost"); !errors.Is(err, unify.ErrUnknownService) {
+	if err := cli.Remove(context.Background(), "ghost"); !errors.Is(err, unify.ErrUnknownService) {
 		t.Fatalf("unknown mapping: %v", err)
 	}
 }
@@ -130,7 +131,7 @@ func TestRemoteLayerAsDomain(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := sg(t, "dist1")
-	receipt, err := ro.Install(req)
+	receipt, err := ro.Install(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestRemoteLayerAsDomain(t *testing.T) {
 	if !ok || child.ServiceID == "" {
 		t.Fatalf("child receipt: %+v", receipt.Children)
 	}
-	if err := ro.Remove("dist1"); err != nil {
+	if err := ro.Remove(context.Background(), "dist1"); err != nil {
 		t.Fatal(err)
 	}
 	if got := cli.Services(); len(got) != 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -28,7 +29,7 @@ func TestROConcurrentInstalls(t *testing.T) {
 			} else {
 				req = chainReq(t, fmt.Sprintf("con%02d", w), "sap2", "sap1", "nat")
 			}
-			_, err := ro.Install(req)
+			_, err := ro.Install(context.Background(), req)
 			results[w] = err
 		}(w)
 	}
@@ -57,7 +58,7 @@ func TestROConcurrentInstalls(t *testing.T) {
 		wg2.Add(1)
 		go func(id string) {
 			defer wg2.Done()
-			if err := ro.Remove(id); err != nil {
+			if err := ro.Remove(context.Background(), id); err != nil {
 				t.Errorf("remove %s: %v", id, err)
 			}
 		}(id)
@@ -78,8 +79,8 @@ func TestConcurrentViewsDuringInstalls(t *testing.T) {
 		for i := 0; i < 10; i++ {
 			id := fmt.Sprintf("v%02d", i)
 			req := chainReq(t, id, "sap1", "sap2", "fw")
-			if _, err := ro.Install(req); err == nil {
-				_ = ro.Remove(id)
+			if _, err := ro.Install(context.Background(), req); err == nil {
+				_ = ro.Remove(context.Background(), id)
 			}
 		}
 	}()
@@ -88,7 +89,7 @@ func TestConcurrentViewsDuringInstalls(t *testing.T) {
 		case <-done:
 			return
 		default:
-			v, err := ro.View()
+			v, err := ro.View(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -16,7 +17,7 @@ type flakyProgrammer struct {
 	commits  atomic.Int32
 }
 
-func (p *flakyProgrammer) Commit(*nffg.Delta, *nffg.NFFG) error {
+func (p *flakyProgrammer) Commit(context.Context, *nffg.Delta, *nffg.NFFG) error {
 	p.commits.Add(1)
 	if p.failures.Load() > 0 {
 		p.failures.Add(-1)
@@ -31,14 +32,14 @@ func TestLocalOrchestratorRetryAfterTransientFailure(t *testing.T) {
 	lo := leafDomain(t, "fl", "sapA", "border", prog)
 	req := chainReq(t, "svc", "sapA", "border", "fw")
 	// First attempt fails; the orchestrator must stay clean.
-	if _, err := lo.Install(req); !errors.Is(err, unify.ErrRejected) {
+	if _, err := lo.Install(context.Background(), req); !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("first install: %v", err)
 	}
 	if len(lo.Services()) != 0 {
 		t.Fatal("failed install recorded")
 	}
 	// Retry with the same request succeeds (idempotent state).
-	if _, err := lo.Install(chainReq(t, "svc", "sapA", "border", "fw")); err != nil {
+	if _, err := lo.Install(context.Background(), chainReq(t, "svc", "sapA", "border", "fw")); err != nil {
 		t.Fatalf("retry should succeed: %v", err)
 	}
 	if len(lo.Services()) != 1 {
@@ -51,7 +52,7 @@ type teardownFailingProgrammer struct {
 	failDeletes atomic.Int32
 }
 
-func (p *teardownFailingProgrammer) Commit(d *nffg.Delta, _ *nffg.NFFG) error {
+func (p *teardownFailingProgrammer) Commit(_ context.Context, d *nffg.Delta, _ *nffg.NFFG) error {
 	_, dn, _, dr := d.Counts()
 	if (dn > 0 || dr > 0) && p.failDeletes.Load() > 0 {
 		p.failDeletes.Add(-1)
@@ -64,18 +65,18 @@ func TestLocalOrchestratorTeardownFailureKeepsService(t *testing.T) {
 	prog := &teardownFailingProgrammer{}
 	prog.failDeletes.Store(1)
 	lo := leafDomain(t, "td", "sapA", "border", prog)
-	if _, err := lo.Install(chainReq(t, "svc", "sapA", "border", "fw")); err != nil {
+	if _, err := lo.Install(context.Background(), chainReq(t, "svc", "sapA", "border", "fw")); err != nil {
 		t.Fatal(err)
 	}
 	// Teardown fails: the service must remain tracked (retryable).
-	if err := lo.Remove("svc"); err == nil {
+	if err := lo.Remove(context.Background(), "svc"); err == nil {
 		t.Fatal("teardown should fail")
 	}
 	if len(lo.Services()) != 1 {
 		t.Fatal("service must remain after failed teardown")
 	}
 	// Second attempt succeeds.
-	if err := lo.Remove("svc"); err != nil {
+	if err := lo.Remove(context.Background(), "svc"); err != nil {
 		t.Fatalf("retry teardown: %v", err)
 	}
 	if len(lo.Services()) != 0 {
@@ -120,7 +121,7 @@ func TestROPartialChildFailureMidChain(t *testing.T) {
 	req.NFs["svc-fw"].Host = "bisbis@A"
 	req.NFs["svc-dpi"].Host = "bisbis@B" // lands on the failing child
 	req.NFs["svc-nat"].Host = "bisbis@C"
-	if _, err := ro.Install(req); !errors.Is(err, unify.ErrRejected) {
+	if _, err := ro.Install(context.Background(), req); !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("install should fail: %v", err)
 	}
 	for _, lo := range []*LocalOrchestrator{loA, loB, loC} {
@@ -133,7 +134,7 @@ func TestROPartialChildFailureMidChain(t *testing.T) {
 	}
 	// Capacity fully restored everywhere.
 	for _, lo := range []*LocalOrchestrator{loA, loC} {
-		v, _ := lo.View()
+		v, _ := lo.View(context.Background())
 		for _, id := range v.InfraIDs() {
 			if v.Infras[id].Capacity.CPU != 8 {
 				t.Fatalf("capacity leak on %s: %g", lo.ID(), v.Infras[id].Capacity.CPU)
@@ -149,10 +150,10 @@ func TestROManySequentialServices(t *testing.T) {
 	for i := 0; i < 25; i++ {
 		id := fmt.Sprintf("churn%02d", i)
 		req := chainReq(t, id, "sap1", "sap2", "fw")
-		if _, err := ro.Install(req); err != nil {
+		if _, err := ro.Install(context.Background(), req); err != nil {
 			t.Fatalf("cycle %d install: %v", i, err)
 		}
-		if err := ro.Remove(id); err != nil {
+		if err := ro.Remove(context.Background(), id); err != nil {
 			t.Fatalf("cycle %d remove: %v", i, err)
 		}
 	}

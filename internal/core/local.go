@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -19,15 +21,19 @@ import (
 type Programmer interface {
 	// Commit applies a delta. cfg is the complete desired state for
 	// reference (e.g. to resolve ports). Commit must either fully apply the
-	// delta or leave the infrastructure unchanged.
-	Commit(delta *nffg.Delta, cfg *nffg.NFFG) error
+	// delta or leave the infrastructure unchanged. ctx carries the caller's
+	// deadline/cancellation; a Programmer observing ctx done should stop and
+	// report ctx.Err() without applying the delta.
+	Commit(ctx context.Context, delta *nffg.Delta, cfg *nffg.NFFG) error
 }
 
 // ProgrammerFunc adapts a function to the Programmer interface.
-type ProgrammerFunc func(delta *nffg.Delta, cfg *nffg.NFFG) error
+type ProgrammerFunc func(ctx context.Context, delta *nffg.Delta, cfg *nffg.NFFG) error
 
 // Commit implements Programmer.
-func (f ProgrammerFunc) Commit(delta *nffg.Delta, cfg *nffg.NFFG) error { return f(delta, cfg) }
+func (f ProgrammerFunc) Commit(ctx context.Context, delta *nffg.Delta, cfg *nffg.NFFG) error {
+	return f(ctx, delta, cfg)
+}
 
 // LocalOrchestrator is the UNIFY-conform local orchestrator every
 // infrastructure domain runs (the paper implements one per technology:
@@ -35,6 +41,13 @@ func (f ProgrammerFunc) Commit(delta *nffg.Delta, cfg *nffg.NFFG) error { return
 // local orchestrator). It owns the domain's internal substrate, embeds
 // incoming requests onto it, and delegates device programming to a
 // Programmer. It implements domain.Domain.
+//
+// Like the ResourceOrchestrator it uses the snapshot→map→commit pipeline: the
+// configured substrate is an immutable value with a generation counter, the
+// CPU-bound embedding runs against a snapshot outside the lock, and only the
+// generation re-check plus device programming sit in the critical section (a
+// domain's devices are programmed one delta at a time, since deltas are
+// relative to the configured state).
 type LocalOrchestrator struct {
 	id     string
 	virt   Virtualizer
@@ -43,8 +56,10 @@ type LocalOrchestrator struct {
 	caps   []domain.Capability
 
 	mu       sync.Mutex
-	cfg      *nffg.NFFG // configured substrate: internal topology + deployed state
+	cfg      *nffg.NFFG // immutable snapshot: internal topology + deployed state
+	gen      uint64     // bumped on every committed substrate change
 	services map[string]*embed.Mapping
+	pending  map[string]bool // IDs reserved by in-flight installs
 }
 
 // LocalConfig assembles a LocalOrchestrator.
@@ -83,7 +98,7 @@ func NewLocalOrchestrator(cfg LocalConfig) (*LocalOrchestrator, error) {
 		cfg.Mapper = embed.NewDefault()
 	}
 	if cfg.Programmer == nil {
-		cfg.Programmer = ProgrammerFunc(func(*nffg.Delta, *nffg.NFFG) error { return nil })
+		cfg.Programmer = ProgrammerFunc(func(context.Context, *nffg.Delta, *nffg.NFFG) error { return nil })
 	}
 	if cfg.Capabilities == nil {
 		cfg.Capabilities = []domain.Capability{domain.CapCompute, domain.CapForwarding}
@@ -96,6 +111,7 @@ func NewLocalOrchestrator(cfg LocalConfig) (*LocalOrchestrator, error) {
 		caps:     cfg.Capabilities,
 		cfg:      cfg.Substrate.Copy(),
 		services: map[string]*embed.Mapping{},
+		pending:  map[string]bool{},
 	}, nil
 }
 
@@ -107,32 +123,33 @@ func (lo *LocalOrchestrator) Capabilities() []domain.Capability {
 	return append([]domain.Capability(nil), lo.caps...)
 }
 
-// View implements unify.Layer: the domain's exported virtualization.
-func (lo *LocalOrchestrator) View() (*nffg.NFFG, error) {
+// snapshot returns the current immutable (cfg, gen) pair.
+func (lo *LocalOrchestrator) snapshot() (*nffg.NFFG, uint64) {
 	lo.mu.Lock()
 	defer lo.mu.Unlock()
-	return lo.virt.View(lo.cfg)
+	return lo.cfg, lo.gen
+}
+
+// View implements unify.Layer: the domain's exported virtualization, derived
+// from an immutable snapshot without holding the lock.
+func (lo *LocalOrchestrator) View(ctx context.Context) (*nffg.NFFG, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	snap, _ := lo.snapshot()
+	return lo.virt.View(snap)
 }
 
 // Internal returns a copy of the internal configured substrate (inspection
 // and tests).
 func (lo *LocalOrchestrator) Internal() *nffg.NFFG {
-	lo.mu.Lock()
-	defer lo.mu.Unlock()
-	return lo.cfg.Copy()
+	snap, _ := lo.snapshot()
+	return snap.Copy()
 }
 
-// Install implements unify.Layer: embed the request on the internal
-// substrate, program the devices, and record the service.
-func (lo *LocalOrchestrator) Install(req *nffg.NFFG) (*unify.Receipt, error) {
-	lo.mu.Lock()
-	defer lo.mu.Unlock()
-	if req.ID == "" {
-		return nil, fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
-	}
-	if _, dup := lo.services[req.ID]; dup {
-		return nil, fmt.Errorf("%w: service %s already installed", unify.ErrRejected, req.ID)
-	}
+// plan embeds a request against an immutable substrate snapshot and derives
+// the new configuration plus the device delta. No locks held.
+func (lo *LocalOrchestrator) plan(snap *nffg.NFFG, req *nffg.NFFG) (*embed.Mapping, *nffg.NFFG, *nffg.Delta, error) {
 	work := req.Copy()
 	scope := map[nffg.ID][]nffg.ID{}
 	for _, id := range work.NFIDs() {
@@ -140,12 +157,12 @@ func (lo *LocalOrchestrator) Install(req *nffg.NFFG) (*unify.Receipt, error) {
 		if nf.Host == "" {
 			continue
 		}
-		if _, direct := lo.cfg.Infras[nf.Host]; direct {
+		if _, direct := snap.Infras[nf.Host]; direct {
 			continue
 		}
-		expanded := lo.virt.Scope(lo.cfg, nf.Host)
+		expanded := lo.virt.Scope(snap, nf.Host)
 		if len(expanded) == 0 {
-			return nil, fmt.Errorf("%w: NF %s pinned to unknown view node %s", unify.ErrRejected, id, nf.Host)
+			return nil, nil, nil, fmt.Errorf("%w: NF %s pinned to unknown view node %s", unify.ErrRejected, id, nf.Host)
 		}
 		if len(expanded) == 1 {
 			nf.Host = expanded[0]
@@ -154,44 +171,110 @@ func (lo *LocalOrchestrator) Install(req *nffg.NFFG) (*unify.Receipt, error) {
 			scope[id] = expanded
 		}
 	}
-	mapping, err := lo.mapper.MapScoped(lo.cfg, work, scope)
+	mapping, err := lo.mapper.MapScoped(snap, work, scope)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+		return nil, nil, nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
 	}
-	newCfg, err := embed.Apply(lo.cfg, mapping)
+	newCfg, err := embed.Apply(snap, mapping)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+		return nil, nil, nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
 	}
-	delta, err := nffg.Diff(lo.cfg, newCfg)
+	delta, err := nffg.Diff(snap, newCfg)
 	if err != nil {
-		return nil, fmt.Errorf("core %s: diff: %w", lo.id, err)
+		return nil, nil, nil, fmt.Errorf("core %s: diff: %w", lo.id, err)
 	}
-	if err := lo.prog.Commit(delta, newCfg); err != nil {
-		return nil, fmt.Errorf("%w: programming failed: %v", unify.ErrRejected, err)
+	return mapping, newCfg, delta, nil
+}
+
+// Install implements unify.Layer: embed the request on a substrate snapshot
+// (outside the lock), then commit — re-validating the generation, programming
+// the devices, and recording the service in one critical section. Losing the
+// commit race re-plans on a fresh snapshot, bounded by MaxMapAttempts.
+func (lo *LocalOrchestrator) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	lo.cfg = newCfg
-	lo.services[req.ID] = mapping
-	receipt := &unify.Receipt{
-		ServiceID:      req.ID,
-		Placements:     map[nffg.ID]nffg.ID{},
-		HopPaths:       map[string][]string{},
-		Decompositions: mapping.Applied,
+	if req.ID == "" {
+		return nil, fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
 	}
-	for nf, host := range mapping.NFHost {
-		receipt.Placements[nf] = host
+	lo.mu.Lock()
+	if lo.services[req.ID] != nil || lo.pending[req.ID] {
+		lo.mu.Unlock()
+		return nil, fmt.Errorf("%w: service %s already installed", unify.ErrRejected, req.ID)
 	}
-	for hid, p := range mapping.Paths {
-		var nodes []string
-		for _, n := range p.Nodes {
-			nodes = append(nodes, string(n))
+	lo.pending[req.ID] = true
+	lo.mu.Unlock()
+	release := func() {
+		lo.mu.Lock()
+		delete(lo.pending, req.ID)
+		lo.mu.Unlock()
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < MaxMapAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			release()
+			return nil, err
 		}
-		receipt.HopPaths[hid] = nodes
+		snap, snapGen := lo.snapshot()
+		mapping, newCfg, delta, err := lo.plan(snap, req)
+		if err != nil {
+			if _, gen := lo.snapshot(); gen != snapGen {
+				lastErr = err
+				continue // stale failure: the substrate moved, re-plan
+			}
+			release()
+			return nil, err
+		}
+		lo.mu.Lock()
+		if lo.gen != snapGen {
+			lo.mu.Unlock()
+			lastErr = fmt.Errorf("%w: substrate generation advanced during mapping", unify.ErrBusy)
+			continue // lost the commit race, re-plan on the fresh snapshot
+		}
+		if err := lo.prog.Commit(ctx, delta, newCfg); err != nil {
+			delete(lo.pending, req.ID)
+			lo.mu.Unlock()
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Keep the context error identity: the caller canceled, the
+				// request was not rejected on its merits.
+				return nil, fmt.Errorf("core %s: programming canceled: %w", lo.id, err)
+			}
+			return nil, fmt.Errorf("%w: programming failed: %v", unify.ErrRejected, err)
+		}
+		lo.cfg = newCfg
+		lo.gen++
+		lo.services[req.ID] = mapping
+		delete(lo.pending, req.ID)
+		lo.mu.Unlock()
+
+		receipt := &unify.Receipt{
+			ServiceID:      req.ID,
+			Placements:     map[nffg.ID]nffg.ID{},
+			HopPaths:       map[string][]string{},
+			Decompositions: mapping.Applied,
+		}
+		for nf, host := range mapping.NFHost {
+			receipt.Placements[nf] = host
+		}
+		for hid, p := range mapping.Paths {
+			var nodes []string
+			for _, n := range p.Nodes {
+				nodes = append(nodes, string(n))
+			}
+			receipt.HopPaths[hid] = nodes
+		}
+		return receipt, nil
 	}
-	return receipt, nil
+	release()
+	return nil, fmt.Errorf("%w: gave up after %d mapping attempts (last: %v)", unify.ErrBusy, MaxMapAttempts, lastErr)
 }
 
 // Remove implements unify.Layer.
-func (lo *LocalOrchestrator) Remove(serviceID string) error {
+func (lo *LocalOrchestrator) Remove(ctx context.Context, serviceID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	lo.mu.Lock()
 	defer lo.mu.Unlock()
 	mapping, ok := lo.services[serviceID]
@@ -206,10 +289,11 @@ func (lo *LocalOrchestrator) Remove(serviceID string) error {
 	if err != nil {
 		return err
 	}
-	if err := lo.prog.Commit(delta, newCfg); err != nil {
+	if err := lo.prog.Commit(ctx, delta, newCfg); err != nil {
 		return fmt.Errorf("core %s: programming teardown: %w", lo.id, err)
 	}
 	lo.cfg = newCfg
+	lo.gen++
 	delete(lo.services, serviceID)
 	return nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sort"
@@ -13,11 +15,27 @@ import (
 	"github.com/unify-repro/escape/internal/unify"
 )
 
+// MaxMapAttempts bounds the optimistic snapshot→map→commit retries of an
+// Install: each retry re-reads the DoV after a concurrent commit bumped the
+// generation. Exhaustion returns unify.ErrBusy — the request was never
+// rejected on its merits, only crowded out.
+const MaxMapAttempts = 8
+
 // ResourceOrchestrator is the manager of the paper's architecture: it merges
 // the virtualization views of its southbound layers into a global resource
 // view (the DoV — domain of views), maps incoming requests onto it, and
 // splits the result into sub-requests for each child. It implements
 // unify.Layer northbound, so orchestrators stack recursively.
+//
+// Concurrency model (snapshot → map → commit): the DoV is treated as an
+// immutable value guarded by a generation counter. Installs snapshot the
+// current (dov, gen) pair, run the CPU-bound embedding and request splitting
+// against the snapshot without holding any lock, and re-validate the
+// generation in a short critical section when swapping the new DoV in. A
+// concurrent commit bumps the generation and forces the loser to re-map on a
+// fresh snapshot (bounded by MaxMapAttempts). Child deployments then fan out
+// in parallel goroutines with first-error cancellation, so install latency is
+// the slowest child rather than the sum of all children.
 type ResourceOrchestrator struct {
 	id     string
 	virt   Virtualizer
@@ -25,12 +43,29 @@ type ResourceOrchestrator struct {
 	reg    *domain.Registry
 
 	mu       sync.Mutex
-	dov      *nffg.NFFG         // configured global resource view
-	owner    map[nffg.ID]string // DoV infra -> child ID that exported it
+	dov      *nffg.NFFG         // immutable snapshot; replaced wholesale on commit
+	gen      uint64             // bumped on every committed DoV change
+	owner    map[nffg.ID]string // immutable snapshot: DoV infra -> child ID that exported it
 	services map[string]*serviceRecord
 }
 
+// serviceState tracks the lifecycle of a serviceRecord so concurrent
+// operations on the same ID exclude each other without holding the
+// orchestrator lock across actuation.
+type serviceState int
+
+const (
+	// statePending: install in flight; the ID is reserved and (after commit)
+	// DoV resources are held, but children may not be programmed yet.
+	statePending serviceState = iota
+	// stateReady: fully deployed.
+	stateReady
+	// stateRemoving: teardown in flight.
+	stateRemoving
+)
+
 type serviceRecord struct {
+	state   serviceState
 	mapping *embed.Mapping
 	// children maps child ID -> sub-service IDs installed there.
 	children map[string][]string
@@ -72,69 +107,86 @@ func (ro *ResourceOrchestrator) ID() string { return ro.id }
 
 // Attach registers a southbound layer (an infrastructure domain adapter or
 // another orchestrator) and folds its view into the DoV. Children exporting
-// the same SAP IDs are stitched at those border SAPs.
+// the same SAP IDs are stitched at those border SAPs. The merge runs on a
+// copy that is swapped in only on success, so a failed Attach can never leave
+// a partially-merged DoV behind.
 func (ro *ResourceOrchestrator) Attach(d domain.Domain) error {
 	if err := ro.reg.Register(d); err != nil {
 		return err
 	}
-	view, err := d.View()
+	view, err := d.View(context.Background())
 	if err != nil {
 		_ = ro.reg.Deregister(d.ID())
 		return fmt.Errorf("core: attach %s: %w", d.ID(), err)
 	}
 	ro.mu.Lock()
 	defer ro.mu.Unlock()
-	if ro.dov == nil {
-		ro.dov = nffg.New(ro.id + "-dov")
-		ro.owner = map[nffg.ID]string{}
+	next := nffg.New(ro.id + "-dov")
+	if ro.dov != nil {
+		next = ro.dov.Copy()
 	}
-	if err := ro.dov.Merge(view); err != nil {
+	if err := next.Merge(view); err != nil {
 		_ = ro.reg.Deregister(d.ID())
 		return fmt.Errorf("core: merge view of %s: %w", d.ID(), err)
 	}
-	for _, infra := range view.InfraIDs() {
-		ro.owner[infra] = d.ID()
+	owner := make(map[nffg.ID]string, len(ro.owner)+len(view.Infras))
+	for k, v := range ro.owner {
+		owner[k] = v
 	}
+	for _, infra := range view.InfraIDs() {
+		owner[infra] = d.ID()
+	}
+	ro.dov = next
+	ro.owner = owner
+	ro.gen++
 	return nil
 }
 
 // Children lists attached child layer IDs.
 func (ro *ResourceOrchestrator) Children() []string { return ro.reg.Names() }
 
-// DoV returns a copy of the current global resource view (for inspection).
-func (ro *ResourceOrchestrator) DoV() *nffg.NFFG {
+// snapshot returns the current immutable (dov, owner, gen) triple.
+func (ro *ResourceOrchestrator) snapshot() (*nffg.NFFG, map[nffg.ID]string, uint64) {
 	ro.mu.Lock()
 	defer ro.mu.Unlock()
-	if ro.dov == nil {
+	return ro.dov, ro.owner, ro.gen
+}
+
+// Generation returns the current DoV generation (exported for tests and
+// metrics: the number of committed DoV changes since start).
+func (ro *ResourceOrchestrator) Generation() uint64 {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	return ro.gen
+}
+
+// DoV returns a copy of the current global resource view (for inspection).
+func (ro *ResourceOrchestrator) DoV() *nffg.NFFG {
+	snap, _, _ := ro.snapshot()
+	if snap == nil {
 		return nffg.New(ro.id + "-dov")
 	}
-	return ro.dov.Copy()
+	return snap.Copy()
 }
 
 // View implements unify.Layer: the northbound virtualization of the DoV.
-func (ro *ResourceOrchestrator) View() (*nffg.NFFG, error) {
-	ro.mu.Lock()
-	defer ro.mu.Unlock()
-	if ro.dov == nil {
+// The view derives from an immutable snapshot, so the computation runs
+// without holding the orchestrator lock.
+func (ro *ResourceOrchestrator) View(ctx context.Context) (*nffg.NFFG, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	snap, _, _ := ro.snapshot()
+	if snap == nil {
 		return nil, ErrEmptyView
 	}
-	return ro.virt.View(ro.dov)
+	return ro.virt.View(snap)
 }
 
-// Install implements unify.Layer: map the request on the DoV, then deploy
-// per-child sub-requests.
-func (ro *ResourceOrchestrator) Install(req *nffg.NFFG) (*unify.Receipt, error) {
-	ro.mu.Lock()
-	defer ro.mu.Unlock()
-	if ro.dov == nil {
-		return nil, fmt.Errorf("%w: no domains attached", unify.ErrRejected)
-	}
-	if req.ID == "" {
-		return nil, fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
-	}
-	if _, dup := ro.services[req.ID]; dup {
-		return nil, fmt.Errorf("%w: service %s already installed", unify.ErrRejected, req.ID)
-	}
+// plan runs the CPU-bound half of an install against an immutable DoV
+// snapshot: view-pin expansion, embedding, resource application and per-child
+// request splitting. It holds no locks and mutates no shared state.
+func (ro *ResourceOrchestrator) plan(snap *nffg.NFFG, owner map[nffg.ID]string, req *nffg.NFFG) (*embed.Mapping, *nffg.NFFG, map[string]*nffg.NFFG, error) {
 	// Translate view-node pins into DoV scope constraints.
 	work := req.Copy()
 	scope := map[nffg.ID][]nffg.ID{}
@@ -143,12 +195,12 @@ func (ro *ResourceOrchestrator) Install(req *nffg.NFFG) (*unify.Receipt, error) 
 		if nf.Host == "" {
 			continue
 		}
-		if _, direct := ro.dov.Infras[nf.Host]; direct {
+		if _, direct := snap.Infras[nf.Host]; direct {
 			continue // already a DoV node (transparent views)
 		}
-		expanded := ro.virt.Scope(ro.dov, nf.Host)
+		expanded := ro.virt.Scope(snap, nf.Host)
 		if len(expanded) == 0 {
-			return nil, fmt.Errorf("%w: NF %s pinned to unknown view node %s", unify.ErrRejected, id, nf.Host)
+			return nil, nil, nil, fmt.Errorf("%w: NF %s pinned to unknown view node %s", unify.ErrRejected, id, nf.Host)
 		}
 		if len(expanded) == 1 {
 			nf.Host = expanded[0]
@@ -157,20 +209,102 @@ func (ro *ResourceOrchestrator) Install(req *nffg.NFFG) (*unify.Receipt, error) 
 			scope[id] = expanded
 		}
 	}
-	mapping, err := ro.mapper.MapScoped(ro.dov, work, scope)
+	mapping, err := ro.mapper.MapScoped(snap, work, scope)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+		return nil, nil, nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
 	}
-	newDov, err := embed.Apply(ro.dov, mapping)
+	newDov, err := embed.Apply(snap, mapping)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+		return nil, nil, nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
 	}
-	// Split the mapped request into per-child sub-requests and deploy.
-	subs, err := ro.split(req.ID, mapping)
+	subs, err := ro.split(snap, owner, req.ID, mapping)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+		return nil, nil, nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
 	}
-	rec := &serviceRecord{mapping: mapping, children: map[string][]string{}}
+	return mapping, newDov, subs, nil
+}
+
+// mapAndCommit runs the optimistic snapshot→map→commit loop: plan on a
+// snapshot outside the lock, then swap the new DoV in iff no concurrent
+// commit moved the generation; otherwise re-plan on a fresh snapshot, at most
+// MaxMapAttempts times.
+func (ro *ResourceOrchestrator) mapAndCommit(ctx context.Context, req *nffg.NFFG) (*embed.Mapping, map[string]*nffg.NFFG, error) {
+	var lastErr error
+	for attempt := 0; attempt < MaxMapAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		snap, owner, snapGen := ro.snapshot()
+		mapping, newDov, subs, err := ro.plan(snap, owner, req)
+		if err != nil {
+			// The plan failed against this snapshot. If a concurrent commit
+			// moved the DoV in the meantime, the failure may be stale (e.g. a
+			// Remove just freed the conflicting resources) — retry fresh.
+			if _, _, gen := ro.snapshot(); gen != snapGen {
+				lastErr = err
+				continue
+			}
+			return nil, nil, err
+		}
+		ro.mu.Lock()
+		if ro.gen == snapGen {
+			ro.dov = newDov
+			ro.gen++
+			ro.mu.Unlock()
+			return mapping, subs, nil
+		}
+		ro.mu.Unlock()
+		// Lost the commit race; loop re-plans against the new generation.
+		lastErr = fmt.Errorf("%w: DoV generation advanced during mapping", unify.ErrBusy)
+	}
+	return nil, nil, fmt.Errorf("%w: gave up after %d mapping attempts (last: %v)", unify.ErrBusy, MaxMapAttempts, lastErr)
+}
+
+// Install implements unify.Layer: map the request on a DoV snapshot, commit
+// the reservation, then deploy per-child sub-requests in parallel.
+func (ro *ResourceOrchestrator) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if req.ID == "" {
+		return nil, fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
+	}
+	rec := &serviceRecord{state: statePending, children: map[string][]string{}}
+	ro.mu.Lock()
+	if ro.dov == nil {
+		ro.mu.Unlock()
+		return nil, fmt.Errorf("%w: no domains attached", unify.ErrRejected)
+	}
+	if _, dup := ro.services[req.ID]; dup {
+		ro.mu.Unlock()
+		return nil, fmt.Errorf("%w: service %s already installed", unify.ErrRejected, req.ID)
+	}
+	// Reserve the ID so concurrent duplicate installs reject immediately.
+	ro.services[req.ID] = rec
+	ro.mu.Unlock()
+	abort := func() {
+		ro.mu.Lock()
+		delete(ro.services, req.ID)
+		ro.mu.Unlock()
+	}
+
+	mapping, subs, err := ro.mapAndCommit(ctx, req)
+	if err != nil {
+		abort()
+		return nil, err
+	}
+	// The DoV now holds this service's reservation; any exit below must
+	// either complete the install or release it again.
+	children := sortedKeys(subs)
+	receipts, err := ro.deployChildren(ctx, children, subs)
+	if err != nil {
+		if rerr := ro.releaseDoV(mapping); rerr != nil {
+			log.Printf("core %s: releasing aborted install %s: %v", ro.id, req.ID, rerr)
+		}
+		abort()
+		return nil, err
+	}
+
 	receipt := &unify.Receipt{
 		ServiceID:      req.ID,
 		Placements:     map[nffg.ID]nffg.ID{},
@@ -188,80 +322,189 @@ func (ro *ResourceOrchestrator) Install(req *nffg.NFFG) (*unify.Receipt, error) 
 		}
 		receipt.HopPaths[hid] = nodes
 	}
-	var installed []struct {
-		child string
-		id    string
+	for i, childID := range children {
+		receipt.Children[childID] = receipts[i]
 	}
-	rollback := func() {
-		for _, in := range installed {
-			if d, err := ro.reg.Get(in.child); err == nil {
-				if rerr := d.Remove(in.id); rerr != nil {
-					log.Printf("core %s: rollback of %s on %s failed: %v", ro.id, in.id, in.child, rerr)
-				}
-			}
-		}
+	ro.mu.Lock()
+	rec.mapping = mapping
+	for _, childID := range children {
+		rec.children[childID] = append(rec.children[childID], subs[childID].ID)
 	}
-	for _, childID := range sortedKeys(subs) {
-		sub := subs[childID]
-		d, err := ro.reg.Get(childID)
-		if err != nil {
-			rollback()
-			return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
-		}
-		childReceipt, err := d.Install(sub)
-		if err != nil {
-			rollback()
-			return nil, fmt.Errorf("%w: child %s rejected: %v", unify.ErrRejected, childID, err)
-		}
-		installed = append(installed, struct {
-			child string
-			id    string
-		}{childID, sub.ID})
-		rec.children[childID] = append(rec.children[childID], sub.ID)
-		receipt.Children[childID] = childReceipt
-	}
-	ro.dov = newDov
 	rec.receipt = receipt
-	ro.services[req.ID] = rec
+	rec.state = stateReady
+	ro.mu.Unlock()
 	return receipt, nil
 }
 
-// Remove implements unify.Layer.
-func (ro *ResourceOrchestrator) Remove(serviceID string) error {
-	ro.mu.Lock()
-	defer ro.mu.Unlock()
-	rec, ok := ro.services[serviceID]
-	if !ok {
-		return fmt.Errorf("%w: %s", unify.ErrUnknownService, serviceID)
-	}
-	var firstErr error
-	for _, childID := range sortedKeys(rec.children) {
-		d, err := ro.reg.Get(childID)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
+// deployChildren installs the per-child sub-requests in parallel goroutines.
+// The first failure cancels the context handed to the siblings, already
+// deployed children are rolled back, and the first (root-cause) error is
+// returned.
+func (ro *ResourceOrchestrator) deployChildren(ctx context.Context, children []string, subs map[string]*nffg.NFFG) ([]*unify.Receipt, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	receipts := make([]*unify.Receipt, len(children))
+	errs := make([]error, len(children))
+	var wg sync.WaitGroup
+	for i, childID := range children {
+		wg.Add(1)
+		go func(i int, childID string) {
+			defer wg.Done()
+			d, err := ro.reg.Get(childID)
+			if err == nil {
+				receipts[i], err = d.Install(cctx, subs[childID])
 			}
+			if err != nil {
+				errs[i] = err
+				cancel() // first error cancels the sibling deploys
+			}
+		}(i, childID)
+	}
+	wg.Wait()
+	firstErr := pickRootCause(children, errs)
+	if firstErr == nil {
+		return receipts, nil
+	}
+	// Roll back whatever landed, in parallel, detached from the canceled
+	// deploy context so teardown still runs after a northbound cancellation.
+	rctx := context.WithoutCancel(ctx)
+	var rb sync.WaitGroup
+	for i, childID := range children {
+		if receipts[i] == nil || errs[i] != nil {
 			continue
 		}
-		for _, subID := range rec.children[childID] {
-			if err := d.Remove(subID); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("core: remove %s on %s: %w", subID, childID, err)
+		rb.Add(1)
+		go func(childID, subID string) {
+			defer rb.Done()
+			d, err := ro.reg.Get(childID)
+			if err != nil {
+				log.Printf("core %s: rollback of %s: %v", ro.id, subID, err)
+				return
 			}
+			if rerr := d.Remove(rctx, subID); rerr != nil {
+				log.Printf("core %s: rollback of %s on %s failed: %v", ro.id, subID, childID, rerr)
+			}
+		}(childID, subs[childID].ID)
+	}
+	rb.Wait()
+	return nil, firstErr
+}
+
+// pickRootCause selects the error to surface from a fan-out: the first
+// non-cancellation child error (the root cause) if any, wrapped in
+// ErrRejected. A purely-canceled fan-out keeps the context error identity
+// (errors.Is(err, context.Canceled) holds) instead of claiming rejection.
+func pickRootCause(children []string, errs []error) error {
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = fmt.Errorf("core: child %s canceled: %w", children[i], err)
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("%w: child %s rejected: %v", unify.ErrRejected, children[i], err)
 		}
 	}
-	if err := embed.Release(ro.dov, rec.mapping); err != nil && firstErr == nil {
+	return first
+}
+
+// releaseDoV returns a mapping's resources to the DoV (copy-on-write: the
+// release runs on a copy that replaces the current snapshot).
+func (ro *ResourceOrchestrator) releaseDoV(mp *embed.Mapping) error {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	next := ro.dov.Copy()
+	err := embed.Release(next, mp)
+	if err == nil {
+		ro.dov = next
+	}
+	// Bump the generation either way so optimistic mappers re-read.
+	ro.gen++
+	return err
+}
+
+// Remove implements unify.Layer. Child teardowns fan out in parallel;
+// teardown is best-effort (siblings are not canceled on error), the first
+// error is reported, and a failed Remove keeps the service removable: the
+// record and DoV reservation are dropped only once every child teardown
+// succeeded, and retries tolerate children already gone.
+func (ro *ResourceOrchestrator) Remove(ctx context.Context, serviceID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ro.mu.Lock()
+	rec, ok := ro.services[serviceID]
+	if !ok {
+		ro.mu.Unlock()
+		return fmt.Errorf("%w: %s", unify.ErrUnknownService, serviceID)
+	}
+	if rec.state != stateReady {
+		ro.mu.Unlock()
+		return fmt.Errorf("%w: service %s has an operation in flight", unify.ErrBusy, serviceID)
+	}
+	rec.state = stateRemoving
+	ro.mu.Unlock()
+
+	children := sortedKeys(rec.children)
+	errs := make([]error, len(children))
+	var wg sync.WaitGroup
+	for i, childID := range children {
+		wg.Add(1)
+		go func(i int, childID string) {
+			defer wg.Done()
+			d, err := ro.reg.Get(childID)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for _, subID := range rec.children[childID] {
+				err := d.Remove(ctx, subID)
+				// A child that no longer knows the sub-service was torn down
+				// by an earlier partially-failed Remove: retries treat it as
+				// done.
+				if err != nil && !errors.Is(err, unify.ErrUnknownService) && errs[i] == nil {
+					errs[i] = fmt.Errorf("core: remove %s on %s: %w", subID, childID, err)
+				}
+			}
+		}(i, childID)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		// Partial teardown: keep the record (and the DoV reservation, since
+		// children may still hold resources) so the caller can retry.
+		ro.mu.Lock()
+		rec.state = stateReady
+		ro.mu.Unlock()
+		return firstErr
+	}
+	if err := ro.releaseDoV(rec.mapping); err != nil {
 		firstErr = err
 	}
+	ro.mu.Lock()
 	delete(ro.services, serviceID)
+	ro.mu.Unlock()
 	return firstErr
 }
 
-// Services implements unify.Layer.
+// Services implements unify.Layer. Pending installs are not listed: a service
+// exists northbound only once its Install returned.
 func (ro *ResourceOrchestrator) Services() []string {
 	ro.mu.Lock()
 	defer ro.mu.Unlock()
 	out := make([]string, 0, len(ro.services))
-	for id := range ro.services {
+	for id, rec := range ro.services {
+		if rec.state == statePending {
+			continue
+		}
 		out = append(out, id)
 	}
 	sort.Strings(out)
@@ -273,11 +516,11 @@ func (ro *ResourceOrchestrator) Capabilities() []domain.Capability {
 	return []domain.Capability{domain.CapCompute, domain.CapForwarding, domain.CapNative}
 }
 
-// split turns a mapping over the DoV into per-child sub-requests: each child
-// receives the NFs placed on its nodes (pinned) plus the hop segments that
-// run inside it. Hop paths are cut at border SAPs and at links between nodes
-// of different children.
-func (ro *ResourceOrchestrator) split(serviceID string, mp *embed.Mapping) (map[string]*nffg.NFFG, error) {
+// split turns a mapping over a DoV snapshot into per-child sub-requests: each
+// child receives the NFs placed on its nodes (pinned) plus the hop segments
+// that run inside it. Hop paths are cut at border SAPs and at links between
+// nodes of different children.
+func (ro *ResourceOrchestrator) split(snap *nffg.NFFG, owner map[nffg.ID]string, serviceID string, mp *embed.Mapping) (map[string]*nffg.NFFG, error) {
 	subs := map[string]*nffg.NFFG{}
 	getSub := func(child string) *nffg.NFFG {
 		if s, ok := subs[child]; ok {
@@ -291,7 +534,7 @@ func (ro *ResourceOrchestrator) split(serviceID string, mp *embed.Mapping) (map[
 	for _, nfID := range mp.Request.NFIDs() {
 		nf := mp.Request.NFs[nfID]
 		host := mp.NFHost[nfID]
-		child, ok := ro.owner[host]
+		child, ok := owner[host]
 		if !ok {
 			return nil, fmt.Errorf("core: DoV node %s has no owning child", host)
 		}
@@ -311,13 +554,13 @@ func (ro *ResourceOrchestrator) split(serviceID string, mp *embed.Mapping) (map[
 	// Hop segments.
 	for _, h := range mp.Request.Hops {
 		p := mp.Paths[h.ID]
-		segments, err := ro.segment(h, p)
+		segments, err := segment(owner, h, p)
 		if err != nil {
 			return nil, err
 		}
 		for _, seg := range segments {
 			sub := getSub(seg.child)
-			ensureSAPs(sub, ro.dov, seg)
+			ensureSAPs(sub, snap, seg)
 			hop := &nffg.SGHop{
 				ID:        seg.id,
 				SrcNode:   seg.srcNode,
@@ -348,9 +591,9 @@ type segmentInfo struct {
 // segment cuts one hop's DoV path into child-local pieces. Border SAPs (SAP
 // nodes in the middle of a path) are the cut points; they appear as SAP
 // endpoints in both adjacent children.
-func (ro *ResourceOrchestrator) segment(h *nffg.SGHop, p topo.Path) ([]segmentInfo, error) {
+func segment(owner map[nffg.ID]string, h *nffg.SGHop, p topo.Path) ([]segmentInfo, error) {
 	// Resolve which child each path node belongs to; SAPs resolve to "".
-	childOf := func(n topo.NodeID) string { return ro.owner[nffg.ID(n)] }
+	childOf := func(n topo.NodeID) string { return owner[nffg.ID(n)] }
 	// Single-node path (co-located endpoints) or single-child path.
 	var segs []segmentInfo
 	curChild := ""

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -22,7 +23,7 @@ type recordingProgrammer struct {
 	failPfx string // fail when a committed NF ID has this prefix
 }
 
-func (p *recordingProgrammer) Commit(d *nffg.Delta, _ *nffg.NFFG) error {
+func (p *recordingProgrammer) Commit(_ context.Context, d *nffg.Delta, _ *nffg.NFFG) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, nf := range d.AddNFs {
@@ -79,7 +80,7 @@ func TestLocalOrchestratorLifecycle(t *testing.T) {
 	prog := &recordingProgrammer{}
 	lo := leafDomain(t, "mn", "sap1", "border", prog)
 
-	v, err := lo.View()
+	v, err := lo.View(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestLocalOrchestratorLifecycle(t *testing.T) {
 	req := chainReq(t, "svc1", "sap1", "border", "fw")
 	// Pin to the view node: the local orchestrator must expand the pin.
 	req.NFs["svc1-nf"].Host = "bisbis@mn"
-	receipt, err := lo.Install(req)
+	receipt, err := lo.Install(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,22 +109,22 @@ func TestLocalOrchestratorLifecycle(t *testing.T) {
 		t.Fatalf("services: %v", got)
 	}
 	// View shrinks by the NF demand.
-	v2, _ := lo.View()
+	v2, _ := lo.View(context.Background())
 	if v2.Infras["bisbis@mn"].Capacity.CPU != 16-2 {
 		t.Fatalf("view capacity after install: %g", v2.Infras["bisbis@mn"].Capacity.CPU)
 	}
 
-	if err := lo.Remove("svc1"); err != nil {
+	if err := lo.Remove(context.Background(), "svc1"); err != nil {
 		t.Fatal(err)
 	}
 	if prog.delNFs != 1 || prog.delRule != prog.addRule {
 		t.Fatalf("teardown not programmed: %+v", prog)
 	}
-	v3, _ := lo.View()
+	v3, _ := lo.View(context.Background())
 	if v3.Infras["bisbis@mn"].Capacity.CPU != 16 {
 		t.Fatalf("capacity not restored: %g", v3.Infras["bisbis@mn"].Capacity.CPU)
 	}
-	if err := lo.Remove("svc1"); !errors.Is(err, unify.ErrUnknownService) {
+	if err := lo.Remove(context.Background(), "svc1"); !errors.Is(err, unify.ErrUnknownService) {
 		t.Fatalf("double remove: %v", err)
 	}
 }
@@ -133,26 +134,26 @@ func TestLocalOrchestratorRejects(t *testing.T) {
 	// Unknown view node pin.
 	req := chainReq(t, "bad1", "sap1", "border", "fw")
 	req.NFs["bad1-nf"].Host = "bisbis@elsewhere"
-	if _, err := lo.Install(req); !errors.Is(err, unify.ErrRejected) {
+	if _, err := lo.Install(context.Background(), req); !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("unknown pin: %v", err)
 	}
 	// Unsupported NF type.
 	req2 := chainReq(t, "bad2", "sap1", "border", "quantum-fft")
-	if _, err := lo.Install(req2); !errors.Is(err, unify.ErrRejected) {
+	if _, err := lo.Install(context.Background(), req2); !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("unsupported type: %v", err)
 	}
 	// Duplicate service ID.
 	ok1 := chainReq(t, "dup", "sap1", "border", "fw")
-	if _, err := lo.Install(ok1); err != nil {
+	if _, err := lo.Install(context.Background(), ok1); err != nil {
 		t.Fatal(err)
 	}
 	ok2 := chainReq(t, "dup", "sap1", "border", "fw")
-	if _, err := lo.Install(ok2); !errors.Is(err, unify.ErrRejected) {
+	if _, err := lo.Install(context.Background(), ok2); !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("duplicate id: %v", err)
 	}
 	// Missing request ID.
 	empty := nffg.New("")
-	if _, err := lo.Install(empty); !errors.Is(err, unify.ErrRejected) {
+	if _, err := lo.Install(context.Background(), empty); !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("missing id: %v", err)
 	}
 }
@@ -161,13 +162,13 @@ func TestLocalOrchestratorProgrammerFailureLeavesState(t *testing.T) {
 	prog := &recordingProgrammer{failPfx: "svcX"}
 	lo := leafDomain(t, "mn", "sap1", "border", prog)
 	req := chainReq(t, "svcX", "sap1", "border", "fw")
-	if _, err := lo.Install(req); !errors.Is(err, unify.ErrRejected) {
+	if _, err := lo.Install(context.Background(), req); !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("programming failure must reject: %v", err)
 	}
 	if len(lo.Services()) != 0 {
 		t.Fatal("failed install must not be recorded")
 	}
-	v, _ := lo.View()
+	v, _ := lo.View(context.Background())
 	if v.Infras["bisbis@mn"].Capacity.CPU != 16 {
 		t.Fatalf("capacity must be unchanged: %g", v.Infras["bisbis@mn"].Capacity.CPU)
 	}
@@ -202,7 +203,7 @@ func TestROAggregatesDomainViews(t *testing.T) {
 	if !tg.Connected("bisbis@domA", "bisbis@domB") {
 		t.Fatal("domains must stitch at the border SAP")
 	}
-	v, err := ro.View()
+	v, err := ro.View(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestROInstallsAcrossDomains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	receipt, err := ro.Install(req)
+	receipt, err := ro.Install(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestROInstallsAcrossDomains(t *testing.T) {
 	}
 
 	// Removal propagates.
-	if err := ro.Remove("svc"); err != nil {
+	if err := ro.Remove(context.Background(), "svc"); err != nil {
 		t.Fatal(err)
 	}
 	if len(loA.Services())+len(loB.Services()) != 0 {
@@ -274,7 +275,7 @@ func TestRORollsBackOnChildFailure(t *testing.T) {
 	}
 	// Force at least one NF into domB so its failing programmer triggers.
 	req.NFs["svc-nat"].Host = "bisbis@domB"
-	if _, err := ro.Install(req); !errors.Is(err, unify.ErrRejected) {
+	if _, err := ro.Install(context.Background(), req); !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("install should fail: %v", err)
 	}
 	if len(loA.Services())+len(loB.Services()) != 0 {
@@ -284,7 +285,7 @@ func TestRORollsBackOnChildFailure(t *testing.T) {
 		t.Fatal("RO must not record failed service")
 	}
 	// Capacity intact everywhere.
-	vA, _ := loA.View()
+	vA, _ := loA.View(context.Background())
 	if vA.Infras["bisbis@domA"].Capacity.CPU != 16 {
 		t.Fatalf("domA capacity leaked: %g", vA.Infras["bisbis@domA"].Capacity.CPU)
 	}
@@ -294,7 +295,7 @@ func TestROPinnedToDomainNode(t *testing.T) {
 	ro, _, loB := buildMdO(t, &recordingProgrammer{}, &recordingProgrammer{})
 	req := chainReq(t, "pinned", "sap1", "sap2", "fw")
 	req.NFs["pinned-nf"].Host = "bisbis@domB" // force placement in domain B
-	receipt, err := ro.Install(req)
+	receipt, err := ro.Install(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestRORecursiveStack(t *testing.T) {
 	if err := top.Attach(ro); err != nil {
 		t.Fatal(err)
 	}
-	v, err := top.View()
+	v, err := top.View(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestRORecursiveStack(t *testing.T) {
 		t.Fatalf("top view: %s", v.Summary())
 	}
 	req := chainReq(t, "deep", "sap1", "sap2", "nat")
-	receipt, err := top.Install(req)
+	receipt, err := top.Install(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestRORecursiveStack(t *testing.T) {
 	if len(mdoReceipt.Children) == 0 {
 		t.Fatalf("mdo receipt has no leaf children: %+v", mdoReceipt)
 	}
-	if err := top.Remove("deep"); err != nil {
+	if err := top.Remove(context.Background(), "deep"); err != nil {
 		t.Fatal(err)
 	}
 	if len(ro.Services()) != 0 {
@@ -344,14 +345,14 @@ func TestRORecursiveStack(t *testing.T) {
 func TestRODuplicateAndUnknown(t *testing.T) {
 	ro, _, _ := buildMdO(t, &recordingProgrammer{}, &recordingProgrammer{})
 	req := chainReq(t, "s1", "sap1", "sap2", "fw")
-	if _, err := ro.Install(req); err != nil {
+	if _, err := ro.Install(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	dup := chainReq(t, "s1", "sap1", "sap2", "fw")
-	if _, err := ro.Install(dup); !errors.Is(err, unify.ErrRejected) {
+	if _, err := ro.Install(context.Background(), dup); !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("duplicate: %v", err)
 	}
-	if err := ro.Remove("nope"); !errors.Is(err, unify.ErrUnknownService) {
+	if err := ro.Remove(context.Background(), "nope"); !errors.Is(err, unify.ErrUnknownService) {
 		t.Fatalf("unknown remove: %v", err)
 	}
 }
@@ -365,7 +366,7 @@ func TestROCapacityExhaustion(t *testing.T) {
 		// Distinct SAP pairs would be needed to avoid ingress rule conflicts;
 		// here every chain shares SAPs, so expect an eventual conflict or
 		// capacity rejection — both are admission control.
-		if _, err := ro.Install(req); err != nil {
+		if _, err := ro.Install(context.Background(), req); err != nil {
 			if !errors.Is(err, unify.ErrRejected) {
 				t.Fatalf("unexpected error kind: %v", err)
 			}

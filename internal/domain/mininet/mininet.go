@@ -8,6 +8,7 @@
 package mininet
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"sync"
@@ -143,7 +144,10 @@ func (d *Domain) Close() {
 
 // commit is the Programmer: deltas arrive from the local orchestrator and
 // leave as NETCONF actions and OpenFlow flow-mods.
-func (d *Domain) commit(delta *nffg.Delta, cfg *nffg.NFFG) error {
+func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, cfg *nffg.NFFG) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// 1. Rule deletions (free match slots before rewrites).
 	for _, infra := range sortedInfraKeys(delta.DelRules) {
 		for _, f := range delta.DelRules[infra] {

@@ -1,6 +1,7 @@
 package mininet
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -50,7 +51,7 @@ func request(t testing.TB, id, nfType string) *nffg.NFFG {
 
 func TestDomainExportsSingleBiSBiS(t *testing.T) {
 	d := newDomain(t)
-	v, err := d.View()
+	v, err := d.View(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestDomainExportsSingleBiSBiS(t *testing.T) {
 
 func TestInstallDeploysClickNFAndRules(t *testing.T) {
 	d := newDomain(t)
-	receipt, err := d.Install(request(t, "svc1", "firewall"))
+	receipt, err := d.Install(context.Background(), request(t, "svc1", "firewall"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestInstallDeploysClickNFAndRules(t *testing.T) {
 
 func TestEndToEndTrafficThroughClick(t *testing.T) {
 	d := newDomain(t)
-	if _, err := d.Install(request(t, "svc1", "firewall")); err != nil {
+	if _, err := d.Install(context.Background(), request(t, "svc1", "firewall")); err != nil {
 		t.Fatal(err)
 	}
 	sapA, err := d.Net().SAP("sapA")
@@ -115,7 +116,7 @@ func TestEndToEndTrafficThroughClick(t *testing.T) {
 
 func TestClickFirewallDropsBlockedPayload(t *testing.T) {
 	d := newDomain(t)
-	if _, err := d.Install(request(t, "svc1", "firewall")); err != nil {
+	if _, err := d.Install(context.Background(), request(t, "svc1", "firewall")); err != nil {
 		t.Fatal(err)
 	}
 	sapA, _ := d.Net().SAP("sapA")
@@ -136,10 +137,10 @@ func TestClickFirewallDropsBlockedPayload(t *testing.T) {
 
 func TestRemoveStopsNFAndCleansRules(t *testing.T) {
 	d := newDomain(t)
-	if _, err := d.Install(request(t, "svc1", "dpi")); err != nil {
+	if _, err := d.Install(context.Background(), request(t, "svc1", "dpi")); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Remove("svc1"); err != nil {
+	if err := d.Remove(context.Background(), "svc1"); err != nil {
 		t.Fatal(err)
 	}
 	if got := d.Net().RunningNFs(); len(got) != 0 {
@@ -163,7 +164,7 @@ func TestRemoveStopsNFAndCleansRules(t *testing.T) {
 
 func TestStatsOverOpenFlow(t *testing.T) {
 	d := newDomain(t)
-	receipt, err := d.Install(request(t, "svc1", "firewall"))
+	receipt, err := d.Install(context.Background(), request(t, "svc1", "firewall"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,10 +231,10 @@ func TestMultipleServicesDistinctSAPs(t *testing.T) {
 		NF("s2-nf", "dpi", 2, res(2, 512)).
 		Chain("s2", 10, 0, "sapC", "s2-nf", "sapD").
 		MustBuild()
-	if _, err := d.Install(r1); err != nil {
+	if _, err := d.Install(context.Background(), r1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Install(r2); err != nil {
+	if _, err := d.Install(context.Background(), r2); err != nil {
 		t.Fatal(err)
 	}
 	// Both chains carry traffic independently.

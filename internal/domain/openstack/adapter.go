@@ -1,6 +1,7 @@
 package openstack
 
 import (
+	"context"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -71,7 +72,10 @@ func (d *Domain) Cloud() *Cloud { return d.cloud }
 func (d *Domain) Close() { d.cloud.Close() }
 
 // commit realizes a delta through the REST APIs.
-func (d *Domain) commit(delta *nffg.Delta, cfg *nffg.NFFG) error {
+func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, cfg *nffg.NFFG) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for infra, rules := range delta.DelRules {
 		for _, f := range rules {
 			if err := d.do(http.MethodDelete, fmt.Sprintf("/restconf/config/flows/%s/%s", infra, f.ID), nil, http.StatusNoContent); err != nil {

@@ -1,6 +1,7 @@
 package openstack
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -92,7 +93,7 @@ func TestNovaAPIDirect(t *testing.T) {
 
 func TestInstallBootsVMAndProgramsFabric(t *testing.T) {
 	d := newDomain(t)
-	receipt, err := d.Install(request(t, "svc1", "dpi"))
+	receipt, err := d.Install(context.Background(), request(t, "svc1", "dpi"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestInstallBootsVMAndProgramsFabric(t *testing.T) {
 
 func TestEndToEndTrafficThroughVM(t *testing.T) {
 	d := newDomain(t)
-	if _, err := d.Install(request(t, "svc1", "nat")); err != nil {
+	if _, err := d.Install(context.Background(), request(t, "svc1", "nat")); err != nil {
 		t.Fatal(err)
 	}
 	sapX, _ := d.Cloud().Net().SAP("sapX")
@@ -130,10 +131,10 @@ func TestEndToEndTrafficThroughVM(t *testing.T) {
 
 func TestRemoveDeletesServerAndFlows(t *testing.T) {
 	d := newDomain(t)
-	if _, err := d.Install(request(t, "svc1", "cache")); err != nil {
+	if _, err := d.Install(context.Background(), request(t, "svc1", "cache")); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Remove("svc1"); err != nil {
+	if err := d.Remove(context.Background(), "svc1"); err != nil {
 		t.Fatal(err)
 	}
 	if len(d.Cloud().Servers()) != 0 {
@@ -147,7 +148,7 @@ func TestRemoveDeletesServerAndFlows(t *testing.T) {
 
 func TestODLStats(t *testing.T) {
 	d := newDomain(t)
-	if _, err := d.Install(request(t, "svc1", "firewall")); err != nil {
+	if _, err := d.Install(context.Background(), request(t, "svc1", "firewall")); err != nil {
 		t.Fatal(err)
 	}
 	sapX, _ := d.Cloud().Net().SAP("sapX")

@@ -1,6 +1,7 @@
 package domain
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -17,11 +18,11 @@ type stubDomain struct {
 
 func (s *stubDomain) ID() string                 { return s.id }
 func (s *stubDomain) Capabilities() []Capability { return s.caps }
-func (s *stubDomain) View() (*nffg.NFFG, error)  { return nffg.New(s.id), nil }
-func (s *stubDomain) Install(*nffg.NFFG) (*unify.Receipt, error) {
+func (s *stubDomain) View(context.Context) (*nffg.NFFG, error) { return nffg.New(s.id), nil }
+func (s *stubDomain) Install(context.Context, *nffg.NFFG) (*unify.Receipt, error) {
 	return &unify.Receipt{}, nil
 }
-func (s *stubDomain) Remove(string) error { return nil }
+func (s *stubDomain) Remove(context.Context, string) error { return nil }
 func (s *stubDomain) Services() []string  { return nil }
 
 type recorder struct {

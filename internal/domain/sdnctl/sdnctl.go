@@ -6,6 +6,7 @@
 package sdnctl
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -113,7 +114,10 @@ func (d *Domain) Close() {
 
 // commit programs flowrules through the POX-like controller. NF operations
 // are rejected: this domain has no compute.
-func (d *Domain) commit(delta *nffg.Delta, _ *nffg.NFFG) error {
+func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(delta.AddNFs) > 0 || len(delta.DelNFs) > 0 {
 		return fmt.Errorf("sdnctl: domain cannot host NFs")
 	}

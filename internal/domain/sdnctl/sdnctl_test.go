@@ -1,6 +1,7 @@
 package sdnctl
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestTransitInstall(t *testing.T) {
 	if _, err := nffg.BuildChain(req, "t", 50, 0, "b-west", "b-east"); err != nil {
 		t.Fatal(err)
 	}
-	receipt, err := d.Install(req)
+	receipt, err := d.Install(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestTransitInstall(t *testing.T) {
 			t.Fatalf("switch %s not programmed", swID)
 		}
 	}
-	if err := d.Remove("transit1"); err != nil {
+	if err := d.Remove(context.Background(), "transit1"); err != nil {
 		t.Fatal(err)
 	}
 	for _, swID := range d.Net().SwitchIDs() {
@@ -85,14 +86,14 @@ func TestRejectsNFRequests(t *testing.T) {
 		NF("x", "firewall", 2, nffg.Resources{CPU: 1, Mem: 64, Storage: 1}).
 		Chain("c", 10, 0, "b-west", "x", "b-east").
 		MustBuild()
-	if _, err := d.Install(req); !errors.Is(err, unify.ErrRejected) {
+	if _, err := d.Install(context.Background(), req); !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("NF requests must be rejected: %v", err)
 	}
 }
 
 func TestForwardingOnlyView(t *testing.T) {
 	d := newDomain(t)
-	v, err := d.View()
+	v, err := d.View(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

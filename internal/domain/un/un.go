@@ -7,6 +7,7 @@
 package un
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -261,7 +262,10 @@ func (d *Domain) Runtime() *Runtime { return d.rt }
 
 // commit realizes deltas natively: container lifecycle + direct LSI table
 // programming.
-func (d *Domain) commit(delta *nffg.Delta, _ *nffg.NFFG) error {
+func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for infra, rules := range delta.DelRules {
 		sw, err := d.net.Switch(infra)
 		if err != nil {

@@ -1,6 +1,7 @@
 package un
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -92,7 +93,7 @@ func TestRuntimeLifecycle(t *testing.T) {
 
 func TestInstallRunsContainer(t *testing.T) {
 	d := newUN(t, true)
-	receipt, err := d.Install(request(t, "svc1", "compress"))
+	receipt, err := d.Install(context.Background(), request(t, "svc1", "compress"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestInstallRunsContainer(t *testing.T) {
 
 func TestEndToEndThroughContainer(t *testing.T) {
 	d := newUN(t, true)
-	if _, err := d.Install(request(t, "svc1", "compress")); err != nil {
+	if _, err := d.Install(context.Background(), request(t, "svc1", "compress")); err != nil {
 		t.Fatal(err)
 	}
 	sapU, _ := d.Net().SAP("sapU")
@@ -129,10 +130,10 @@ func TestEndToEndThroughContainer(t *testing.T) {
 
 func TestRemoveStopsContainer(t *testing.T) {
 	d := newUN(t, false)
-	if _, err := d.Install(request(t, "svc1", "nat")); err != nil {
+	if _, err := d.Install(context.Background(), request(t, "svc1", "nat")); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Remove("svc1"); err != nil {
+	if err := d.Remove(context.Background(), "svc1"); err != nil {
 		t.Fatal(err)
 	}
 	if cs := d.Runtime().List(); len(cs) != 0 {
@@ -150,7 +151,7 @@ func TestAccelerationReducesLatency(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := d.Install(request(t, "svc1", "nat")); err != nil {
+		if _, err := d.Install(context.Background(), request(t, "svc1", "nat")); err != nil {
 			t.Fatal(err)
 		}
 		sapU, _ := d.Net().SAP("sapU")

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/unify-repro/escape/internal/decomp"
 	"github.com/unify-repro/escape/internal/nffg"
@@ -98,12 +99,17 @@ func FirstFit(_ *nffg.NF, cands []Candidate) []nffg.ID {
 	return candidateIDs(cands)
 }
 
-// RandomFit shuffles candidates with the given source.
+// RandomFit shuffles candidates with the given source. The source is guarded
+// by a mutex: mappers run concurrently now that embedding happens outside the
+// orchestrator lock, and rand.Rand is not safe for concurrent use.
 func RandomFit(rng *rand.Rand) RankFunc {
+	var mu sync.Mutex
 	return func(_ *nffg.NF, cands []Candidate) []nffg.ID {
 		sort.SliceStable(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
 		ids := candidateIDs(cands)
+		mu.Lock()
 		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		mu.Unlock()
 		return ids
 	}
 }

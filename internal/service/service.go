@@ -9,6 +9,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -74,12 +75,15 @@ func NewOrchestrator(south unify.Layer, mapper *embed.Mapper) *Orchestrator {
 }
 
 // View exposes the southbound virtualization view (what the GUI shows).
-func (o *Orchestrator) View() (*nffg.NFFG, error) { return o.south.View() }
+func (o *Orchestrator) View(ctx context.Context) (*nffg.NFFG, error) { return o.south.View(ctx) }
 
 // Submit validates, maps and deploys a service graph. On success the request
 // is StateDeployed; on failure it is recorded as StateFailed and the error
 // returned.
-func (o *Orchestrator) Submit(g *nffg.NFFG) (*Request, error) {
+func (o *Orchestrator) Submit(ctx context.Context, g *nffg.NFFG) (*Request, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if g.ID == "" {
 		return nil, fmt.Errorf("%w: request needs an ID", ErrInvalid)
 	}
@@ -104,7 +108,7 @@ func (o *Orchestrator) Submit(g *nffg.NFFG) (*Request, error) {
 	if err := validateServiceGraph(g); err != nil {
 		return fail(err)
 	}
-	view, err := o.south.View()
+	view, err := o.south.View(ctx)
 	if err != nil {
 		return fail(fmt.Errorf("service: fetching view: %w", err))
 	}
@@ -116,7 +120,7 @@ func (o *Orchestrator) Submit(g *nffg.NFFG) (*Request, error) {
 	req.State = StateMapped
 	o.mu.Unlock()
 
-	receipt, err := o.south.Install(pinned)
+	receipt, err := o.south.Install(ctx, pinned)
 	if err != nil {
 		return fail(err)
 	}
@@ -172,7 +176,7 @@ func (o *Orchestrator) premap(view, g *nffg.NFFG) (*nffg.NFFG, error) {
 // onto the Universal Node). pins maps NF IDs to new view-node hosts; NFs not
 // listed keep their previous pin (if any). The operation is remove +
 // redeploy; on redeploy failure the original request is restored best-effort.
-func (o *Orchestrator) Migrate(id string, pins map[nffg.ID]nffg.ID) (*Request, error) {
+func (o *Orchestrator) Migrate(ctx context.Context, id string, pins map[nffg.ID]nffg.ID) (*Request, error) {
 	o.mu.Lock()
 	req, ok := o.requests[id]
 	if !ok {
@@ -194,19 +198,19 @@ func (o *Orchestrator) Migrate(id string, pins map[nffg.ID]nffg.ID) (*Request, e
 		}
 		n.Host = host
 	}
-	if err := o.south.Remove(id); err != nil && !errors.Is(err, unify.ErrUnknownService) {
+	if err := o.south.Remove(ctx, id); err != nil && !errors.Is(err, unify.ErrUnknownService) {
 		return nil, err
 	}
 	o.mu.Lock()
 	delete(o.requests, id)
 	o.mu.Unlock()
-	migrated, err := o.Submit(moved)
+	migrated, err := o.Submit(ctx, moved)
 	if err != nil {
 		// Roll back to the original placement.
 		o.mu.Lock()
 		delete(o.requests, id)
 		o.mu.Unlock()
-		if restored, rerr := o.Submit(original); rerr == nil {
+		if restored, rerr := o.Submit(context.WithoutCancel(ctx), original); rerr == nil {
 			return restored, fmt.Errorf("service: migration failed (%v); original restored", err)
 		}
 		return nil, fmt.Errorf("service: migration failed and restore failed: %w", err)
@@ -215,7 +219,7 @@ func (o *Orchestrator) Migrate(id string, pins map[nffg.ID]nffg.ID) (*Request, e
 }
 
 // Remove tears a deployed service down.
-func (o *Orchestrator) Remove(id string) error {
+func (o *Orchestrator) Remove(ctx context.Context, id string) error {
 	o.mu.Lock()
 	req, ok := o.requests[id]
 	if !ok {
@@ -225,7 +229,7 @@ func (o *Orchestrator) Remove(id string) error {
 	state := req.State
 	o.mu.Unlock()
 	if state == StateDeployed {
-		if err := o.south.Remove(id); err != nil && !errors.Is(err, unify.ErrUnknownService) {
+		if err := o.south.Remove(ctx, id); err != nil && !errors.Is(err, unify.ErrUnknownService) {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -45,7 +46,7 @@ func sg(t testing.TB, id string) *nffg.NFFG {
 func TestSubmitDelegatesOnSingleBiSBiS(t *testing.T) {
 	lo := leaf(t, nil) // default single-BiSBiS export
 	so := NewOrchestrator(lo, nil)
-	req, err := so.Submit(sg(t, "s1"))
+	req, err := so.Submit(context.Background(), sg(t, "s1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestSubmitDelegatesOnSingleBiSBiS(t *testing.T) {
 func TestSubmitPremapsOnTransparentView(t *testing.T) {
 	lo := leaf(t, core.Transparent{})
 	so := NewOrchestrator(lo, nil)
-	req, err := so.Submit(sg(t, "s2"))
+	req, err := so.Submit(context.Background(), sg(t, "s2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,24 +80,24 @@ func TestSubmitValidation(t *testing.T) {
 	so := NewOrchestrator(lo, nil)
 	// No ID.
 	bad := nffg.New("")
-	if _, err := so.Submit(bad); !errors.Is(err, ErrInvalid) {
+	if _, err := so.Submit(context.Background(), bad); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("no id: %v", err)
 	}
 	// Contains infrastructure.
 	withInfra := sg(t, "s3")
 	_ = withInfra.AddInfra(&nffg.Infra{ID: "rogue"})
-	if _, err := so.Submit(withInfra); !errors.Is(err, ErrInvalid) {
+	if _, err := so.Submit(context.Background(), withInfra); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("infra in SG: %v", err)
 	}
 	// No hops.
 	noHops := nffg.NewBuilder("s4").SAP("sapA").MustBuild()
-	if _, err := so.Submit(noHops); !errors.Is(err, ErrInvalid) {
+	if _, err := so.Submit(context.Background(), noHops); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("no hops: %v", err)
 	}
 	// Orphan NF.
 	orphan := sg(t, "s5")
 	_ = orphan.AddNF(&nffg.NF{ID: "lost", FunctionalType: "fw", Ports: []*nffg.Port{{ID: "1"}}})
-	if _, err := so.Submit(orphan); !errors.Is(err, ErrInvalid) {
+	if _, err := so.Submit(context.Background(), orphan); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("orphan NF: %v", err)
 	}
 	// Unknown SAP.
@@ -105,7 +106,7 @@ func TestSubmitValidation(t *testing.T) {
 		NF("s6-fw", "fw", 2, res(1, 128)).
 		Chain("s6", 1, 0, "ghost", "s6-fw", "sapB").
 		MustBuild()
-	if _, err := so.Submit(g); !errors.Is(err, ErrInvalid) {
+	if _, err := so.Submit(context.Background(), g); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("unknown SAP: %v", err)
 	}
 	// Failures are recorded.
@@ -117,10 +118,10 @@ func TestSubmitValidation(t *testing.T) {
 func TestSubmitDuplicate(t *testing.T) {
 	lo := leaf(t, nil)
 	so := NewOrchestrator(lo, nil)
-	if _, err := so.Submit(sg(t, "dup")); err != nil {
+	if _, err := so.Submit(context.Background(), sg(t, "dup")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := so.Submit(sg(t, "dup")); !errors.Is(err, ErrDuplicate) {
+	if _, err := so.Submit(context.Background(), sg(t, "dup")); !errors.Is(err, ErrDuplicate) {
 		t.Fatalf("duplicate: %v", err)
 	}
 }
@@ -128,10 +129,10 @@ func TestSubmitDuplicate(t *testing.T) {
 func TestRemoveLifecycle(t *testing.T) {
 	lo := leaf(t, nil)
 	so := NewOrchestrator(lo, nil)
-	if _, err := so.Submit(sg(t, "r1")); err != nil {
+	if _, err := so.Submit(context.Background(), sg(t, "r1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := so.Remove("r1"); err != nil {
+	if err := so.Remove(context.Background(), "r1"); err != nil {
 		t.Fatal(err)
 	}
 	r, err := so.Get("r1")
@@ -141,14 +142,14 @@ func TestRemoveLifecycle(t *testing.T) {
 	if len(lo.Services()) != 0 {
 		t.Fatal("lower layer should be clean")
 	}
-	if err := so.Remove("ghost"); !errors.Is(err, ErrUnknown) {
+	if err := so.Remove(context.Background(), "ghost"); !errors.Is(err, ErrUnknown) {
 		t.Fatalf("unknown remove: %v", err)
 	}
 	// Removing a failed request is a no-op state change.
 	bad := sg(t, "r2")
 	_ = bad.AddInfra(&nffg.Infra{ID: "rogue"})
-	_, _ = so.Submit(bad)
-	if err := so.Remove("r2"); err != nil {
+	_, _ = so.Submit(context.Background(), bad)
+	if err := so.Remove(context.Background(), "r2"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -156,10 +157,10 @@ func TestRemoveLifecycle(t *testing.T) {
 func TestListAndStats(t *testing.T) {
 	lo := leaf(t, nil)
 	so := NewOrchestrator(lo, nil)
-	_, _ = so.Submit(sg(t, "a"))
+	_, _ = so.Submit(context.Background(), sg(t, "a"))
 	bad := sg(t, "b")
 	_ = bad.AddInfra(&nffg.Infra{ID: "rogue"})
-	_, _ = so.Submit(bad)
+	_, _ = so.Submit(context.Background(), bad)
 	ls := so.List()
 	if len(ls) != 2 || ls[0].ID != "a" || ls[1].ID != "b" {
 		t.Fatalf("list: %+v", ls)
@@ -178,7 +179,7 @@ func TestCapacityRejectionIsFailedState(t *testing.T) {
 		NF("big-fw", "fw", 2, res(1000, 9e6)).
 		Chain("big", 10, 0, "sapA", "big-fw", "sapB").
 		MustBuild()
-	_, err := so.Submit(big)
+	_, err := so.Submit(context.Background(), big)
 	if !errors.Is(err, unify.ErrRejected) {
 		t.Fatalf("capacity rejection: %v", err)
 	}

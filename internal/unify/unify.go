@@ -8,6 +8,7 @@
 package unify
 
 import (
+	"context"
 	"errors"
 
 	"github.com/unify-repro/escape/internal/nffg"
@@ -26,20 +27,26 @@ var (
 )
 
 // Layer is the Unify interface. Implementations must be safe for concurrent
-// use.
+// use: multiple Install/Remove/View calls may be in flight at once.
+//
+// Context contract: every state-changing call receives a context carrying the
+// caller's deadline and cancellation. A layer must stop waiting and return
+// ctx.Err() (possibly wrapped) when the context is done, and must never be
+// left half-configured by a cancellation — an Install observed to fail
+// installs nothing, a Remove that fails keeps the service removable.
 type Layer interface {
 	// ID identifies the layer (domain name, orchestrator name).
 	ID() string
 	// View returns the current virtualization view: topology, available
 	// resources, supported NF types, SAPs, and the configuration deployed so
 	// far. The caller owns the returned graph.
-	View() (*nffg.NFFG, error)
+	View(ctx context.Context) (*nffg.NFFG, error)
 	// Install deploys a service request expressed against the view: NFs
 	// (optionally pinned to view nodes), SG hops and e2e requirements. The
 	// request's ID becomes the service ID.
-	Install(req *nffg.NFFG) (*Receipt, error)
+	Install(ctx context.Context, req *nffg.NFFG) (*Receipt, error)
 	// Remove tears down a previously installed service.
-	Remove(serviceID string) error
+	Remove(ctx context.Context, serviceID string) error
 	// Services lists installed service IDs, sorted.
 	Services() []string
 }
