@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,7 +25,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/api"
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/nffg"
@@ -51,6 +54,9 @@ func main() {
 		nodes     = flag.Int("nodes", 3, "leaf: generated line-topology size when no -substrate given")
 		view      = flag.String("view", "single", "exported view: single | domain | transparent")
 		types     = flag.String("types", "firewall,dpi,nat,cache,compress,encrypt,lb,monitor", "leaf: supported NF types (generated substrate)")
+		admit     = flag.Bool("admission", true, "front the layer with a batching admission queue (enables the async jobs API)")
+		window    = flag.Duration("batch-window", 2*time.Millisecond, "admission: coalescing window after the first arrival")
+		maxBatch  = flag.Int("batch-max", 32, "admission: max requests per coalesced batch")
 	)
 	var children childFlags
 	flag.Var(&children, "child", "orchestrator: child layer as name=url (repeatable)")
@@ -64,17 +70,25 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := api.NewServer(layer, nil)
+	var queue *admission.Queue
+	if *admit {
+		queue = admission.New(layer, admission.Options{Window: *window, MaxBatch: *maxBatch})
+		srv.WithAdmission(queue)
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("%s %q serving the Unify interface on http://%s", *role, *id, addr)
+	log.Printf("%s %q serving the Unify interface on http://%s (admission=%v)", *role, *id, addr, *admit)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
 	srv.Close()
+	if queue != nil {
+		queue.Close()
+	}
 }
 
 func buildLayer(role, id, substratePath string, nodes int, view, types string, children childFlags) (unify.Layer, error) {
@@ -103,7 +117,7 @@ func buildLayer(role, id, substratePath string, nodes int, view, types string, c
 			if err != nil {
 				return nil, fmt.Errorf("child %s: %w", name, err)
 			}
-			if err := ro.Attach(cli); err != nil {
+			if err := ro.Attach(context.Background(), cli); err != nil {
 				return nil, fmt.Errorf("attach %s: %w", name, err)
 			}
 			log.Printf("attached child %s at %s", name, url)

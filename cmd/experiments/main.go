@@ -205,7 +205,7 @@ func stack(depth int) unify.Layer {
 			ID:          fmt.Sprintf("layer%d", i),
 			Virtualizer: core.SingleBiSBiS{NodeID: nffg.ID(fmt.Sprintf("bisbis@l%d", i))},
 		})
-		if err := ro.Attach(top.(domain.Domain)); err != nil {
+		if err := ro.Attach(context.Background(), top.(domain.Domain)); err != nil {
 			log.Fatal(err)
 		}
 		top = ro

@@ -6,9 +6,17 @@
 //
 //	unifyctl -server http://127.0.0.1:8181 [-timeout 30s] view [-format text|json|xml]
 //	unifyctl -server http://127.0.0.1:8181 submit request.json
+//	unifyctl -server http://127.0.0.1:8181 submit -async [-wait] request.json
 //	unifyctl -server http://127.0.0.1:8181 list
 //	unifyctl -server http://127.0.0.1:8181 remove <service-id>
 //	unifyctl -server http://127.0.0.1:8181 capabilities
+//	unifyctl -server http://127.0.0.1:8181 jobs
+//	unifyctl -server http://127.0.0.1:8181 job <job-id>
+//	unifyctl -server http://127.0.0.1:8181 watch <job-id>
+//	unifyctl -server http://127.0.0.1:8181 cancel-job <job-id>
+//
+// submit -async returns a job ID immediately (the server answers 202 before
+// the multi-domain fan-out finishes); -wait long-polls the job to completion.
 package main
 
 import (
@@ -21,8 +29,10 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/api"
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/unify"
 )
 
 func main() {
@@ -31,6 +41,8 @@ func main() {
 	server := flag.String("server", "http://127.0.0.1:8181", "Unify interface endpoint")
 	format := flag.String("format", "text", "view output: text | json | xml")
 	timeout := flag.Duration("timeout", 30*time.Second, "deadline for the remote operation (0 = none)")
+	async := flag.Bool("async", false, "submit: enqueue and return a job ID instead of waiting")
+	wait := flag.Bool("wait", false, "submit -async: long-poll the job to completion")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
@@ -40,7 +52,17 @@ func main() {
 	// cancellation propagate down the whole orchestration hierarchy.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *timeout > 0 {
+	timeoutSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "timeout" {
+			timeoutSet = true
+		}
+	})
+	// Long-polls (watch, submit -async -wait) run without the default
+	// deadline — a healthy deployment may legitimately outlive it — unless
+	// the user asked for one explicitly.
+	baseCtx := ctx
+	if *timeout > 0 && (timeoutSet || flag.Arg(0) != "watch") {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
@@ -69,10 +91,20 @@ func main() {
 			fmt.Print(v.Render())
 		}
 	case "submit":
-		if flag.NArg() < 2 {
+		// Flags may follow the subcommand: submit -async -wait request.json.
+		sub := flag.NewFlagSet("submit", flag.ExitOnError)
+		subAsync := sub.Bool("async", *async, "enqueue and return a job ID instead of waiting")
+		subWait := sub.Bool("wait", *wait, "with -async: long-poll the job to completion")
+		_ = sub.Parse(flag.Args()[1:])
+		if sub.NArg() < 1 {
 			log.Fatal("submit needs a request file (NFFG JSON)")
 		}
-		f, err := os.Open(flag.Arg(1))
+		if sub.NArg() > 1 {
+			// Parsing stops at the first positional: trailing flags would be
+			// silently ignored otherwise.
+			log.Fatalf("submit: unexpected arguments %v (flags go before the request file)", sub.Args()[1:])
+		}
+		f, err := os.Open(sub.Arg(0))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,19 +113,42 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *subAsync {
+			job, err := cli.SubmitAsync(ctx, req)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("job %s %s (service %s)\n", job.ID, job.State, job.ServiceID)
+			if !*subWait {
+				return
+			}
+			waitCtx := ctx
+			if !timeoutSet {
+				waitCtx = baseCtx
+			}
+			done, err := cli.WaitJob(waitCtx, job.ID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printJob(done)
+			if done.State != admission.StateDeployed {
+				os.Exit(1)
+			}
+			printReceipt(done.Receipt)
+			return
+		}
 		receipt, err := cli.Install(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("service %s deployed\n", receipt.ServiceID)
-		for nf, host := range receipt.Placements {
-			fmt.Printf("  %-16s -> %s\n", nf, host)
-		}
-		for _, d := range receipt.Decompositions {
-			fmt.Printf("  decomposition: %s\n", d)
-		}
+		printReceipt(receipt)
 	case "list":
-		for _, id := range cli.Services() {
+		ids, err := cli.ListServices(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, id := range ids {
 			fmt.Println(id)
 		}
 	case "remove":
@@ -105,10 +160,74 @@ func main() {
 		}
 		fmt.Println("removed", flag.Arg(1))
 	case "capabilities":
-		for _, c := range cli.Capabilities() {
+		caps, err := cli.RemoteCapabilities(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range caps {
 			fmt.Println(c)
 		}
+	case "jobs":
+		jobs, err := cli.Jobs(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, j := range jobs {
+			printJob(j)
+		}
+	case "job":
+		if flag.NArg() < 2 {
+			log.Fatal("job needs a job ID")
+		}
+		j, err := cli.Job(ctx, flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJob(j)
+	case "watch":
+		if flag.NArg() < 2 {
+			log.Fatal("watch needs a job ID")
+		}
+		j, err := cli.WaitJob(ctx, flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJob(j)
+		if j.State == admission.StateDeployed {
+			printReceipt(j.Receipt)
+		}
+	case "cancel-job":
+		if flag.NArg() < 2 {
+			log.Fatal("cancel-job needs a job ID")
+		}
+		if err := cli.CancelJob(ctx, flag.Arg(1)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("canceled", flag.Arg(1))
 	default:
 		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func printJob(j admission.Job) {
+	fmt.Printf("%-8s %-10s service=%s batch=%d attempts=%d", j.ID, j.State, j.ServiceID, j.Batch, j.Attempts)
+	if !j.Finished.IsZero() {
+		fmt.Printf(" took=%s", j.Finished.Sub(j.Submitted).Round(time.Millisecond))
+	}
+	if j.Error != "" {
+		fmt.Printf(" error=%q", j.Error)
+	}
+	fmt.Println()
+}
+
+func printReceipt(r *unify.Receipt) {
+	if r == nil {
+		return
+	}
+	for nf, host := range r.Placements {
+		fmt.Printf("  %-16s -> %s\n", nf, host)
+	}
+	for _, d := range r.Decompositions {
+		fmt.Printf("  decomposition: %s\n", d)
 	}
 }

@@ -146,7 +146,7 @@ func run(ctx context.Context) error {
 	// -------------------------------------------------------------- (iii)
 	section("(iii-a) Recursive orchestration: a parent layer on top of the MdO")
 	top := core.NewResourceOrchestrator(core.Config{ID: "top", Virtualizer: core.SingleBiSBiS{NodeID: "bisbis@top"}})
-	if err := top.Attach(sys.MdO); err != nil {
+	if err := top.Attach(context.Background(), sys.MdO); err != nil {
 		return err
 	}
 	topView, err := top.View(ctx)

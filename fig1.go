@@ -1,6 +1,7 @@
 package escape
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/unify-repro/escape/internal/core"
@@ -142,16 +143,16 @@ func NewFig1System(opts Fig1Options) (*Fig1System, error) {
 		mdoMapper = embed.New(embed.Options{MaxBacktrack: 128, Decomp: opts.DecompRules})
 	}
 	sys.MdO = core.NewResourceOrchestrator(core.Config{ID: "mdo", Virtualizer: opts.MdOVirtualizer, Mapper: mdoMapper})
-	if err := sys.MdO.Attach(sys.Mininet); err != nil {
+	if err := sys.MdO.Attach(context.Background(), sys.Mininet); err != nil {
 		return nil, err
 	}
-	if err := sys.MdO.Attach(sys.SDN); err != nil {
+	if err := sys.MdO.Attach(context.Background(), sys.SDN); err != nil {
 		return nil, err
 	}
-	if err := sys.MdO.Attach(sys.OpenStack); err != nil {
+	if err := sys.MdO.Attach(context.Background(), sys.OpenStack); err != nil {
 		return nil, err
 	}
-	if err := sys.MdO.Attach(sys.UN); err != nil {
+	if err := sys.MdO.Attach(context.Background(), sys.UN); err != nil {
 		return nil, err
 	}
 	sys.Service = service.NewOrchestrator(sys.MdO, nil)

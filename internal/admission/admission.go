@@ -1,0 +1,613 @@
+// Package admission puts a batching admission queue in front of a
+// unify.Layer: concurrently-arriving install requests are coalesced into one
+// embedding pass over a single resource snapshot (one snapshot→map→commit
+// cycle per window, via unify.BatchInstaller when the layer supports it), and
+// every submission is tracked as a Job with an observable lifecycle —
+//
+//	queued → mapping → deploying → deployed | failed
+//	queued → canceled
+//
+// so a northbound API can return immediately with a job ID instead of
+// pinning a connection for the whole multi-domain fan-out. The queue itself
+// implements unify.Layer (Install = submit + wait), making it a drop-in
+// admission stage for any existing caller.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+// State is a job's position in the admission lifecycle.
+type State string
+
+// Job states. Deployed, Failed and Canceled are terminal.
+const (
+	// StateQueued: accepted, waiting for a batch window.
+	StateQueued State = "queued"
+	// StateMapping: picked up by the dispatcher; the batch is being planned
+	// against a resource snapshot.
+	StateMapping State = "mapping"
+	// StateDeploying: the mapping committed; child deployments are in flight.
+	StateDeploying State = "deploying"
+	// StateDeployed: install finished successfully.
+	StateDeployed State = "deployed"
+	// StateFailed: rejected, crowded out, or a deployment error.
+	StateFailed State = "failed"
+	// StateCanceled: canceled while still queued.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == StateDeployed || s == StateFailed || s == StateCanceled
+}
+
+// Errors of the admission queue.
+var (
+	// ErrUnknownJob is returned for job IDs the queue does not know.
+	ErrUnknownJob = errors.New("admission: unknown job")
+	// ErrNotCancelable is returned when canceling a job that already left the
+	// queue (mapping or later).
+	ErrNotCancelable = errors.New("admission: job already dispatched")
+	// ErrQueueFull is returned when the queue is at capacity.
+	ErrQueueFull = errors.New("admission: queue full")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("admission: queue closed")
+	// ErrCanceled is the terminal error of a canceled job.
+	ErrCanceled = errors.New("admission: job canceled")
+)
+
+// Job is the externally visible snapshot of one submission. It is a value:
+// mutating it does not affect the queue.
+type Job struct {
+	ID        string `json:"id"`
+	ServiceID string `json:"service_id"`
+	State     State  `json:"state"`
+	// Error is the failure reason when State is failed or canceled.
+	Error string `json:"error,omitempty"`
+	// Attempts is the number of mapping cycles the job's batch consumed.
+	Attempts int `json:"attempts,omitempty"`
+	// Batch is the size of the coalesced batch the job rode in.
+	Batch   int            `json:"batch,omitempty"`
+	Receipt *unify.Receipt `json:"receipt,omitempty"`
+	// Submitted/Started/Finished bound the queue wait and the deployment.
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+}
+
+// job is the internal mutable record behind a Job snapshot.
+type job struct {
+	seq  uint64
+	snap Job           // guarded by Queue.mu
+	req  *nffg.NFFG    // owned copy of the request
+	err  error         // terminal error with sentinel identity preserved
+	done chan struct{} // closed exactly once on reaching a terminal state
+}
+
+// Options tune the queue.
+type Options struct {
+	// MaxBatch caps how many requests coalesce into one mapping pass
+	// (default 32).
+	MaxBatch int
+	// Window is how long the dispatcher waits after the first arrival for
+	// more requests to coalesce (0 selects the 2ms default; negative
+	// dispatches immediately).
+	Window time.Duration
+	// QueueCap bounds the number of queued (not yet dispatched) jobs;
+	// submissions beyond it fail with ErrQueueFull (default 1024).
+	QueueCap int
+	// Retention bounds how many finished jobs stay queryable; the oldest
+	// terminal jobs are evicted beyond it (default 4096).
+	Retention int
+}
+
+func (o *Options) defaults() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.Window < 0 {
+		o.Window = 0
+	} else if o.Window == 0 {
+		o.Window = 2 * time.Millisecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 1024
+	}
+	if o.Retention <= 0 {
+		o.Retention = 4096
+	}
+}
+
+// Stats are the queue's cumulative counters and current gauges.
+type Stats struct {
+	// Depth is the current number of queued (undispatched) jobs; MaxDepth
+	// the deepest backlog observed.
+	Depth    int `json:"depth"`
+	MaxDepth int `json:"max_depth"`
+	// Submitted/Deployed/Failed/Canceled count jobs by outcome.
+	Submitted uint64 `json:"submitted"`
+	Deployed  uint64 `json:"deployed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	// Batches counts dispatch cycles; Coalesced the requests they carried
+	// (Coalesced/Batches = mean batch size); MaxBatch the largest observed.
+	Batches   uint64 `json:"batches"`
+	Coalesced uint64 `json:"coalesced"`
+	MaxBatch  int    `json:"max_batch"`
+}
+
+// Queue is the admission stage. Create with New, stop with Close.
+type Queue struct {
+	layer unify.Layer
+	batch unify.BatchInstaller // nil: fall back to per-request Install
+	opts  Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wake   chan struct{}
+	exited chan struct{}
+
+	inflight sync.WaitGroup // deployments handed off by the dispatcher
+
+	mu       sync.Mutex
+	closed   bool
+	seq      uint64
+	jobs     map[string]*job
+	pending  []*job // FIFO of queued jobs
+	finished []*job // terminal jobs in completion order (retention ring)
+	stats    Stats
+}
+
+// New builds a queue in front of layer and starts its dispatcher. When the
+// layer implements unify.BatchInstaller (core.ResourceOrchestrator does),
+// whole windows are admitted in one snapshot→map→commit cycle; otherwise
+// batch members are installed individually (still serialized through the
+// queue, which bounds concurrent mapping pressure on the layer).
+func New(layer unify.Layer, opts Options) *Queue {
+	opts.defaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		layer:  layer,
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		wake:   make(chan struct{}, 1),
+		exited: make(chan struct{}),
+		jobs:   map[string]*job{},
+	}
+	if bi, ok := layer.(unify.BatchInstaller); ok {
+		q.batch = bi
+	}
+	go q.run()
+	return q
+}
+
+// Close stops the dispatcher. Queued jobs are canceled; jobs already
+// dispatched finish (their installs run on a context that Close cancels, so
+// they terminate promptly with a context error).
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		<-q.exited
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	q.cancel()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	<-q.exited
+}
+
+// Submit enqueues a request and returns the job snapshot immediately. The
+// context bounds only the enqueue; the deployment itself runs on the queue's
+// lifecycle context (use Wait, or the job's terminal state, for completion).
+func (q *Queue) Submit(ctx context.Context, req *nffg.NFFG) (Job, error) {
+	if err := ctx.Err(); err != nil {
+		return Job{}, err
+	}
+	if req == nil || req.ID == "" {
+		return Job{}, fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	if len(q.pending) >= q.opts.QueueCap {
+		q.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: %d jobs queued", ErrQueueFull, q.opts.QueueCap)
+	}
+	q.seq++
+	j := &job{
+		seq: q.seq,
+		req: req.Copy(),
+		snap: Job{
+			ID:        fmt.Sprintf("job-%d", q.seq),
+			ServiceID: req.ID,
+			State:     StateQueued,
+			Submitted: time.Now(),
+		},
+		done: make(chan struct{}),
+	}
+	q.jobs[j.snap.ID] = j
+	q.pending = append(q.pending, j)
+	q.stats.Submitted++
+	if d := len(q.pending); d > q.stats.MaxDepth {
+		q.stats.MaxDepth = d
+	}
+	snap := j.snap
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return snap, nil
+}
+
+// Job returns a job snapshot by ID.
+func (q *Queue) Job(id string) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j.snap, nil
+}
+
+// Jobs lists all known jobs in submission order.
+func (q *Queue) Jobs() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.jobs))
+	seqs := make([]*job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		seqs = append(seqs, j)
+	}
+	sort.Slice(seqs, func(i, k int) bool { return seqs[i].seq < seqs[k].seq })
+	for _, j := range seqs {
+		out = append(out, j.snap)
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state or the context is done.
+// On a context error the job's current snapshot is returned alongside it.
+func (q *Queue) Wait(ctx context.Context, id string) (Job, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	select {
+	case <-j.done:
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return j.snap, nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return j.snap, ctx.Err()
+	}
+}
+
+// Cancel aborts a job that is still queued. Jobs already mapping or deploying
+// cannot be canceled (ErrNotCancelable).
+func (q *Queue) Cancel(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if j.snap.State != StateQueued {
+		return fmt.Errorf("%w: %s is %s", ErrNotCancelable, id, j.snap.State)
+	}
+	for i, p := range q.pending {
+		if p == j {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			break
+		}
+	}
+	q.stats.Canceled++
+	q.terminateLocked(j, nil, ErrCanceled)
+	return nil
+}
+
+// Stats returns the queue's counters; Depth reflects the current backlog.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.stats
+	st.Depth = len(q.pending)
+	return st
+}
+
+// --- unify.Layer -------------------------------------------------------------
+
+// ID implements unify.Layer (the queue is transparent: it names its layer).
+func (q *Queue) ID() string { return q.layer.ID() }
+
+// View implements unify.Layer.
+func (q *Queue) View(ctx context.Context) (*nffg.NFFG, error) { return q.layer.View(ctx) }
+
+// Install implements unify.Layer: submit + wait, so synchronous callers ride
+// the same coalescing batches as async ones. A caller that gives up while
+// the job is still queued cancels it; one that gives up after dispatch
+// cannot abort the shared batch mid-flight — instead a deployment that
+// completes anyway is rolled back in the background, preserving the Install
+// contract that an observed failure installs nothing.
+func (q *Queue) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
+	snap, err := q.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	done, err := q.Wait(ctx, snap.ID)
+	if err != nil {
+		if cerr := q.Cancel(snap.ID); cerr != nil {
+			go q.rollbackAbandoned(snap.ID, req.ID)
+		}
+		return nil, err
+	}
+	if done.State == StateDeployed {
+		return done.Receipt, nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.jobs[snap.ID]; ok {
+		return nil, j.err
+	}
+	return nil, fmt.Errorf("%w: job %s: %s", unify.ErrRejected, snap.ID, done.Error)
+}
+
+// rollbackAbandoned waits for an abandoned synchronous install's job to
+// finish and tears the service down if it deployed: its caller already
+// observed a failure.
+func (q *Queue) rollbackAbandoned(jobID, serviceID string) {
+	q.mu.Lock()
+	j, ok := q.jobs[jobID]
+	q.mu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case <-j.done:
+	case <-q.ctx.Done():
+		return
+	}
+	q.mu.Lock()
+	deployed := j.snap.State == StateDeployed
+	q.mu.Unlock()
+	if !deployed {
+		return
+	}
+	if err := q.layer.Remove(context.WithoutCancel(q.ctx), serviceID); err != nil {
+		log.Printf("admission %s: rollback of abandoned install %s: %v", q.ID(), serviceID, err)
+		return
+	}
+	// Keep the job record honest: the service no longer exists, so the job
+	// must not read as a live deployment.
+	q.mu.Lock()
+	if j.snap.State == StateDeployed {
+		j.snap.State = StateFailed
+		j.snap.Error = "admission: deployment rolled back: synchronous caller abandoned the install"
+		j.snap.Receipt = nil
+		q.stats.Deployed--
+		q.stats.Failed++
+	}
+	q.mu.Unlock()
+}
+
+// Remove implements unify.Layer (pass-through: teardown is not batched).
+func (q *Queue) Remove(ctx context.Context, serviceID string) error {
+	return q.layer.Remove(ctx, serviceID)
+}
+
+// Services implements unify.Layer.
+func (q *Queue) Services() []string { return q.layer.Services() }
+
+// --- dispatcher --------------------------------------------------------------
+
+// run is the dispatcher: wait for an arrival, let the window fill, then admit
+// the batch. One batch is MAPPING at a time — that serialization is what
+// collapses generation conflicts on the layer below — but deployments are
+// handed off (see process), so a slow child never blocks admission
+// head-of-line.
+func (q *Queue) run() {
+	defer close(q.exited)
+	for {
+		select {
+		case <-q.ctx.Done():
+			q.drain()
+			q.inflight.Wait()
+			return
+		case <-q.wake:
+		}
+		for {
+			batch := q.take()
+			if len(batch) == 0 {
+				break
+			}
+			q.process(batch)
+		}
+	}
+}
+
+// take waits out the coalescing window and pops up to MaxBatch queued jobs.
+func (q *Queue) take() []*job {
+	q.mu.Lock()
+	n := len(q.pending)
+	q.mu.Unlock()
+	if n == 0 {
+		return nil
+	}
+	if q.opts.Window > 0 && n < q.opts.MaxBatch {
+		t := time.NewTimer(q.opts.Window)
+		select {
+		case <-t.C:
+		case <-q.ctx.Done():
+			t.Stop()
+			// Fall through: drain() in run() handles the backlog.
+			return nil
+		}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	k := min(len(q.pending), q.opts.MaxBatch)
+	if k == 0 {
+		// Everything queued was canceled during the window; not a batch.
+		return nil
+	}
+	batch := make([]*job, k)
+	copy(batch, q.pending[:k])
+	q.pending = append(q.pending[:0:0], q.pending[k:]...)
+	now := time.Now()
+	for _, j := range batch {
+		j.snap.State = StateMapping
+		j.snap.Started = now
+		j.snap.Batch = k
+	}
+	q.stats.Batches++
+	q.stats.Coalesced += uint64(k)
+	if k > q.stats.MaxBatch {
+		q.stats.MaxBatch = k
+	}
+	return batch
+}
+
+// process admits one batch through the layer. It returns as soon as the
+// batch's mapping is committed (or the whole batch rejected): the child
+// deployments continue in a handed-off goroutine, overlapping with the next
+// batch's mapping instead of blocking admission behind a slow child.
+func (q *Queue) process(batch []*job) {
+	reqs := make([]*nffg.NFFG, len(batch))
+	for i, j := range batch {
+		reqs[i] = j.req
+	}
+	if q.batch == nil {
+		// Fallback for plain layers: no shared snapshot, so batch members
+		// install individually — in parallel within the batch, but at most
+		// one batch at a time, which bounds the concurrent mapping pressure
+		// on the layer (the serialization New documents). Each job still
+		// finishes individually.
+		var wg sync.WaitGroup
+		for _, j := range batch {
+			wg.Add(1)
+			go func(j *job) {
+				defer wg.Done()
+				q.setState(j, StateDeploying)
+				receipt, err := q.layer.Install(q.ctx, j.req)
+				q.finishJob(j, receipt, err, 0)
+			}(j)
+		}
+		wg.Wait()
+		return
+	}
+	committed := make(chan struct{})
+	var once sync.Once
+	markCommitted := func() { once.Do(func() { close(committed) }) }
+	q.inflight.Add(1)
+	go func() {
+		defer q.inflight.Done()
+		obs := unify.BatchObserver{
+			Admitted: func(i int) {
+				markCommitted()
+				q.setState(batch[i], StateDeploying)
+			},
+			// Per-request completion: one slow batch member must not delay
+			// its peers' terminal states (finishJob ignores already-terminal
+			// jobs, so the sweep below stays safe).
+			Done: func(i int, o unify.BatchOutcome) {
+				q.finishJob(batch[i], o.Receipt, o.Err, o.Attempts)
+			},
+		}
+		outs := q.batch.InstallBatch(q.ctx, reqs, obs)
+		// Defensive sweep for implementations that miss a Done callback.
+		for i, o := range outs {
+			q.finishJob(batch[i], o.Receipt, o.Err, o.Attempts)
+		}
+		markCommitted() // fully rejected batches never report an admission
+	}()
+	<-committed
+}
+
+// drain cancels everything still queued when the queue shuts down.
+func (q *Queue) drain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, j := range q.pending {
+		q.stats.Canceled++
+		q.terminateLocked(j, nil, fmt.Errorf("%w: %v", ErrCanceled, ErrClosed))
+	}
+	q.pending = nil
+}
+
+func (q *Queue) setState(j *job, s State) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !j.snap.State.Terminal() {
+		j.snap.State = s
+	}
+}
+
+// finishJob records a job's outcome and wakes its watchers. Already-terminal
+// jobs are left untouched, so per-request Done callbacks and the batch-level
+// sweep compose without double counting.
+func (q *Queue) finishJob(j *job, receipt *unify.Receipt, err error, attempts int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.snap.State.Terminal() {
+		return
+	}
+	j.snap.Attempts = attempts
+	if err != nil {
+		q.stats.Failed++
+	} else {
+		q.stats.Deployed++
+	}
+	q.terminateLocked(j, receipt, err)
+}
+
+// terminateLocked moves a job to its terminal state, closes its done channel
+// and applies the retention bound. Callers hold q.mu.
+func (q *Queue) terminateLocked(j *job, receipt *unify.Receipt, err error) {
+	if j.snap.State.Terminal() {
+		return
+	}
+	j.snap.Finished = time.Now()
+	switch {
+	case errors.Is(err, ErrCanceled):
+		j.snap.State = StateCanceled
+		j.snap.Error = err.Error()
+		j.err = err
+	case err != nil:
+		j.snap.State = StateFailed
+		j.snap.Error = err.Error()
+		j.err = err
+	default:
+		j.snap.State = StateDeployed
+		j.snap.Receipt = receipt
+	}
+	close(j.done)
+	q.finished = append(q.finished, j)
+	for len(q.finished) > q.opts.Retention {
+		old := q.finished[0]
+		q.finished = q.finished[1:]
+		delete(q.jobs, old.snap.ID)
+	}
+}

@@ -11,8 +11,20 @@
 //	GET    /unify/capabilities         -> ["compute","forwarding",...]
 //	GET    /unify/services             -> ["svc1", ...]
 //	POST   /unify/services             -> Receipt (body: NFFG request)
+//	POST   /unify/services?mode=async  -> 202 + Job (requires admission queue)
 //	DELETE /unify/services/{id}        -> 204
+//	GET    /unify/jobs                 -> [Job, ...]
+//	GET    /unify/jobs/{id}            -> Job
+//	GET    /unify/jobs/{id}/wait       -> Job (long-poll: blocks until the job
+//	                                      is terminal; 202 + snapshot on
+//	                                      ?timeout= expiry)
+//	DELETE /unify/jobs/{id}            -> 204 (cancel a queued job)
+//	GET    /unify/stats/admission      -> admission.Stats
 //	GET    /healthz                    -> 200 "ok"
+//
+// The jobs endpoints exist when the server is given an admission queue
+// (WithAdmission); synchronous installs then ride the same coalescing batches
+// as async ones.
 package api
 
 import (
@@ -26,7 +38,9 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
+	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/nffg"
 	"github.com/unify-repro/escape/internal/unify"
@@ -36,6 +50,7 @@ import (
 type Server struct {
 	layer unify.Layer
 	caps  []domain.Capability
+	adm   *admission.Queue
 	http  *http.Server
 	addr  string
 }
@@ -43,6 +58,14 @@ type Server struct {
 // NewServer wraps a layer. caps may be nil for plain layers.
 func NewServer(layer unify.Layer, caps []domain.Capability) *Server {
 	return &Server{layer: layer, caps: caps}
+}
+
+// WithAdmission routes installs through the admission queue and enables the
+// async jobs API. Call before Listen. The caller keeps ownership of the
+// queue's lifecycle (Close it after the server).
+func (s *Server) WithAdmission(q *admission.Queue) *Server {
+	s.adm = q
+	return s
 }
 
 // Listen binds to addr ("127.0.0.1:0" for ephemeral) and serves in the
@@ -57,6 +80,13 @@ func (s *Server) Listen(addr string) (string, error) {
 	mux.HandleFunc("GET /unify/services", s.handleList)
 	mux.HandleFunc("POST /unify/services", s.handleInstall)
 	mux.HandleFunc("DELETE /unify/services/{id}", s.handleRemove)
+	if s.adm != nil {
+		mux.HandleFunc("GET /unify/jobs", s.handleJobs)
+		mux.HandleFunc("GET /unify/jobs/{id}", s.handleJob)
+		mux.HandleFunc("GET /unify/jobs/{id}/wait", s.handleJobWait)
+		mux.HandleFunc("DELETE /unify/jobs/{id}", s.handleJobCancel)
+		mux.HandleFunc("GET /unify/stats/admission", s.handleAdmissionStats)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -109,12 +139,84 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	receipt, err := s.layer.Install(r.Context(), req)
+	if r.URL.Query().Get("mode") == "async" {
+		if s.adm == nil {
+			writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: no admission queue configured"})
+			return
+		}
+		job, err := s.adm.Submit(r.Context(), req)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+		return
+	}
+	// Synchronous installs go through the admission queue too when present,
+	// so they coalesce into the same batches.
+	install := s.layer.Install
+	if s.adm != nil {
+		install = s.adm.Install
+	}
+	receipt, err := install(r.Context(), req)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, receipt)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.adm.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.adm.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleJobWait long-polls a job: it blocks until the job reaches a terminal
+// state, the optional ?timeout= elapses (202 + current snapshot: poll again),
+// or the request context dies.
+func (s *Server) handleJobWait(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "api: bad timeout: " + err.Error()})
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	job, err := s.adm.Wait(ctx, r.PathValue("id"))
+	switch {
+	case errors.Is(err, admission.ErrUnknownJob):
+		httpError(w, err)
+	case err != nil:
+		// Poll window expired (or the client went away): report the current
+		// snapshot so the caller can re-poll.
+		writeJSON(w, http.StatusAccepted, job)
+	default:
+		writeJSON(w, http.StatusOK, job)
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.adm.Cancel(r.PathValue("id")); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAdmissionStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.adm.Stats())
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -130,10 +232,16 @@ func httpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, unify.ErrRejected):
 		status = http.StatusConflict
-	case errors.Is(err, unify.ErrUnknownService):
+	case errors.Is(err, unify.ErrUnknownService), errors.Is(err, admission.ErrUnknownJob):
 		status = http.StatusNotFound
 	case errors.Is(err, unify.ErrBusy):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, admission.ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, admission.ErrNotCancelable), errors.Is(err, admission.ErrCanceled):
+		// A sync install whose queued job was canceled (DELETE on the job,
+		// or queue shutdown) is a conflict, not a server fault.
+		status = http.StatusConflict
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -146,17 +254,54 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // Client is a unify.Layer backed by a remote server. It also satisfies
 // domain.Domain so a remote layer can be attached to a local orchestrator.
+//
+// Two transports back the client: unary calls (view, lists, job reads) are
+// bounded by a default timeout so a hung server cannot wedge the caller,
+// while potentially long operations (Install, Remove, WaitJob) are governed
+// only by the caller's context — an async job watch may legitimately outlive
+// any fixed timeout.
 type Client struct {
-	id     string
-	base   string
-	client *http.Client
+	id    string
+	base  string
+	unary *http.Client // bounded by the dial timeout
+	long  *http.Client // context-governed only
+}
+
+// DefaultTimeout bounds unary client calls (and the Dial health check) unless
+// overridden with WithTimeout.
+const DefaultTimeout = 30 * time.Second
+
+// DialOption tunes Dial.
+type DialOption func(*Client)
+
+// WithTimeout overrides the unary-call timeout (0 disables it).
+func WithTimeout(d time.Duration) DialOption {
+	return func(c *Client) { c.unary.Timeout = d }
 }
 
 // Dial checks the remote's health and returns a client. id names the layer
 // locally (it becomes the domain name when attached to an orchestrator).
-func Dial(id, baseURL string) (*Client, error) {
-	c := &Client{id: id, base: strings.TrimRight(baseURL, "/"), client: &http.Client{}}
-	resp, err := c.client.Get(c.base + "/healthz")
+func Dial(id, baseURL string, opts ...DialOption) (*Client, error) {
+	c := &Client{
+		id:    id,
+		base:  strings.TrimRight(baseURL, "/"),
+		unary: &http.Client{Timeout: DefaultTimeout},
+		long:  &http.Client{},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	hctx := context.Background()
+	if c.unary.Timeout > 0 {
+		var cancel context.CancelFunc
+		hctx, cancel = context.WithTimeout(hctx, c.unary.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(hctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.unary.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("api: dial %s: %w", baseURL, err)
 	}
@@ -165,6 +310,23 @@ func Dial(id, baseURL string) (*Client, error) {
 		return nil, fmt.Errorf("api: %s unhealthy: %d", baseURL, resp.StatusCode)
 	}
 	return c, nil
+}
+
+// getJSON performs a unary GET and decodes the JSON response into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.unary.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // ID implements unify.Layer.
@@ -176,7 +338,7 @@ func (c *Client) View(ctx context.Context) (*nffg.NFFG, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.client.Do(req)
+	resp, err := c.unary.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -187,18 +349,32 @@ func (c *Client) View(ctx context.Context) (*nffg.NFFG, error) {
 	return nffg.DecodeJSON(resp.Body)
 }
 
-// Install implements unify.Layer.
-func (c *Client) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
+// install POSTs a request, optionally in async mode.
+func (c *Client) install(ctx context.Context, req *nffg.NFFG, async bool) (*http.Response, error) {
 	var buf bytes.Buffer
 	if err := req.EncodeJSON(&buf); err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/unify/services", &buf)
+	target := c.base + "/unify/services"
+	if async {
+		target += "?mode=async"
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, target, &buf)
 	if err != nil {
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.client.Do(hreq)
+	if async {
+		// Submission returns immediately; the unary bound applies.
+		return c.unary.Do(hreq)
+	}
+	return c.long.Do(hreq)
+}
+
+// Install implements unify.Layer: the synchronous install, held open for the
+// whole deployment (bounded only by ctx).
+func (c *Client) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
+	resp, err := c.install(ctx, req, false)
 	if err != nil {
 		return nil, err
 	}
@@ -213,15 +389,77 @@ func (c *Client) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, e
 	return &receipt, nil
 }
 
-// Remove implements unify.Layer.
-func (c *Client) Remove(ctx context.Context, serviceID string) error {
-	// Service IDs may contain separators ('#' in orchestrator sub-requests)
-	// that URL parsing would otherwise eat.
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/unify/services/"+url.PathEscape(serviceID), nil)
+// SubmitAsync enqueues a request on the remote admission queue and returns
+// the job immediately (HTTP 202). Track it with Job/WaitJob.
+func (c *Client) SubmitAsync(ctx context.Context, req *nffg.NFFG) (admission.Job, error) {
+	resp, err := c.install(ctx, req, true)
+	if err != nil {
+		return admission.Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return admission.Job{}, remoteError(resp)
+	}
+	var job admission.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return admission.Job{}, err
+	}
+	return job, nil
+}
+
+// Job fetches one job snapshot.
+func (c *Client) Job(ctx context.Context, id string) (admission.Job, error) {
+	var job admission.Job
+	err := c.getJSON(ctx, "/unify/jobs/"+url.PathEscape(id), &job)
+	return job, err
+}
+
+// Jobs lists the remote queue's jobs in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]admission.Job, error) {
+	var jobs []admission.Job
+	err := c.getJSON(ctx, "/unify/jobs", &jobs)
+	return jobs, err
+}
+
+// WaitJob long-polls until the job reaches a terminal state or ctx is done.
+// Each poll asks the server to hold the request for up to pollWindow; a 202
+// means "still running", and the loop re-polls.
+func (c *Client) WaitJob(ctx context.Context, id string) (admission.Job, error) {
+	const pollWindow = 30 * time.Second
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			c.base+"/unify/jobs/"+url.PathEscape(id)+"/wait?timeout="+pollWindow.String(), nil)
+		if err != nil {
+			return admission.Job{}, err
+		}
+		resp, err := c.long.Do(req)
+		if err != nil {
+			return admission.Job{}, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			var job admission.Job
+			decodeErr := json.NewDecoder(resp.Body).Decode(&job)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return job, decodeErr
+			}
+			// Poll window expired; job still in flight — re-poll.
+		default:
+			rerr := remoteError(resp)
+			resp.Body.Close()
+			return admission.Job{}, rerr
+		}
+	}
+}
+
+// CancelJob cancels a still-queued job.
+func (c *Client) CancelJob(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/unify/jobs/"+url.PathEscape(id), nil)
 	if err != nil {
 		return err
 	}
-	resp, err := c.client.Do(req)
+	resp, err := c.unary.Do(req)
 	if err != nil {
 		return err
 	}
@@ -232,30 +470,70 @@ func (c *Client) Remove(ctx context.Context, serviceID string) error {
 	return nil
 }
 
-// Services implements unify.Layer.
+// AdmissionStats fetches the remote queue's counters.
+func (c *Client) AdmissionStats(ctx context.Context) (admission.Stats, error) {
+	var st admission.Stats
+	err := c.getJSON(ctx, "/unify/stats/admission", &st)
+	return st, err
+}
+
+// Remove implements unify.Layer.
+func (c *Client) Remove(ctx context.Context, serviceID string) error {
+	// Service IDs may contain separators ('#' in orchestrator sub-requests)
+	// that URL parsing would otherwise eat.
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/unify/services/"+url.PathEscape(serviceID), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.long.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return remoteError(resp)
+	}
+	return nil
+}
+
+// ListServices lists the remote services, surfacing transport errors and
+// honoring the context (unlike the interface-shaped Services).
+func (c *Client) ListServices(ctx context.Context) ([]string, error) {
+	var out []string
+	err := c.getJSON(ctx, "/unify/services", &out)
+	return out, err
+}
+
+// Services implements unify.Layer. The interface has no error channel, so
+// failures collapse to an empty list; callers that care use ListServices.
 func (c *Client) Services() []string {
-	resp, err := c.client.Get(c.base + "/unify/services")
+	out, err := c.ListServices(context.Background())
 	if err != nil {
 		return nil
 	}
-	defer resp.Body.Close()
-	var out []string
-	_ = json.NewDecoder(resp.Body).Decode(&out)
 	return out
 }
 
-// Capabilities implements domain.Domain.
-func (c *Client) Capabilities() []domain.Capability {
-	resp, err := c.client.Get(c.base + "/unify/capabilities")
-	if err != nil {
-		return nil
-	}
-	defer resp.Body.Close()
+// RemoteCapabilities fetches the remote capability advertisement, surfacing
+// transport errors and honoring the context (unlike Capabilities).
+func (c *Client) RemoteCapabilities(ctx context.Context) ([]domain.Capability, error) {
 	var raw []string
-	_ = json.NewDecoder(resp.Body).Decode(&raw)
+	if err := c.getJSON(ctx, "/unify/capabilities", &raw); err != nil {
+		return nil, err
+	}
 	out := make([]domain.Capability, 0, len(raw))
 	for _, r := range raw {
 		out = append(out, domain.Capability(r))
+	}
+	return out, nil
+}
+
+// Capabilities implements domain.Domain; failures collapse to nil — callers
+// that care use RemoteCapabilities.
+func (c *Client) Capabilities() []domain.Capability {
+	out, err := c.RemoteCapabilities(context.Background())
+	if err != nil {
+		return nil
 	}
 	return out
 }
@@ -278,6 +556,8 @@ func remoteError(resp *http.Response) error {
 		return fmt.Errorf("%w: %s", unify.ErrUnknownService, msg)
 	case http.StatusServiceUnavailable:
 		return fmt.Errorf("%w: %s", unify.ErrBusy, msg)
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %s", admission.ErrQueueFull, msg)
 	default:
 		return fmt.Errorf("api: remote error %d: %s", resp.StatusCode, msg)
 	}

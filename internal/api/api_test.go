@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
+	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/nffg"
@@ -127,7 +129,7 @@ func TestRemoteLayerAsDomain(t *testing.T) {
 	// client: the distributed recursion.
 	_, cli := startPair(t)
 	ro := core.NewResourceOrchestrator(core.Config{ID: "parent"})
-	if err := ro.Attach(cli); err != nil {
+	if err := ro.Attach(context.Background(), cli); err != nil {
 		t.Fatal(err)
 	}
 	req := sg(t, "dist1")
@@ -144,6 +146,148 @@ func TestRemoteLayerAsDomain(t *testing.T) {
 	}
 	if got := cli.Services(); len(got) != 0 {
 		t.Fatalf("remote cleanup: %v", got)
+	}
+}
+
+// TestAsyncJobsOverHTTP is the end-to-end acceptance check for the async
+// northbound API: POST ?mode=async returns 202 + a job, the job is listable
+// and watchable through the client, and the watch returns the terminal state
+// with the deployment receipt.
+func TestAsyncJobsOverHTTP(t *testing.T) {
+	lo := leaf(t, "remote")
+	q := admission.New(lo, admission.Options{Window: time.Millisecond})
+	t.Cleanup(q.Close)
+	srv := NewServer(lo, nil).WithAdmission(q)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := Dial("remote", "http://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	job, err := cli.SubmitAsync(ctx, sg(t, "svc-async"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.ServiceID != "svc-async" {
+		t.Fatalf("submitted job: %+v", job)
+	}
+
+	done, err := cli.WaitJob(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != admission.StateDeployed || done.Receipt == nil {
+		t.Fatalf("watched job: %+v", done)
+	}
+	if done.Receipt.ServiceID != "svc-async" || len(done.Receipt.Placements) != 1 {
+		t.Fatalf("receipt over the wire: %+v", done.Receipt)
+	}
+	if svcs, err := cli.ListServices(ctx); err != nil || len(svcs) != 1 {
+		t.Fatalf("services after async deploy: %v %v", svcs, err)
+	}
+
+	// The job is queryable individually and in the listing.
+	got, err := cli.Job(ctx, job.ID)
+	if err != nil || got.State != admission.StateDeployed {
+		t.Fatalf("job fetch: %+v %v", got, err)
+	}
+	jobs, err := cli.Jobs(ctx)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs list: %+v %v", jobs, err)
+	}
+	if st, err := cli.AdmissionStats(ctx); err != nil || st.Deployed != 1 {
+		t.Fatalf("admission stats: %+v %v", st, err)
+	}
+
+	// Unknown jobs surface ErrUnknownService identity (404) on fetch/watch.
+	if _, err := cli.Job(ctx, "job-999"); !errors.Is(err, unify.ErrUnknownService) {
+		t.Fatalf("unknown job fetch: %v", err)
+	}
+	if _, err := cli.WaitJob(ctx, "job-999"); !errors.Is(err, unify.ErrUnknownService) {
+		t.Fatalf("unknown job watch: %v", err)
+	}
+
+	// A failing graph lands in StateFailed with the error preserved.
+	bad := nffg.NewBuilder("bad-async").
+		SAP("sapA").SAP("sapB").
+		NF("bad-nf", "quantum", 2, res(1, 64)).
+		Chain("bad-async", 1, 0, "sapA", "bad-nf", "sapB").
+		MustBuild()
+	failJob, err := cli.SubmitAsync(ctx, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failDone, err := cli.WaitJob(ctx, failJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failDone.State != admission.StateFailed || failDone.Error == "" {
+		t.Fatalf("failed job: %+v", failDone)
+	}
+}
+
+// TestSyncInstallRidesAdmission: with a queue configured, plain synchronous
+// POSTs go through it too.
+func TestSyncInstallRidesAdmission(t *testing.T) {
+	lo := leaf(t, "remote")
+	q := admission.New(lo, admission.Options{Window: time.Millisecond})
+	t.Cleanup(q.Close)
+	srv := NewServer(lo, nil).WithAdmission(q)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := Dial("remote", "http://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Install(context.Background(), sg(t, "svc-sync")); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Deployed != 1 {
+		t.Fatalf("sync install bypassed the queue: %+v", st)
+	}
+}
+
+// TestAsyncModeWithoutQueue: ?mode=async without an admission queue is a
+// clean 501, not a hang.
+func TestAsyncModeWithoutQueue(t *testing.T) {
+	_, cli := startPair(t)
+	if _, err := cli.SubmitAsync(context.Background(), sg(t, "svc")); err == nil {
+		t.Fatal("async submit should fail without a queue")
+	}
+}
+
+// TestListErrorsSurface: ListServices and RemoteCapabilities report transport
+// errors instead of swallowing them (the interface-shaped methods collapse to
+// empty results).
+func TestListErrorsSurface(t *testing.T) {
+	lo := leaf(t, "remote")
+	srv := NewServer(lo, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial("remote", "http://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := cli.ListServices(context.Background()); err == nil {
+		t.Fatal("ListServices against a dead server should error")
+	}
+	if _, err := cli.RemoteCapabilities(context.Background()); err == nil {
+		t.Fatal("RemoteCapabilities against a dead server should error")
+	}
+	if got := cli.Services(); got != nil {
+		t.Fatalf("interface-shaped Services should collapse to nil: %v", got)
 	}
 }
 

@@ -107,7 +107,7 @@ func TestROPartialChildFailureMidChain(t *testing.T) {
 	loC := mk("C", progC, "b2", "sap2")
 	ro := NewResourceOrchestrator(Config{ID: "ro"})
 	for _, d := range []*LocalOrchestrator{loA, loB, loC} {
-		if err := ro.Attach(d); err != nil {
+		if err := ro.Attach(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}

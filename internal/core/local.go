@@ -248,23 +248,7 @@ func (lo *LocalOrchestrator) Install(ctx context.Context, req *nffg.NFFG) (*unif
 		delete(lo.pending, req.ID)
 		lo.mu.Unlock()
 
-		receipt := &unify.Receipt{
-			ServiceID:      req.ID,
-			Placements:     map[nffg.ID]nffg.ID{},
-			HopPaths:       map[string][]string{},
-			Decompositions: mapping.Applied,
-		}
-		for nf, host := range mapping.NFHost {
-			receipt.Placements[nf] = host
-		}
-		for hid, p := range mapping.Paths {
-			var nodes []string
-			for _, n := range p.Nodes {
-				nodes = append(nodes, string(n))
-			}
-			receipt.HopPaths[hid] = nodes
-		}
-		return receipt, nil
+		return mappingReceipt(req.ID, mapping), nil
 	}
 	release()
 	return nil, fmt.Errorf("%w: gave up after %d mapping attempts (last: %v)", unify.ErrBusy, MaxMapAttempts, lastErr)

@@ -7,6 +7,7 @@ import (
 	"log"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/embed"
@@ -47,6 +48,30 @@ type ResourceOrchestrator struct {
 	gen      uint64             // bumped on every committed DoV change
 	owner    map[nffg.ID]string // immutable snapshot: DoV infra -> child ID that exported it
 	services map[string]*serviceRecord
+
+	// Contention counters of the mapping pipeline (see PipelineStats).
+	stats struct {
+		installs, mapAttempts, genConflicts, busy, batches, batchedReqs atomic.Uint64
+	}
+}
+
+// PipelineStats are cumulative counters of the snapshot→map→commit pipeline,
+// exposed for observability (internal/monitor renders them): how often
+// installs re-map, how often commits collide, and how much batching
+// amortizes.
+type PipelineStats struct {
+	// Installs counts successfully deployed requests.
+	Installs uint64
+	// MapAttempts counts snapshot→map→commit cycles (≥1 per batch).
+	MapAttempts uint64
+	// GenConflicts counts commits lost to a concurrent generation bump.
+	GenConflicts uint64
+	// Busy counts requests that exhausted MaxMapAttempts (unify.ErrBusy).
+	Busy uint64
+	// Batches counts committed admission batches; BatchedRequests the
+	// requests they carried (BatchedRequests/Batches = mean batch size).
+	Batches         uint64
+	BatchedRequests uint64
 }
 
 // serviceState tracks the lifecycle of a serviceRecord so concurrent
@@ -109,12 +134,13 @@ func (ro *ResourceOrchestrator) ID() string { return ro.id }
 // another orchestrator) and folds its view into the DoV. Children exporting
 // the same SAP IDs are stitched at those border SAPs. The merge runs on a
 // copy that is swapped in only on success, so a failed Attach can never leave
-// a partially-merged DoV behind.
-func (ro *ResourceOrchestrator) Attach(d domain.Domain) error {
+// a partially-merged DoV behind. ctx bounds the child view fetch (which may
+// be a remote call).
+func (ro *ResourceOrchestrator) Attach(ctx context.Context, d domain.Domain) error {
 	if err := ro.reg.Register(d); err != nil {
 		return err
 	}
-	view, err := d.View(context.Background())
+	view, err := d.View(ctx)
 	if err != nil {
 		_ = ro.reg.Deregister(d.ID())
 		return fmt.Errorf("core: attach %s: %w", d.ID(), err)
@@ -160,6 +186,18 @@ func (ro *ResourceOrchestrator) Generation() uint64 {
 	return ro.gen
 }
 
+// PipelineStats returns the cumulative mapping-pipeline counters.
+func (ro *ResourceOrchestrator) PipelineStats() PipelineStats {
+	return PipelineStats{
+		Installs:        ro.stats.installs.Load(),
+		MapAttempts:     ro.stats.mapAttempts.Load(),
+		GenConflicts:    ro.stats.genConflicts.Load(),
+		Busy:            ro.stats.busy.Load(),
+		Batches:         ro.stats.batches.Load(),
+		BatchedRequests: ro.stats.batchedReqs.Load(),
+	}
+}
+
 // DoV returns a copy of the current global resource view (for inspection).
 func (ro *ResourceOrchestrator) DoV() *nffg.NFFG {
 	snap, _, _ := ro.snapshot()
@@ -183,10 +221,11 @@ func (ro *ResourceOrchestrator) View(ctx context.Context) (*nffg.NFFG, error) {
 	return ro.virt.View(snap)
 }
 
-// plan runs the CPU-bound half of an install against an immutable DoV
-// snapshot: view-pin expansion, embedding, resource application and per-child
-// request splitting. It holds no locks and mutates no shared state.
-func (ro *ResourceOrchestrator) plan(snap *nffg.NFFG, owner map[nffg.ID]string, req *nffg.NFFG) (*embed.Mapping, *nffg.NFFG, map[string]*nffg.NFFG, error) {
+// plan runs the CPU-bound embedding of one request against an immutable DoV
+// snapshot: view-pin expansion and scoped mapping. It holds no locks and
+// mutates no shared state; realizing the mapping on a working DoV (and
+// splitting it per child) is the caller's business.
+func (ro *ResourceOrchestrator) plan(snap *nffg.NFFG, req *nffg.NFFG) (*embed.Mapping, error) {
 	// Translate view-node pins into DoV scope constraints.
 	work := req.Copy()
 	scope := map[nffg.ID][]nffg.ID{}
@@ -200,7 +239,7 @@ func (ro *ResourceOrchestrator) plan(snap *nffg.NFFG, owner map[nffg.ID]string, 
 		}
 		expanded := ro.virt.Scope(snap, nf.Host)
 		if len(expanded) == 0 {
-			return nil, nil, nil, fmt.Errorf("%w: NF %s pinned to unknown view node %s", unify.ErrRejected, id, nf.Host)
+			return nil, fmt.Errorf("%w: NF %s pinned to unknown view node %s", unify.ErrRejected, id, nf.Host)
 		}
 		if len(expanded) == 1 {
 			nf.Host = expanded[0]
@@ -211,106 +250,280 @@ func (ro *ResourceOrchestrator) plan(snap *nffg.NFFG, owner map[nffg.ID]string, 
 	}
 	mapping, err := ro.mapper.MapScoped(snap, work, scope)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
+		return nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
 	}
-	newDov, err := embed.Apply(snap, mapping)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
-	}
-	subs, err := ro.split(snap, owner, req.ID, mapping)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("%w: %v", unify.ErrRejected, err)
-	}
-	return mapping, newDov, subs, nil
+	return mapping, nil
 }
 
-// mapAndCommit runs the optimistic snapshot→map→commit loop: plan on a
-// snapshot outside the lock, then swap the new DoV in iff no concurrent
-// commit moved the generation; otherwise re-plan on a fresh snapshot, at most
-// MaxMapAttempts times.
-func (ro *ResourceOrchestrator) mapAndCommit(ctx context.Context, req *nffg.NFFG) (*embed.Mapping, map[string]*nffg.NFFG, error) {
-	var lastErr error
-	for attempt := 0; attempt < MaxMapAttempts; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		snap, owner, snapGen := ro.snapshot()
-		mapping, newDov, subs, err := ro.plan(snap, owner, req)
-		if err != nil {
-			// The plan failed against this snapshot. If a concurrent commit
-			// moved the DoV in the meantime, the failure may be stale (e.g. a
-			// Remove just freed the conflicting resources) — retry fresh.
-			if _, _, gen := ro.snapshot(); gen != snapGen {
-				lastErr = err
-				continue
-			}
-			return nil, nil, err
-		}
-		ro.mu.Lock()
-		if ro.gen == snapGen {
-			ro.dov = newDov
-			ro.gen++
-			ro.mu.Unlock()
-			return mapping, subs, nil
-		}
-		ro.mu.Unlock()
-		// Lost the commit race; loop re-plans against the new generation.
-		lastErr = fmt.Errorf("%w: DoV generation advanced during mapping", unify.ErrBusy)
-	}
-	return nil, nil, fmt.Errorf("%w: gave up after %d mapping attempts (last: %v)", unify.ErrBusy, MaxMapAttempts, lastErr)
-}
-
-// Install implements unify.Layer: map the request on a DoV snapshot, commit
-// the reservation, then deploy per-child sub-requests in parallel.
+// Install implements unify.Layer: a single-request admission batch (see
+// InstallBatch for the snapshot→map→commit pipeline).
 func (ro *ResourceOrchestrator) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
+	out := ro.InstallBatch(ctx, []*nffg.NFFG{req}, unify.BatchObserver{})
+	return out[0].Receipt, out[0].Err
+}
+
+// InstallBatch implements unify.BatchInstaller: the whole batch is planned
+// against ONE DoV snapshot — each request over the residual capacity left by
+// its predecessors — and committed with a single generation bump, so N
+// concurrently-admitted requests cost one commit instead of N racing ones.
+// Requests fail individually: a graph that cannot be embedded is rejected
+// alone while the rest of the batch proceeds. After the commit the admitted
+// requests fan out in parallel (each inheriting the per-child fan-out of
+// deployChildren); a failed deployment releases only its own reservation.
+func (ro *ResourceOrchestrator) InstallBatch(ctx context.Context, reqs []*nffg.NFFG, obs unify.BatchObserver) []unify.BatchOutcome {
+	out := make([]unify.BatchOutcome, len(reqs))
+	attempts := 0
+	// conclude finalizes one outcome and fires obs.Done exactly once. The
+	// deploy goroutines below call it for their own index only; finish is
+	// the single exit point and sweeps up everything not yet concluded.
+	notified := make([]bool, len(reqs))
+	conclude := func(i int) {
+		if notified[i] {
+			return
+		}
+		notified[i] = true
+		out[i].Attempts = attempts
+		if obs.Done != nil {
+			obs.Done(i, out[i])
+		}
+	}
+	finish := func() []unify.BatchOutcome {
+		for i := range out {
+			conclude(i)
+		}
+		return out
+	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		for i := range out {
+			out[i].Err = err
+		}
+		return finish()
 	}
-	if req.ID == "" {
-		return nil, fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
-	}
-	rec := &serviceRecord{state: statePending, children: map[string][]string{}}
+
+	// Reserve the request IDs so concurrent duplicate installs (and
+	// duplicates within the batch) reject immediately and individually.
+	records := make([]*serviceRecord, len(reqs))
+	live := make([]bool, len(reqs))
 	ro.mu.Lock()
 	if ro.dov == nil {
 		ro.mu.Unlock()
-		return nil, fmt.Errorf("%w: no domains attached", unify.ErrRejected)
-	}
-	if _, dup := ro.services[req.ID]; dup {
-		ro.mu.Unlock()
-		return nil, fmt.Errorf("%w: service %s already installed", unify.ErrRejected, req.ID)
-	}
-	// Reserve the ID so concurrent duplicate installs reject immediately.
-	ro.services[req.ID] = rec
-	ro.mu.Unlock()
-	abort := func() {
-		ro.mu.Lock()
-		delete(ro.services, req.ID)
-		ro.mu.Unlock()
-	}
-
-	mapping, subs, err := ro.mapAndCommit(ctx, req)
-	if err != nil {
-		abort()
-		return nil, err
-	}
-	// The DoV now holds this service's reservation; any exit below must
-	// either complete the install or release it again.
-	children := sortedKeys(subs)
-	receipts, err := ro.deployChildren(ctx, children, subs)
-	if err != nil {
-		if rerr := ro.releaseDoV(mapping); rerr != nil {
-			log.Printf("core %s: releasing aborted install %s: %v", ro.id, req.ID, rerr)
+		for i := range out {
+			out[i].Err = fmt.Errorf("%w: no domains attached", unify.ErrRejected)
 		}
-		abort()
-		return nil, err
+		return finish()
+	}
+	for i, req := range reqs {
+		if req == nil || req.ID == "" {
+			out[i].Err = fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
+			continue
+		}
+		if _, dup := ro.services[req.ID]; dup {
+			out[i].Err = fmt.Errorf("%w: service %s already installed", unify.ErrRejected, req.ID)
+			continue
+		}
+		records[i] = &serviceRecord{state: statePending, children: map[string][]string{}}
+		ro.services[req.ID] = records[i]
+		live[i] = true
+	}
+	ro.mu.Unlock()
+
+	// abort drops request i's reservation. The per-request deploy goroutines
+	// below may call it concurrently: each touches only its own index.
+	abort := func(i int, err error) {
+		ro.mu.Lock()
+		delete(ro.services, reqs[i].ID)
+		ro.mu.Unlock()
+		live[i] = false
+		out[i].Err = err
+	}
+	abortAll := func(err error) []unify.BatchOutcome {
+		for i := range reqs {
+			if live[i] {
+				abort(i, err)
+			}
+		}
+		return finish()
 	}
 
+	// Optimistic batch loop: plan every live request against one snapshot,
+	// then swap the combined DoV in iff no concurrent commit moved the
+	// generation; otherwise re-plan the whole batch, at most MaxMapAttempts
+	// times.
+	type plannedReq struct {
+		mapping *embed.Mapping
+		subs    map[string]*nffg.NFFG
+	}
+	plans := make([]*plannedReq, len(reqs))
+	planErrs := make([]error, len(reqs))
+	committed := false
+	var lastErr error
+	for attempts < MaxMapAttempts {
+		attempts++
+		if err := ctx.Err(); err != nil {
+			return abortAll(err)
+		}
+		ro.stats.mapAttempts.Add(1)
+		snap, owner, snapGen := ro.snapshot()
+		// The whole batch shares ONE working copy of the snapshot: each
+		// accepted mapping is realized on it in place (embed.ApplyTo), so
+		// admitting N requests costs one graph copy instead of N.
+		cur := snap
+		var accepted []*embed.Mapping
+		mappable := 0
+		rebuild := func() {
+			// An ApplyTo failed partway and may have left cur inconsistent:
+			// rebuild it by replaying the accepted mappings on a fresh copy
+			// (deterministic — they applied cleanly before).
+			cur = snap.Copy()
+			for _, mp := range accepted {
+				if rerr := embed.ApplyTo(cur, mp); rerr != nil {
+					log.Printf("core %s: batch replay inconsistency: %v", ro.id, rerr)
+				}
+			}
+		}
+		for i, req := range reqs {
+			if !live[i] {
+				continue
+			}
+			plans[i], planErrs[i] = nil, nil
+			mapping, err := ro.plan(cur, req)
+			if err != nil {
+				planErrs[i] = err
+				continue
+			}
+			if cur == snap {
+				cur = snap.Copy()
+			}
+			if err := embed.ApplyTo(cur, mapping); err != nil {
+				planErrs[i] = fmt.Errorf("%w: %v", unify.ErrRejected, err)
+				rebuild()
+				continue
+			}
+			subs, err := ro.split(snap, owner, req.ID, mapping)
+			if err != nil {
+				planErrs[i] = fmt.Errorf("%w: %v", unify.ErrRejected, err)
+				// The mapping applied cleanly, so Release is its exact inverse.
+				if rerr := embed.Release(cur, mapping); rerr != nil {
+					log.Printf("core %s: releasing unsplittable mapping: %v", ro.id, rerr)
+					rebuild()
+				}
+				continue
+			}
+			plans[i] = &plannedReq{mapping: mapping, subs: subs}
+			accepted = append(accepted, mapping)
+			mappable++
+		}
+		if mappable == 0 {
+			// Nothing mappable on this snapshot. If a concurrent commit moved
+			// the DoV meanwhile the failures may be stale (e.g. a Remove just
+			// freed the conflicting resources) — retry fresh; otherwise they
+			// are final.
+			if _, _, gen := ro.snapshot(); gen != snapGen {
+				lastErr = fmt.Errorf("%w: DoV generation advanced during mapping", unify.ErrBusy)
+				continue
+			}
+			for i := range reqs {
+				if live[i] {
+					abort(i, planErrs[i])
+				}
+			}
+			return finish()
+		}
+		ro.mu.Lock()
+		if ro.gen == snapGen {
+			ro.dov = cur
+			ro.gen++
+			ro.mu.Unlock()
+			committed = true
+			break
+		}
+		ro.mu.Unlock()
+		// Lost the commit race; loop re-plans against the new generation.
+		ro.stats.genConflicts.Add(1)
+		lastErr = fmt.Errorf("%w: DoV generation advanced during mapping", unify.ErrBusy)
+	}
+	if !committed {
+		for i := range reqs {
+			if !live[i] {
+				continue
+			}
+			ro.stats.busy.Add(1)
+			// Keep the request's own last rejection when it has one: a graph
+			// that kept failing to map while the generation churned is more
+			// usefully reported than the generic lost-race error.
+			cause := lastErr
+			if planErrs[i] != nil {
+				cause = planErrs[i]
+			}
+			abort(i, fmt.Errorf("%w: gave up after %d mapping attempts (last: %v)", unify.ErrBusy, MaxMapAttempts, cause))
+		}
+		return finish()
+	}
+
+	// The commit landed: batch-local rejections are final; everyone else now
+	// holds a DoV reservation and must either deploy or release it.
+	admittedCount := 0
+	for i := range reqs {
+		if !live[i] {
+			continue
+		}
+		if plans[i] == nil {
+			abort(i, planErrs[i])
+			continue
+		}
+		admittedCount++
+	}
+	ro.stats.batches.Add(1)
+	ro.stats.batchedReqs.Add(uint64(admittedCount))
+
+	var wg sync.WaitGroup
+	for i := range reqs {
+		if !live[i] {
+			continue
+		}
+		if obs.Admitted != nil {
+			obs.Admitted(i)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer conclude(i)
+			p := plans[i]
+			children := sortedKeys(p.subs)
+			receipts, err := ro.deployChildren(ctx, children, p.subs)
+			if err != nil {
+				if rerr := ro.releaseDoV(p.mapping); rerr != nil {
+					log.Printf("core %s: releasing aborted install %s: %v", ro.id, reqs[i].ID, rerr)
+				}
+				abort(i, err)
+				return
+			}
+			receipt := buildReceipt(reqs[i].ID, p.mapping, children, receipts)
+			ro.mu.Lock()
+			rec := records[i]
+			rec.mapping = p.mapping
+			for _, childID := range children {
+				rec.children[childID] = append(rec.children[childID], p.subs[childID].ID)
+			}
+			rec.receipt = receipt
+			rec.state = stateReady
+			ro.mu.Unlock()
+			out[i].Receipt = receipt
+			ro.stats.installs.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	return finish()
+}
+
+// mappingReceipt turns a mapping into the northbound deployment record
+// (placements, hop paths, applied decompositions).
+func mappingReceipt(serviceID string, mapping *embed.Mapping) *unify.Receipt {
 	receipt := &unify.Receipt{
-		ServiceID:      req.ID,
+		ServiceID:      serviceID,
 		Placements:     map[nffg.ID]nffg.ID{},
 		HopPaths:       map[string][]string{},
 		Decompositions: mapping.Applied,
-		Children:       map[string]*unify.Receipt{},
 	}
 	for nf, host := range mapping.NFHost {
 		receipt.Placements[nf] = host
@@ -322,18 +535,17 @@ func (ro *ResourceOrchestrator) Install(ctx context.Context, req *nffg.NFFG) (*u
 		}
 		receipt.HopPaths[hid] = nodes
 	}
+	return receipt
+}
+
+// buildReceipt assembles the recursive deployment record of one request.
+func buildReceipt(serviceID string, mapping *embed.Mapping, children []string, childReceipts []*unify.Receipt) *unify.Receipt {
+	receipt := mappingReceipt(serviceID, mapping)
+	receipt.Children = map[string]*unify.Receipt{}
 	for i, childID := range children {
-		receipt.Children[childID] = receipts[i]
+		receipt.Children[childID] = childReceipts[i]
 	}
-	ro.mu.Lock()
-	rec.mapping = mapping
-	for _, childID := range children {
-		rec.children[childID] = append(rec.children[childID], subs[childID].ID)
-	}
-	rec.receipt = receipt
-	rec.state = stateReady
-	ro.mu.Unlock()
-	return receipt, nil
+	return receipt
 }
 
 // deployChildren installs the per-child sub-requests in parallel goroutines.

@@ -181,10 +181,10 @@ func buildMdO(t testing.TB, progA, progB Programmer) (*ResourceOrchestrator, *Lo
 	loA := leafDomain(t, "domA", "sap1", "b-ab", progA)
 	loB := leafDomain(t, "domB", "sap2", "b-ab", progB)
 	ro := NewResourceOrchestrator(Config{ID: "mdo"})
-	if err := ro.Attach(loA); err != nil {
+	if err := ro.Attach(context.Background(), loA); err != nil {
 		t.Fatal(err)
 	}
-	if err := ro.Attach(loB); err != nil {
+	if err := ro.Attach(context.Background(), loB); err != nil {
 		t.Fatal(err)
 	}
 	return ro, loA, loB
@@ -311,7 +311,7 @@ func TestRORecursiveStack(t *testing.T) {
 	// Three levels: leaf domains -> MdO -> top orchestrator.
 	ro, _, _ := buildMdO(t, &recordingProgrammer{}, &recordingProgrammer{})
 	top := NewResourceOrchestrator(Config{ID: "top", Virtualizer: SingleBiSBiS{NodeID: "bisbis@top"}})
-	if err := top.Attach(ro); err != nil {
+	if err := top.Attach(context.Background(), ro); err != nil {
 		t.Fatal(err)
 	}
 	v, err := top.View(context.Background())

@@ -72,7 +72,7 @@ func lineRO(t testing.TB, n int, delay time.Duration, progs map[int]Programmer) 
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := ro.Attach(lo); err != nil {
+		if err := ro.Attach(context.Background(), lo); err != nil {
 			t.Fatal(err)
 		}
 		los = append(los, lo)

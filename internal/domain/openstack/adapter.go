@@ -1,8 +1,8 @@
 package openstack
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"

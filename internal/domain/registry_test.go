@@ -16,14 +16,14 @@ type stubDomain struct {
 	caps []Capability
 }
 
-func (s *stubDomain) ID() string                 { return s.id }
-func (s *stubDomain) Capabilities() []Capability { return s.caps }
+func (s *stubDomain) ID() string                               { return s.id }
+func (s *stubDomain) Capabilities() []Capability               { return s.caps }
 func (s *stubDomain) View(context.Context) (*nffg.NFFG, error) { return nffg.New(s.id), nil }
 func (s *stubDomain) Install(context.Context, *nffg.NFFG) (*unify.Receipt, error) {
 	return &unify.Receipt{}, nil
 }
 func (s *stubDomain) Remove(context.Context, string) error { return nil }
-func (s *stubDomain) Services() []string  { return nil }
+func (s *stubDomain) Services() []string                   { return nil }
 
 type recorder struct {
 	mu   sync.Mutex

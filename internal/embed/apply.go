@@ -18,15 +18,30 @@ var ErrConflict = errors.New("embed: flowrule conflict")
 // tag-based steering (push the hop tag at the ingress BiS-BiS, match it at
 // transit nodes, pop it on delivery), and link capacities are decremented by
 // the reserved bandwidth. This is the paper's "SFC programming = assigning
-// NFs to BiS-BiS nodes + editing flowrules within BiS-BiS nodes".
+// NFs to BiS-BiS nodes + editing flowrules within BiS-BiS nodes". The
+// original substrate is never mutated: a failed Apply leaves it untouched.
 func Apply(sub *nffg.NFFG, mp *Mapping) (*nffg.NFFG, error) {
 	out := sub.Copy()
+	if err := ApplyTo(out, mp); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyTo realizes a mapping on g IN PLACE — the copy-free variant behind
+// Apply, for callers that admit many mappings against one working substrate
+// (batched admission applies a whole batch to a single snapshot copy instead
+// of copying the graph per request). On error g may hold a partial
+// application: callers needing all-or-nothing semantics use Apply or rebuild
+// from their snapshot. A cleanly applied mapping is exactly undone by
+// Release.
+func ApplyTo(out *nffg.NFFG, mp *Mapping) error {
 	// 1. Place NFs.
 	for _, id := range mp.Request.NFIDs() {
 		nf := mp.Request.NFs[id]
 		host, ok := mp.NFHost[id]
 		if !ok {
-			return nil, fmt.Errorf("embed: NF %s has no host in mapping", id)
+			return fmt.Errorf("embed: NF %s has no host in mapping", id)
 		}
 		c := &nffg.NF{
 			ID: id, Name: nf.Name, FunctionalType: nf.FunctionalType,
@@ -38,7 +53,7 @@ func Apply(sub *nffg.NFFG, mp *Mapping) (*nffg.NFFG, error) {
 			c.Ports = append(c.Ports, &cp)
 		}
 		if err := out.AddNF(c); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	// 2. Copy SG hops and requirements into the configured view for
@@ -46,7 +61,7 @@ func Apply(sub *nffg.NFFG, mp *Mapping) (*nffg.NFFG, error) {
 	for _, h := range mp.Request.Hops {
 		ch := *h
 		if err := out.AddHop(&ch); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, r := range mp.Request.Reqs {
@@ -58,10 +73,10 @@ func Apply(sub *nffg.NFFG, mp *Mapping) (*nffg.NFFG, error) {
 	for _, h := range mp.Request.Hops {
 		p, ok := mp.Paths[h.ID]
 		if !ok {
-			return nil, fmt.Errorf("embed: hop %s missing from mapping", h.ID)
+			return fmt.Errorf("embed: hop %s missing from mapping", h.ID)
 		}
 		if err := programHop(out, mp, h, p); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	// 4. Reserve link bandwidth.
@@ -70,16 +85,16 @@ func Apply(sub *nffg.NFFG, mp *Mapping) (*nffg.NFFG, error) {
 		for _, lid := range p.Links {
 			l := out.LinkByID(string(lid))
 			if l == nil {
-				return nil, fmt.Errorf("embed: path link %s not in substrate", lid)
+				return fmt.Errorf("embed: path link %s not in substrate", lid)
 			}
 			if l.Bandwidth < h.Bandwidth {
-				return nil, fmt.Errorf("embed: link %s capacity exhausted applying hop %s", lid, h.ID)
+				return fmt.Errorf("embed: link %s capacity exhausted applying hop %s", lid, h.ID)
 			}
 			l.Bandwidth -= h.Bandwidth
 		}
 	}
 	out.NextVersion()
-	return out, nil
+	return nil
 }
 
 // Release undoes an applied mapping on g in place: removes the hops' rules,

@@ -1,8 +1,10 @@
 // Package monitor collects and renders operational statistics from the
-// emulated infrastructure: per-port and per-rule counters from switches, NF
-// processing counts, and per-service hop activity. It is the observability
-// slice of the reproduction: the numbers behind "the chain is carrying
-// traffic".
+// emulated infrastructure and the control plane: per-port and per-rule
+// counters from switches, NF processing counts, per-service hop activity,
+// orchestration-pipeline contention (mapping attempts, generation conflicts,
+// ErrBusy rejections) and admission-queue gauges (depth, batch sizes). It is
+// the observability slice of the reproduction: the numbers behind "the chain
+// is carrying traffic" and "the control plane is keeping up".
 package monitor
 
 import (
@@ -11,6 +13,8 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/unify-repro/escape/internal/admission"
+	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain/emunet"
 	"github.com/unify-repro/escape/internal/nffg"
 )
@@ -37,11 +41,51 @@ type NFCounters struct {
 	Processed uint64
 }
 
+// OrchCounters is one orchestrator's mapping-pipeline contention counters
+// (cumulative since start; see core.PipelineStats).
+type OrchCounters struct {
+	Layer string
+	core.PipelineStats
+}
+
+// AttemptsPerInstall is the mean snapshot→map→commit cycles per deployed
+// request — 1.0 means no contention and no batching benefit left to claim.
+func (c OrchCounters) AttemptsPerInstall() float64 {
+	if c.Installs == 0 {
+		return 0
+	}
+	return float64(c.MapAttempts) / float64(c.Installs)
+}
+
+// ConflictRate is generation conflicts per mapping attempt.
+func (c OrchCounters) ConflictRate() float64 {
+	if c.MapAttempts == 0 {
+		return 0
+	}
+	return float64(c.GenConflicts) / float64(c.MapAttempts)
+}
+
+// AdmissionCounters is one admission queue's gauges and counters.
+type AdmissionCounters struct {
+	Queue string
+	admission.Stats
+}
+
+// MeanBatch is the mean coalesced batch size.
+func (c AdmissionCounters) MeanBatch() float64 {
+	if c.Batches == 0 {
+		return 0
+	}
+	return float64(c.Coalesced) / float64(c.Batches)
+}
+
 // Snapshot is a point-in-time stats collection.
 type Snapshot struct {
-	Ports []PortCounters
-	Flows []FlowCounters
-	NFs   []NFCounters
+	Ports     []PortCounters
+	Flows     []FlowCounters
+	NFs       []NFCounters
+	Orch      []OrchCounters
+	Admission []AdmissionCounters
 }
 
 // Source produces snapshots.
@@ -83,6 +127,38 @@ func (s NetSource) Collect() (*Snapshot, error) {
 	return snap, nil
 }
 
+// PipelineStatsProvider is any layer exposing mapping-pipeline counters
+// (core.ResourceOrchestrator does).
+type PipelineStatsProvider interface {
+	ID() string
+	PipelineStats() core.PipelineStats
+}
+
+// OrchSource collects contention counters from an orchestrator.
+type OrchSource struct {
+	Orch PipelineStatsProvider
+}
+
+// Collect implements Source.
+func (s OrchSource) Collect() (*Snapshot, error) {
+	return &Snapshot{Orch: []OrchCounters{{Layer: s.Orch.ID(), PipelineStats: s.Orch.PipelineStats()}}}, nil
+}
+
+// QueueSource collects gauges from an admission queue.
+type QueueSource struct {
+	Name  string
+	Queue *admission.Queue
+}
+
+// Collect implements Source.
+func (s QueueSource) Collect() (*Snapshot, error) {
+	name := s.Name
+	if name == "" {
+		name = s.Queue.ID()
+	}
+	return &Snapshot{Admission: []AdmissionCounters{{Queue: name, Stats: s.Queue.Stats()}}}, nil
+}
+
 // Merge combines snapshots from several sources.
 func Merge(snaps ...*Snapshot) *Snapshot {
 	out := &Snapshot{}
@@ -93,6 +169,8 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 		out.Ports = append(out.Ports, s.Ports...)
 		out.Flows = append(out.Flows, s.Flows...)
 		out.NFs = append(out.NFs, s.NFs...)
+		out.Orch = append(out.Orch, s.Orch...)
+		out.Admission = append(out.Admission, s.Admission...)
 	}
 	sort.Slice(out.Ports, func(i, j int) bool {
 		if out.Ports[i].Node != out.Ports[j].Node {
@@ -107,6 +185,8 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 		return out.Flows[i].RuleID < out.Flows[j].RuleID
 	})
 	sort.Slice(out.NFs, func(i, j int) bool { return out.NFs[i].NF < out.NFs[j].NF })
+	sort.Slice(out.Orch, func(i, j int) bool { return out.Orch[i].Layer < out.Orch[j].Layer })
+	sort.Slice(out.Admission, func(i, j int) bool { return out.Admission[i].Queue < out.Admission[j].Queue })
 	return out
 }
 
@@ -162,6 +242,24 @@ func (s *Snapshot) Render(w io.Writer) {
 		fmt.Fprintf(w, "\n%-28s %10s\n", "NF", "PROCESSED")
 		for _, n := range s.NFs {
 			fmt.Fprintf(w, "%-28s %10d\n", n.NF, n.Processed)
+		}
+	}
+	if len(s.Orch) > 0 {
+		fmt.Fprintf(w, "\n%-16s %9s %9s %10s %6s %8s %12s %13s\n",
+			"ORCHESTRATOR", "INSTALLS", "MAPPASSES", "CONFLICTS", "BUSY", "BATCHES", "ATT/INSTALL", "CONFLICT-RATE")
+		for _, o := range s.Orch {
+			fmt.Fprintf(w, "%-16s %9d %9d %10d %6d %8d %12.2f %13.3f\n",
+				o.Layer, o.Installs, o.MapAttempts, o.GenConflicts, o.Busy, o.Batches,
+				o.AttemptsPerInstall(), o.ConflictRate())
+		}
+	}
+	if len(s.Admission) > 0 {
+		fmt.Fprintf(w, "\n%-16s %6s %9s %9s %7s %9s %8s %10s %9s\n",
+			"QUEUE", "DEPTH", "SUBMITTED", "DEPLOYED", "FAILED", "CANCELED", "BATCHES", "MEAN-BATCH", "MAX-BATCH")
+		for _, a := range s.Admission {
+			fmt.Fprintf(w, "%-16s %6d %9d %9d %7d %9d %8d %10.2f %9d\n",
+				a.Queue, a.Depth, a.Submitted, a.Deployed, a.Failed, a.Canceled,
+				a.Batches, a.MeanBatch(), a.MaxBatch)
 		}
 	}
 }

@@ -1,9 +1,13 @@
 package monitor
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
+	"github.com/unify-repro/escape/internal/admission"
+	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/dataplane"
 	"github.com/unify-repro/escape/internal/domain/emunet"
 	"github.com/unify-repro/escape/internal/nffg"
@@ -107,5 +111,60 @@ func TestMergeSorts(t *testing.T) {
 	m := Merge(a, b, nil)
 	if m.Flows[0].Node != "a" || m.Flows[1].Node != "z" {
 		t.Fatalf("merge unsorted: %+v", m.Flows)
+	}
+}
+
+// TestOrchAndQueueSources: the control-plane counters flow through
+// Collect/Merge/Render like the dataplane ones.
+func TestOrchAndQueueSources(t *testing.T) {
+	ro := core.NewResourceOrchestrator(core.Config{ID: "mdo"})
+	sub := nffg.NewBuilder("dom").
+		BiSBiS("dom-n", "dom", 4, nffg.Resources{CPU: 16, Mem: 8192, Storage: 16}, "fw").
+		SAP("sapA").SAP("sapB").
+		Link("u1", "sapA", "1", "dom-n", "1", 100, 1).
+		Link("u2", "dom-n", "2", "sapB", "1", 100, 1).
+		MustBuild()
+	lo, err := core.NewLocalOrchestrator(core.LocalConfig{ID: "dom", Substrate: sub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Attach(context.Background(), lo); err != nil {
+		t.Fatal(err)
+	}
+	q := admission.New(ro, admission.Options{Window: time.Millisecond})
+	defer q.Close()
+
+	g := nffg.NewBuilder("svc").
+		SAP("sapA").SAP("sapB").
+		NF("svc-nf", "fw", 2, nffg.Resources{CPU: 2, Mem: 512, Storage: 2}).
+		Chain("svc", 1, 0, "sapA", "svc-nf", "sapB").
+		MustBuild()
+	if _, err := q.Install(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := CollectAll(OrchSource{Orch: ro}, QueueSource{Queue: q})
+	if len(snap.Orch) != 1 || len(snap.Admission) != 1 {
+		t.Fatalf("sources missing: %+v", snap)
+	}
+	o := snap.Orch[0]
+	if o.Layer != "mdo" || o.Installs != 1 || o.MapAttempts < 1 || o.Batches != 1 {
+		t.Fatalf("orch counters: %+v", o)
+	}
+	if got := o.AttemptsPerInstall(); got < 1 {
+		t.Fatalf("attempts/install: %f", got)
+	}
+	a := snap.Admission[0]
+	if a.Queue != "mdo" || a.Deployed != 1 || a.Batches != 1 || a.MeanBatch() != 1 {
+		t.Fatalf("admission counters: %+v", a)
+	}
+
+	var buf strings.Builder
+	snap.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"ORCHESTRATOR", "CONFLICTS", "QUEUE", "MEAN-BATCH"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
 	}
 }

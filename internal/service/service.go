@@ -52,6 +52,9 @@ type Request struct {
 	// Submitted/Finished are wall-clock bounds of the deployment.
 	Submitted time.Time
 	Finished  time.Time
+	// done is closed when the deployment reaches StateDeployed or
+	// StateFailed (shared by value copies; see Wait).
+	done chan struct{}
 }
 
 // Orchestrator is the service orchestrator: it owns the user-facing request
@@ -77,30 +80,33 @@ func NewOrchestrator(south unify.Layer, mapper *embed.Mapper) *Orchestrator {
 // View exposes the southbound virtualization view (what the GUI shows).
 func (o *Orchestrator) View(ctx context.Context) (*nffg.NFFG, error) { return o.south.View(ctx) }
 
-// Submit validates, maps and deploys a service graph. On success the request
-// is StateDeployed; on failure it is recorded as StateFailed and the error
-// returned.
-func (o *Orchestrator) Submit(ctx context.Context, g *nffg.NFFG) (*Request, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+// book registers a fresh request in the request book (duplicate IDs reject).
+func (o *Orchestrator) book(g *nffg.NFFG) (*Request, error) {
 	if g.ID == "" {
 		return nil, fmt.Errorf("%w: request needs an ID", ErrInvalid)
 	}
 	o.mu.Lock()
+	defer o.mu.Unlock()
 	if _, dup := o.requests[g.ID]; dup {
-		o.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrDuplicate, g.ID)
 	}
-	req := &Request{ID: g.ID, Graph: g.Copy(), State: StateReceived, Submitted: time.Now()}
+	req := &Request{
+		ID: g.ID, Graph: g.Copy(), State: StateReceived,
+		Submitted: time.Now(), done: make(chan struct{}),
+	}
 	o.requests[g.ID] = req
-	o.mu.Unlock()
+	return req, nil
+}
 
+// deploy runs the validate→view→premap→install pipeline for a booked
+// request, recording the terminal state and waking waiters.
+func (o *Orchestrator) deploy(ctx context.Context, req *Request, g *nffg.NFFG) (*Request, error) {
 	fail := func(err error) (*Request, error) {
 		o.mu.Lock()
 		req.State = StateFailed
 		req.Error = err.Error()
 		req.Finished = time.Now()
+		close(req.done)
 		o.mu.Unlock()
 		return req, err
 	}
@@ -128,8 +134,62 @@ func (o *Orchestrator) Submit(ctx context.Context, g *nffg.NFFG) (*Request, erro
 	req.State = StateDeployed
 	req.Receipt = receipt
 	req.Finished = time.Now()
+	close(req.done)
 	o.mu.Unlock()
 	return req, nil
+}
+
+// Submit validates, maps and deploys a service graph. On success the request
+// is StateDeployed; on failure it is recorded as StateFailed and the error
+// returned.
+func (o *Orchestrator) Submit(ctx context.Context, g *nffg.NFFG) (*Request, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req, err := o.book(g)
+	if err != nil {
+		return nil, err
+	}
+	return o.deploy(ctx, req, g)
+}
+
+// SubmitAsync books a service graph and deploys it in the background,
+// returning the StateReceived snapshot immediately — the service-layer twin
+// of the northbound async jobs API. The deployment runs detached from the
+// caller's cancellation (submitting is the commitment); watch it with Wait or
+// Get.
+func (o *Orchestrator) SubmitAsync(ctx context.Context, g *nffg.NFFG) (*Request, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req, err := o.book(g)
+	if err != nil {
+		return nil, err
+	}
+	snapshot := *req
+	// Deploy from the book's own copy of the graph: the caller keeps
+	// ownership of g and may mutate it the moment we return.
+	go func() {
+		_, _ = o.deploy(context.WithoutCancel(ctx), req, req.Graph)
+	}()
+	return &snapshot, nil
+}
+
+// Wait blocks until the request reaches StateDeployed or StateFailed (or ctx
+// is done) and returns its snapshot.
+func (o *Orchestrator) Wait(ctx context.Context, id string) (*Request, error) {
+	o.mu.Lock()
+	req, ok := o.requests[id]
+	o.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknown, id)
+	}
+	select {
+	case <-req.done:
+		return o.Get(id)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // premap decides NF pins against the view. Single-node views delegate
@@ -218,7 +278,10 @@ func (o *Orchestrator) Migrate(ctx context.Context, id string, pins map[nffg.ID]
 	return migrated, nil
 }
 
-// Remove tears a deployed service down.
+// Remove tears a deployed service down. A request whose deployment is still
+// in flight (received/mapped — e.g. a SubmitAsync not yet terminal) cannot be
+// removed: callers Wait for the terminal state first, otherwise the detached
+// deploy would resurrect a service the caller was told is gone.
 func (o *Orchestrator) Remove(ctx context.Context, id string) error {
 	o.mu.Lock()
 	req, ok := o.requests[id]
@@ -228,6 +291,9 @@ func (o *Orchestrator) Remove(ctx context.Context, id string) error {
 	}
 	state := req.State
 	o.mu.Unlock()
+	if state == StateReceived || state == StateMapped {
+		return fmt.Errorf("%w: service %s is %s; deployment still in flight", unify.ErrBusy, id, state)
+	}
 	if state == StateDeployed {
 		if err := o.south.Remove(ctx, id); err != nil && !errors.Is(err, unify.ErrUnknownService) {
 			return err

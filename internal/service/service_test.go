@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/nffg"
@@ -186,5 +187,102 @@ func TestCapacityRejectionIsFailedState(t *testing.T) {
 	r, _ := so.Get("big")
 	if r.State != StateFailed {
 		t.Fatalf("state: %s", r.State)
+	}
+}
+
+// TestSubmitAsyncDeploysInBackground: SubmitAsync returns immediately with a
+// StateReceived snapshot; Wait observes the terminal state.
+func TestSubmitAsyncDeploysInBackground(t *testing.T) {
+	lo := leaf(t, nil)
+	so := NewOrchestrator(lo, nil)
+	snap, err := so.SubmitAsync(context.Background(), sg(t, "as1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateReceived {
+		t.Fatalf("async snapshot: %s", snap.State)
+	}
+	done, err := so.Wait(context.Background(), "as1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDeployed || done.Receipt == nil {
+		t.Fatalf("deployed request: %+v", done)
+	}
+	// A failing graph terminates in StateFailed and wakes waiters too.
+	bad := sg(t, "as2")
+	bad.NFs["as2-fw"].FunctionalType = "quantum"
+	if _, err := so.SubmitAsync(context.Background(), bad); err != nil {
+		t.Fatal(err)
+	}
+	failed, err := so.Wait(context.Background(), "as2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed.State != StateFailed || failed.Error == "" {
+		t.Fatalf("failed request: %+v", failed)
+	}
+	// Duplicate async submissions reject synchronously; waiting on unknown
+	// IDs errors.
+	if _, err := so.SubmitAsync(context.Background(), sg(t, "as1")); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := so.Wait(context.Background(), "ghost"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown wait: %v", err)
+	}
+}
+
+// gateLayer is a unify.Layer whose Install blocks until released, for
+// observing in-flight async deployments.
+type gateLayer struct {
+	view *nffg.NFFG
+	gate chan struct{}
+}
+
+func (g *gateLayer) ID() string                               { return "gate" }
+func (g *gateLayer) View(context.Context) (*nffg.NFFG, error) { return g.view.Copy(), nil }
+func (g *gateLayer) Remove(context.Context, string) error     { return nil }
+func (g *gateLayer) Services() []string                       { return nil }
+func (g *gateLayer) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &unify.Receipt{ServiceID: req.ID}, nil
+}
+
+// TestRemoveInFlightAsync: removing a request whose background deployment has
+// not finished is refused (ErrBusy) instead of silently racing the deploy.
+func TestRemoveInFlightAsync(t *testing.T) {
+	view := nffg.NewBuilder("v").
+		BiSBiS("n1", "d", 4, res(8, 4096), "fw").
+		SAP("sapA").SAP("sapB").
+		Link("u1", "sapA", "1", "n1", "1", 100, 1).
+		Link("u2", "n1", "2", "sapB", "1", 100, 1).
+		MustBuild()
+	south := &gateLayer{view: view, gate: make(chan struct{})}
+	so := NewOrchestrator(south, nil)
+	if _, err := so.SubmitAsync(context.Background(), sg(t, "inflight")); err != nil {
+		t.Fatal(err)
+	}
+	// The deploy is parked inside south.Install; Remove must refuse.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := so.Remove(context.Background(), "inflight")
+		if errors.Is(err, unify.ErrBusy) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("remove of in-flight request: %v", err)
+		}
+	}
+	close(south.gate)
+	done, err := so.Wait(context.Background(), "inflight")
+	if err != nil || done.State != StateDeployed {
+		t.Fatalf("after release: %+v %v", done, err)
+	}
+	if err := so.Remove(context.Background(), "inflight"); err != nil {
+		t.Fatal(err)
 	}
 }

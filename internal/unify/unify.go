@@ -51,6 +51,45 @@ type Layer interface {
 	Services() []string
 }
 
+// BatchOutcome is one request's result within an InstallBatch call.
+type BatchOutcome struct {
+	// Receipt is set when the request deployed successfully.
+	Receipt *Receipt
+	// Err is set when the request failed: rejection, ErrBusy, or a context
+	// error. Exactly one of Receipt and Err is non-nil.
+	Err error
+	// Attempts is the number of snapshot→map→commit cycles the batch ran
+	// before this request's fate was decided (shared by the whole batch).
+	Attempts int
+}
+
+// BatchObserver receives per-request progress callbacks during an
+// InstallBatch call. The zero value disables notifications. Callbacks may be
+// invoked from concurrent goroutines (one per request) and must be safe for
+// that.
+type BatchObserver struct {
+	// Admitted fires when request i's mapping is committed to the resource
+	// view and its deployment begins.
+	Admitted func(i int)
+	// Done fires exactly once per request as soon as ITS outcome is final —
+	// before the batch as a whole returns, so one slow request does not
+	// delay its peers' completion notifications.
+	Done func(i int, out BatchOutcome)
+}
+
+// BatchInstaller is implemented by layers that can admit several requests in
+// one snapshot→map→commit cycle: all requests are mapped against a single
+// resource snapshot (each over the residual capacity left by its
+// predecessors) and the combined reservation commits atomically, amortizing
+// mapping cost and collapsing generation conflicts under concurrent load.
+type BatchInstaller interface {
+	// InstallBatch deploys the requests as one admission batch. Outcomes are
+	// positional: outcome i belongs to reqs[i]. Requests fail individually —
+	// one rejected graph must not fail the rest of the batch. obs receives
+	// per-request progress (see BatchObserver).
+	InstallBatch(ctx context.Context, reqs []*nffg.NFFG, obs BatchObserver) []BatchOutcome
+}
+
 // Receipt reports how a request was realized.
 type Receipt struct {
 	// ServiceID echoes the request ID.
