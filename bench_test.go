@@ -721,6 +721,15 @@ func (d *benchE7Domain) Services() []string {
 // (chains sharing an untagged SAP-facing port would collide).
 func benchE7RO(b *testing.B, domains, slots int) *core.ResourceOrchestrator {
 	b.Helper()
+	// E7 isolates the value of BATCHING on one contended generation counter,
+	// so it pins the single-shard (pre-sharding) configuration; E8 below
+	// measures what SHARDING adds on top.
+	return benchShardRO(b, domains, slots, core.SingleShard)
+}
+
+// benchShardRO is benchE7RO parameterized by the DoV sharding policy.
+func benchShardRO(b *testing.B, domains, slots int, shardKey core.ShardKeyFunc) *core.ResourceOrchestrator {
+	b.Helper()
 	// The mapper ranks candidates with a deliberate per-NF cost, modeling an
 	// expensive placement policy: a scheduler yield so concurrent submitters
 	// genuinely overlap mid-mapping regardless of the host's core count (a
@@ -740,8 +749,9 @@ func benchE7RO(b *testing.B, domains, slots int) *core.ResourceOrchestrator {
 		return embed.BestFit(nf, cands)
 	}
 	ro := core.NewResourceOrchestrator(core.Config{
-		ID:     "ro",
-		Mapper: embed.New(embed.Options{Name: "slow-rank", Rank: slowRank}),
+		ID:       "ro",
+		Mapper:   embed.New(embed.Options{Name: "slow-rank", Rank: slowRank}),
+		ShardKey: shardKey,
 	})
 	for i := 0; i < domains; i++ {
 		name := fmt.Sprintf("d%d", i)
@@ -913,6 +923,157 @@ func BenchmarkE7BatchMapping(b *testing.B) {
 					b.StartTimer()
 				}
 				b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/float64(batch), "us/request")
+			})
+		}
+	}
+}
+
+// --- E8: sharded DoV commits --------------------------------------------------
+
+// benchE8RO builds `domains` leaf domains for the sharding benchmark. Unlike
+// benchE7RO's aggregated leaves, each domain transparently exports TWO
+// BiS-BiS nodes, so a request pinned to the domain's view aggregate
+// ("bisbis@d<i>" under the RO's DomainBiSBiS view) expands to a 2-candidate
+// scope — the expensive rank function runs for every NF, keeping the mapping
+// cost (the window commits race over) identical in both sharding modes.
+// Every domain has one dedicated user-SAP pair, so the benchmark requests'
+// shard sets are exactly their own domain.
+func benchE8RO(b *testing.B, domains int, shardKey core.ShardKeyFunc) *core.ResourceOrchestrator {
+	b.Helper()
+	slowRank := func(nf *nffg.NF, cands []embed.Candidate) []nffg.ID {
+		runtime.Gosched()
+		var sink uint64
+		for i := 0; i < 300_000; i++ {
+			sink = sink*1664525 + 1013904223 + uint64(i)
+		}
+		if sink == ^uint64(0) {
+			panic("unreachable: defeats dead-code elimination")
+		}
+		return embed.BestFit(nf, cands)
+	}
+	ro := core.NewResourceOrchestrator(core.Config{
+		ID:       "ro",
+		Mapper:   embed.New(embed.Options{Name: "slow-rank", Rank: slowRank}),
+		ShardKey: shardKey,
+	})
+	for i := 0; i < domains; i++ {
+		name := fmt.Sprintf("d%d", i)
+		n1 := nffg.ID(name + "-n1")
+		n2 := nffg.ID(name + "-n2")
+		in := nffg.ID(fmt.Sprintf("u%d-in", i))
+		out := nffg.ID(fmt.Sprintf("u%d-out", i))
+		sub := nffg.NewBuilder(name).
+			BiSBiS(n1, name, 4, nffg.Resources{CPU: 1 << 20, Mem: 1 << 30, Storage: 1 << 20},
+				"firewall", "dpi", "nat").
+			BiSBiS(n2, name, 4, nffg.Resources{CPU: 1 << 20, Mem: 1 << 30, Storage: 1 << 20},
+				"firewall", "dpi", "nat").
+			SAP(in).SAP(out).
+			Link("i", in, "1", n1, "1", 1e6, 1).
+			Link("m", n1, "2", n2, "1", 1e6, 1).
+			Link("o", n2, "2", out, "1", 1e6, 1).
+			MustBuild()
+		lo, err := core.NewLocalOrchestrator(core.LocalConfig{
+			ID: name, Substrate: sub, Virtualizer: core.Transparent{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ro.Attach(context.Background(), lo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ro
+}
+
+// benchE8Req builds a 3-NF chain inside domain i, pinned to the domain's
+// view aggregate: its shard set narrows to exactly {d<i>}, and the pin
+// expands to a 2-node scope so placement still ranks candidates.
+func benchE8Req(id string, i int) *nffg.NFFG {
+	in := nffg.ID(fmt.Sprintf("u%d-in", i))
+	out := nffg.ID(fmt.Sprintf("u%d-out", i))
+	bl := nffg.NewBuilder(id).SAP(in).SAP(out)
+	nodes := []nffg.ID{in}
+	for k, typ := range []string{"firewall", "dpi", "nat"} {
+		nf := nffg.ID(fmt.Sprintf("%s-nf%d", id, k))
+		bl.NF(nf, typ, 2, nffg.Resources{CPU: 2, Mem: 512, Storage: 1})
+		nodes = append(nodes, nf)
+	}
+	nodes = append(nodes, out)
+	bl.Chain(id, 1, 0, nodes...)
+	req := bl.MustBuild()
+	for _, nfID := range req.NFIDs() {
+		req.NFs[nfID].Host = nffg.ID(fmt.Sprintf("bisbis@d%d", i))
+	}
+	return req
+}
+
+// BenchmarkE8ShardedCommit measures the sharding tentpole: C concurrent
+// clients install into C DISJOINT domains (each request's shard set is
+// exactly its own domain) over one orchestrator, with the DoV either behind a
+// single generation counter (the pre-sharding baseline: every commit races
+// every other, losers re-run the whole expensive mapping) or sharded per
+// domain (disjoint installs snapshot→map→commit fully concurrently). The
+// single-shard curve collapses with client count while the sharded curve
+// scales ~linearly: conflicts/install stays 0 and mappasses/install stays
+// 1.0 on disjoint workloads.
+func BenchmarkE8ShardedCommit(b *testing.B) {
+	// The scaling being measured needs clients that actually run in
+	// parallel; on small CI runners GOMAXPROCS can be lower than the widest
+	// sub-benchmark, which would serialize it and hide the effect.
+	if runtime.GOMAXPROCS(0) < 8 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, mode := range []string{"single", "sharded"} {
+			b.Run(fmt.Sprintf("%s/shards=%d", mode, shards), func(b *testing.B) {
+				key := core.SingleShard
+				if mode == "sharded" {
+					key = core.ShardPerDomain
+				}
+				ro := benchE8RO(b, shards, key)
+				ctx := context.Background()
+				before := ro.PipelineStats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					start := make(chan struct{})
+					var wg sync.WaitGroup
+					errs := make([]error, shards)
+					for c := 0; c < shards; c++ {
+						wg.Add(1)
+						go func(c int) {
+							defer wg.Done()
+							<-start
+							req := benchE8Req(fmt.Sprintf("e8-%d-%d", i, c), c)
+							for {
+								_, err := ro.Install(ctx, req)
+								if errors.Is(err, unify.ErrBusy) {
+									continue // crowded out: a real client retries
+								}
+								errs[c] = err
+								return
+							}
+						}(c)
+					}
+					close(start)
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					for c := 0; c < shards; c++ {
+						if err := ro.Remove(ctx, fmt.Sprintf("e8-%d-%d", i, c)); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StartTimer()
+				}
+				st := ro.PipelineStats()
+				installs := float64(st.Installs - before.Installs)
+				b.ReportMetric(installs/b.Elapsed().Seconds(), "installs/s")
+				b.ReportMetric(float64(st.GenConflicts-before.GenConflicts)/installs, "conflicts/install")
+				b.ReportMetric(float64(st.MapAttempts-before.MapAttempts)/installs, "mappasses/install")
 			})
 		}
 	}

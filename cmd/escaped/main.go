@@ -57,6 +57,7 @@ func main() {
 		admit     = flag.Bool("admission", true, "front the layer with a batching admission queue (enables the async jobs API)")
 		window    = flag.Duration("batch-window", 2*time.Millisecond, "admission: coalescing window after the first arrival")
 		maxBatch  = flag.Int("batch-max", 32, "admission: max requests per coalesced batch")
+		shard     = flag.String("shard", "domain", "orchestrator: DoV sharding: domain (one shard per child, disjoint installs commit concurrently) | single (one global generation counter)")
 	)
 	var children childFlags
 	flag.Var(&children, "child", "orchestrator: child layer as name=url (repeatable)")
@@ -65,7 +66,7 @@ func main() {
 	if *id == "" {
 		*id = *role
 	}
-	layer, err := buildLayer(*role, *id, *substrate, *nodes, *view, *types, children)
+	layer, err := buildLayer(*role, *id, *substrate, *nodes, *view, *types, *shard, children)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func main() {
 	}
 }
 
-func buildLayer(role, id, substratePath string, nodes int, view, types string, children childFlags) (unify.Layer, error) {
+func buildLayer(role, id, substratePath string, nodes int, view, types, shard string, children childFlags) (unify.Layer, error) {
 	virt, err := pickVirtualizer(view, id)
 	if err != nil {
 		return nil, err
@@ -107,7 +108,16 @@ func buildLayer(role, id, substratePath string, nodes int, view, types string, c
 		if len(children) == 0 {
 			return nil, fmt.Errorf("orchestrator needs at least one -child name=url")
 		}
-		ro := core.NewResourceOrchestrator(core.Config{ID: id, Virtualizer: virt})
+		var shardKey core.ShardKeyFunc
+		switch shard {
+		case "domain":
+			shardKey = core.ShardPerDomain
+		case "single":
+			shardKey = core.SingleShard
+		default:
+			return nil, fmt.Errorf("unknown -shard %q (want domain or single)", shard)
+		}
+		ro := core.NewResourceOrchestrator(core.Config{ID: id, Virtualizer: virt, ShardKey: shardKey})
 		for _, spec := range children {
 			name, url, ok := strings.Cut(spec, "=")
 			if !ok {

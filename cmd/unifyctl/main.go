@@ -14,9 +14,13 @@
 //	unifyctl -server http://127.0.0.1:8181 job <job-id>
 //	unifyctl -server http://127.0.0.1:8181 watch <job-id>
 //	unifyctl -server http://127.0.0.1:8181 cancel-job <job-id>
+//	unifyctl -server http://127.0.0.1:8181 stats
 //
 // submit -async returns a job ID immediately (the server answers 202 before
 // the multi-domain fan-out finishes); -wait long-polls the job to completion.
+// stats prints the layer's mapping-pipeline counters (with per-shard DoV
+// generations for sharded orchestrators) and, when an admission queue fronts
+// the layer, its queue gauges.
 package main
 
 import (
@@ -26,6 +30,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -204,6 +210,36 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("canceled", flag.Arg(1))
+	case "stats":
+		info, err := cli.PipelineStats(ctx)
+		if err != nil {
+			log.Printf("pipeline stats unavailable: %v", err)
+		} else {
+			st := info.Stats
+			fmt.Printf("layer %s: installs=%d mappasses=%d conflicts=%d busy=%d batches=%d multi-shard=%d escalations=%d\n",
+				info.Layer, st.Installs, st.MapAttempts, st.GenConflicts, st.Busy, st.Batches,
+				st.MultiShardCommits, st.Escalations)
+			for _, sh := range info.Shards {
+				fmt.Printf("  shard %-12s gen=%-6d commits=%-6d conflicts=%-6d multi=%-6d domains=%s\n",
+					sh.Shard, sh.Gen, sh.Commits, sh.Conflicts, sh.MultiShardCommits, strings.Join(sh.Domains, ","))
+			}
+		}
+		qs, err := cli.AdmissionStats(ctx)
+		if err != nil {
+			log.Printf("admission stats unavailable: %v", err)
+			return
+		}
+		fmt.Printf("queue: depth=%d submitted=%d deployed=%d failed=%d canceled=%d batches=%d coalesced=%d\n",
+			qs.Depth, qs.Submitted, qs.Deployed, qs.Failed, qs.Canceled, qs.Batches, qs.Coalesced)
+		var keys []string
+		for k := range qs.Shards {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sh := qs.Shards[k]
+			fmt.Printf("  lane %-12s depth=%-6d batches=%-6d coalesced=%d\n", k, sh.Depth, sh.Batches, sh.Coalesced)
+		}
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}

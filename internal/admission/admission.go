@@ -11,6 +11,11 @@
 // pinning a connection for the whole multi-domain fan-out. The queue itself
 // implements unify.Layer (Install = submit + wait), making it a drop-in
 // admission stage for any existing caller.
+//
+// When the layer also implements unify.Sharder (the sharded-DoV resource
+// orchestrator does), each coalescing window is partitioned by shard overlap
+// and disjoint groups dispatch concurrently on per-shard lanes — the global
+// FIFO queue is the degenerate single-lane case of the same machinery.
 package admission
 
 import (
@@ -76,7 +81,8 @@ type Job struct {
 	Error string `json:"error,omitempty"`
 	// Attempts is the number of mapping cycles the job's batch consumed.
 	Attempts int `json:"attempts,omitempty"`
-	// Batch is the size of the coalesced batch the job rode in.
+	// Batch is the size of the coalesced dispatch group the job rode in
+	// (after any per-shard-lane partitioning of its window).
 	Batch   int            `json:"batch,omitempty"`
 	Receipt *unify.Receipt `json:"receipt,omitempty"`
 	// Submitted/Started/Finished bound the queue wait and the deployment.
@@ -87,11 +93,12 @@ type Job struct {
 
 // job is the internal mutable record behind a Job snapshot.
 type job struct {
-	seq  uint64
-	snap Job           // guarded by Queue.mu
-	req  *nffg.NFFG    // owned copy of the request
-	err  error         // terminal error with sentinel identity preserved
-	done chan struct{} // closed exactly once on reaching a terminal state
+	seq    uint64
+	snap   Job           // guarded by Queue.mu
+	req    *nffg.NFFG    // owned copy of the request
+	shards []string      // estimated shard set (nil = global), fixed at submit
+	err    error         // terminal error with sentinel identity preserved
+	done   chan struct{} // closed exactly once on reaching a terminal state
 }
 
 // Options tune the queue.
@@ -144,20 +151,50 @@ type Stats struct {
 	Batches   uint64 `json:"batches"`
 	Coalesced uint64 `json:"coalesced"`
 	MaxBatch  int    `json:"max_batch"`
+	// Shards carries per-shard queue gauges when the layer implements
+	// unify.Sharder: jobs and dispatch groups are attributed to every shard
+	// in their estimated set; jobs whose set could not be narrowed count
+	// under GlobalShard.
+	Shards map[string]ShardQueueStats `json:"shards,omitempty"`
+}
+
+// GlobalShard is the Stats.Shards key for jobs that touch every shard (an
+// unpinned request, or a layer without sharding).
+const GlobalShard = "*"
+
+// ShardQueueStats are one shard's admission gauges.
+type ShardQueueStats struct {
+	// Depth is the number of queued jobs whose shard set includes this shard.
+	Depth int `json:"depth"`
+	// Batches counts dispatch groups that included this shard; Coalesced the
+	// jobs those groups carried.
+	Batches   uint64 `json:"batches"`
+	Coalesced uint64 `json:"coalesced"`
 }
 
 // Queue is the admission stage. Create with New, stop with Close.
 type Queue struct {
-	layer unify.Layer
-	batch unify.BatchInstaller // nil: fall back to per-request Install
-	opts  Options
+	layer   unify.Layer
+	batch   unify.BatchInstaller // nil: fall back to per-request Install
+	sharder unify.Sharder        // nil: every job is global (one serialized lane)
+	opts    Options
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wake   chan struct{}
 	exited chan struct{}
 
-	inflight sync.WaitGroup // deployments handed off by the dispatcher
+	inflight    sync.WaitGroup // deployments handed off by the dispatcher
+	dispatching sync.WaitGroup // shard-group dispatch goroutines in flight
+
+	// Shard lanes: a dispatch group locks its shards' lane mutexes (in key
+	// order, under a read-hold of gate) for the duration of its mapping
+	// phase; a global group takes gate exclusively. Same-shard groups thus
+	// serialize (preserving the zero-conflict guarantee batching gives the
+	// layer below) while disjoint groups map concurrently.
+	gate    sync.RWMutex
+	lanesMu sync.Mutex
+	lanes   map[string]*sync.Mutex
 
 	mu       sync.Mutex
 	closed   bool
@@ -172,7 +209,10 @@ type Queue struct {
 // layer implements unify.BatchInstaller (core.ResourceOrchestrator does),
 // whole windows are admitted in one snapshot→map→commit cycle; otherwise
 // batch members are installed individually (still serialized through the
-// queue, which bounds concurrent mapping pressure on the layer).
+// queue, which bounds concurrent mapping pressure on the layer). When the
+// layer also implements unify.Sharder, each window is partitioned by shard
+// overlap and disjoint groups are dispatched concurrently — the global queue
+// is the single-shard degenerate case of the same machinery.
 func New(layer unify.Layer, opts Options) *Queue {
 	opts.defaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -183,10 +223,14 @@ func New(layer unify.Layer, opts Options) *Queue {
 		cancel: cancel,
 		wake:   make(chan struct{}, 1),
 		exited: make(chan struct{}),
+		lanes:  map[string]*sync.Mutex{},
 		jobs:   map[string]*job{},
 	}
 	if bi, ok := layer.(unify.BatchInstaller); ok {
 		q.batch = bi
+	}
+	if sh, ok := layer.(unify.Sharder); ok {
+		q.sharder = sh
 	}
 	go q.run()
 	return q
@@ -222,6 +266,10 @@ func (q *Queue) Submit(ctx context.Context, req *nffg.NFFG) (Job, error) {
 	if req == nil || req.ID == "" {
 		return Job{}, fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
 	}
+	var shards []string
+	if q.sharder != nil {
+		shards = q.sharder.ShardSet(req)
+	}
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -233,8 +281,9 @@ func (q *Queue) Submit(ctx context.Context, req *nffg.NFFG) (Job, error) {
 	}
 	q.seq++
 	j := &job{
-		seq: q.seq,
-		req: req.Copy(),
+		seq:    q.seq,
+		req:    req.Copy(),
+		shards: shards,
 		snap: Job{
 			ID:        fmt.Sprintf("job-%d", q.seq),
 			ServiceID: req.ID,
@@ -335,7 +384,28 @@ func (q *Queue) Stats() Stats {
 	defer q.mu.Unlock()
 	st := q.stats
 	st.Depth = len(q.pending)
+	st.Shards = make(map[string]ShardQueueStats, len(q.stats.Shards))
+	for k, v := range q.stats.Shards {
+		v.Depth = 0
+		st.Shards[k] = v
+	}
+	for _, j := range q.pending {
+		for _, k := range shardLabels(j) {
+			s := st.Shards[k]
+			s.Depth++
+			st.Shards[k] = s
+		}
+	}
 	return st
+}
+
+// shardLabels returns the stat keys a job counts under: its estimated shard
+// set, or GlobalShard when the set could not be narrowed.
+func shardLabels(j *job) []string {
+	if len(j.shards) == 0 {
+		return []string{GlobalShard}
+	}
+	return j.shards
 }
 
 // --- unify.Layer -------------------------------------------------------------
@@ -424,15 +494,17 @@ func (q *Queue) Services() []string { return q.layer.Services() }
 // --- dispatcher --------------------------------------------------------------
 
 // run is the dispatcher: wait for an arrival, let the window fill, then admit
-// the batch. One batch is MAPPING at a time — that serialization is what
-// collapses generation conflicts on the layer below — but deployments are
-// handed off (see process), so a slow child never blocks admission
-// head-of-line.
+// the batch. The window's jobs are partitioned by shard overlap: at most one
+// group per shard lane is MAPPING at a time — that per-lane serialization is
+// what collapses generation conflicts on the layer below — while groups on
+// disjoint lanes map concurrently, and deployments are handed off (see
+// process), so a slow child never blocks admission head-of-line.
 func (q *Queue) run() {
 	defer close(q.exited)
 	for {
 		select {
 		case <-q.ctx.Done():
+			q.dispatching.Wait()
 			q.drain()
 			q.inflight.Wait()
 			return
@@ -443,8 +515,108 @@ func (q *Queue) run() {
 			if len(batch) == 0 {
 				break
 			}
-			q.process(batch)
+			for _, g := range partitionByShards(batch) {
+				q.recordGroup(g)
+				q.dispatching.Add(1)
+				go func(g jobGroup) {
+					defer q.dispatching.Done()
+					q.lockLanes(g.keys)
+					defer q.unlockLanes(g.keys)
+					q.process(g.jobs)
+				}(g)
+			}
 		}
+	}
+}
+
+// jobGroup is one shard-connected component of a dispatch window. keys is nil
+// for the global group (jobs whose shard set could not be narrowed, plus
+// everything they overlap — which is every shard).
+type jobGroup struct {
+	jobs []*job
+	keys []string
+}
+
+// partitionByShards splits a window into connected components of overlapping
+// shard sets via unify.GroupShardSets (the one union-find shared with the
+// orchestrator's batch partitioning). Jobs with a nil set are global: they
+// (and everything else in the window) collapse into one group, which is also
+// the behavior for layers without sharding — the degenerate single-lane
+// queue.
+func partitionByShards(batch []*job) []jobGroup {
+	sets := make([][]string, len(batch))
+	for i, j := range batch {
+		sets[i] = j.shards
+	}
+	groups, keys := unify.GroupShardSets(sets)
+	out := make([]jobGroup, len(groups))
+	for gi, g := range groups {
+		for _, i := range g {
+			out[gi].jobs = append(out[gi].jobs, batch[i])
+		}
+		out[gi].keys = keys[gi]
+	}
+	return out
+}
+
+// lockLanes serializes this group against others touching the same shards: a
+// global group takes the gate exclusively; a shard group holds the gate
+// shared plus its lanes' mutexes in key order (the deadlock-free global
+// order).
+func (q *Queue) lockLanes(keys []string) {
+	if len(keys) == 0 {
+		q.gate.Lock()
+		return
+	}
+	q.gate.RLock()
+	for _, k := range keys {
+		q.lane(k).Lock()
+	}
+}
+
+func (q *Queue) unlockLanes(keys []string) {
+	if len(keys) == 0 {
+		q.gate.Unlock()
+		return
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		q.lane(keys[i]).Unlock()
+	}
+	q.gate.RUnlock()
+}
+
+func (q *Queue) lane(key string) *sync.Mutex {
+	q.lanesMu.Lock()
+	defer q.lanesMu.Unlock()
+	m, ok := q.lanes[key]
+	if !ok {
+		m = &sync.Mutex{}
+		q.lanes[key] = m
+	}
+	return m
+}
+
+// recordGroup attributes a dispatch group to its shards' gauges and stamps
+// each job with the size of the group it actually rides (the window may have
+// split into smaller per-lane groups).
+func (q *Queue) recordGroup(g jobGroup) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, j := range g.jobs {
+		j.snap.Batch = len(g.jobs)
+	}
+	if q.stats.Shards == nil {
+		q.stats.Shards = map[string]ShardQueueStats{}
+	}
+	keys := g.keys
+	if len(keys) == 0 {
+		keys = []string{GlobalShard}
+	}
+	for _, k := range keys {
+		s := q.stats.Shards[k]
+		s.Batches++
+		s.Coalesced += uint64(len(g.jobs))
+		q.stats.Shards[k] = s
 	}
 }
 
@@ -480,7 +652,8 @@ func (q *Queue) take() []*job {
 	for _, j := range batch {
 		j.snap.State = StateMapping
 		j.snap.Started = now
-		j.snap.Batch = k
+		// Batch is stamped per dispatch group (recordGroup): the window may
+		// split into smaller per-lane groups.
 	}
 	q.stats.Batches++
 	q.stats.Coalesced += uint64(k)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -400,6 +401,199 @@ func TestQueueFullAndClose(t *testing.T) {
 	}
 	if _, err := q.Submit(context.Background(), req("late")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+// TestCloseCancelRace covers the take/close/cancel interleaving the lifecycle
+// tests leave out: jobs sitting in the coalescing window while Cancel and
+// Close race each other. Every job must reach exactly one terminal state and
+// Close must return without deadlocking, no matter who wins.
+func TestCloseCancelRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		stub := &stubLayer{}
+		// A long window keeps the batch queued so close/cancel race take.
+		q := New(stub, Options{Window: 20 * time.Millisecond})
+		var jobs []Job
+		for i := 0; i < 6; i++ {
+			j, err := q.Submit(context.Background(), req(fmt.Sprintf("svc%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			// Cancel whatever is still cancelable; ErrNotCancelable and
+			// ErrCanceled races are legitimate outcomes.
+			for _, j := range jobs[:3] {
+				if err := q.Cancel(j.ID); err != nil &&
+					!errors.Is(err, ErrNotCancelable) && !errors.Is(err, ErrUnknownJob) {
+					t.Errorf("cancel: %v", err)
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			q.Close()
+		}()
+		wg.Wait()
+		// Close returned: every job must be terminal exactly once.
+		for _, j := range jobs {
+			done, err := q.Job(j.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !done.State.Terminal() {
+				t.Fatalf("round %d: job %s left in state %s", round, j.ID, done.State)
+			}
+		}
+		st := q.Stats()
+		if st.Deployed+st.Failed+st.Canceled != st.Submitted {
+			t.Fatalf("round %d: outcome accounting: %+v", round, st)
+		}
+	}
+}
+
+// shardedStub is a unify.Layer + BatchInstaller + Sharder whose shard set is
+// the request ID's prefix (up to the first '-') and whose InstallBatch blocks
+// while its batch contains a job of a gated shard.
+type shardedStub struct {
+	gated   string        // shard key whose batches block ...
+	gate    chan struct{} // ... until this closes
+	entered chan string   // shard key observed at each InstallBatch entry
+
+	mu      sync.Mutex
+	batches [][]string
+}
+
+func shardOfID(id string) string {
+	if i := strings.IndexByte(id, '-'); i > 0 {
+		return id[:i]
+	}
+	return id
+}
+
+func (s *shardedStub) ID() string                               { return "sharded-stub" }
+func (s *shardedStub) View(context.Context) (*nffg.NFFG, error) { return nffg.New("v"), nil }
+func (s *shardedStub) Remove(_ context.Context, _ string) error { return nil }
+func (s *shardedStub) Services() []string                       { return nil }
+func (s *shardedStub) ShardSet(req *nffg.NFFG) []string         { return []string{shardOfID(req.ID)} }
+func (s *shardedStub) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
+	out := s.InstallBatch(ctx, []*nffg.NFFG{req}, unify.BatchObserver{})
+	return out[0].Receipt, out[0].Err
+}
+
+func (s *shardedStub) InstallBatch(ctx context.Context, reqs []*nffg.NFFG, obs unify.BatchObserver) []unify.BatchOutcome {
+	ids := make([]string, len(reqs))
+	blocked := false
+	for i, r := range reqs {
+		ids[i] = r.ID
+		if shardOfID(r.ID) == s.gated {
+			blocked = true
+		}
+	}
+	if s.entered != nil {
+		s.entered <- shardOfID(ids[0])
+	}
+	if blocked && s.gate != nil {
+		select {
+		case <-s.gate:
+		case <-ctx.Done():
+		}
+	}
+	s.mu.Lock()
+	s.batches = append(s.batches, ids)
+	s.mu.Unlock()
+	out := make([]unify.BatchOutcome, len(reqs))
+	for i := range reqs {
+		out[i].Attempts = 1
+		if obs.Admitted != nil {
+			obs.Admitted(i)
+		}
+		out[i].Receipt = &unify.Receipt{ServiceID: reqs[i].ID}
+		if obs.Done != nil {
+			obs.Done(i, out[i])
+		}
+	}
+	return out
+}
+
+// TestShardLaneFairness: a blocked batch on shard "a" must not stall jobs
+// bound for shard "b" — disjoint lanes dispatch concurrently, so the queue no
+// longer serializes admission head-of-line across shards.
+func TestShardLaneFairness(t *testing.T) {
+	stub := &shardedStub{gated: "a", gate: make(chan struct{}), entered: make(chan string, 16)}
+	q := New(stub, Options{Window: time.Millisecond})
+	defer func() {
+		close(stub.gate)
+		q.Close()
+	}()
+
+	aJob, err := q.Submit(context.Background(), req("a-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the a-lane batch is inside (and blocked in) the layer.
+	if got := <-stub.entered; got != "a" {
+		t.Fatalf("first dispatch: %s", got)
+	}
+
+	bJob, err := q.Submit(context.Background(), req("b-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done, err := q.Wait(ctx, bJob.ID)
+	if err != nil {
+		t.Fatalf("b-lane job starved behind a blocked a-lane batch: %v", err)
+	}
+	if done.State != StateDeployed {
+		t.Fatalf("b job: %s (%s)", done.State, done.Error)
+	}
+	// The a job is still in flight, blocked in the layer.
+	cur, err := q.Job(aJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.State.Terminal() {
+		t.Fatalf("a job should still be blocked, is %s", cur.State)
+	}
+	// Per-shard gauges saw both lanes.
+	st := q.Stats()
+	if st.Shards["a"].Batches == 0 || st.Shards["b"].Batches == 0 {
+		t.Fatalf("shard gauges: %+v", st.Shards)
+	}
+}
+
+// TestShardLaneSerialization: two batches bound for the SAME shard lane never
+// overlap inside the layer, even though the dispatcher hands groups off
+// concurrently — the per-lane locks preserve the zero-conflict guarantee.
+func TestShardLaneSerialization(t *testing.T) {
+	stub := &shardedStub{gated: "a", gate: make(chan struct{}), entered: make(chan string, 16)}
+	q := New(stub, Options{Window: time.Millisecond})
+	defer q.Close()
+
+	first, _ := q.Submit(context.Background(), req("a-1"))
+	<-stub.entered // lane a is now blocked inside the layer
+	second, _ := q.Submit(context.Background(), req("a-2"))
+
+	// The second a-lane batch must NOT enter the layer while the first holds
+	// the lane.
+	select {
+	case got := <-stub.entered:
+		t.Fatalf("lane a overlapped: second batch entered (%s) while first blocked", got)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(stub.gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, id := range []string{first.ID, second.ID} {
+		if done, err := q.Wait(ctx, id); err != nil || done.State != StateDeployed {
+			t.Fatalf("job %s: %v %+v", id, err, done)
+		}
 	}
 }
 

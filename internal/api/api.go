@@ -19,7 +19,10 @@
 //	                                      is terminal; 202 + snapshot on
 //	                                      ?timeout= expiry)
 //	DELETE /unify/jobs/{id}            -> 204 (cancel a queued job)
-//	GET    /unify/stats/admission      -> admission.Stats
+//	GET    /unify/stats/admission      -> admission.Stats (incl. per-shard gauges)
+//	GET    /unify/stats/pipeline       -> PipelineInfo (mapping-pipeline counters
+//	                                      plus per-shard DoV generations, when the
+//	                                      layer exposes them)
 //	GET    /healthz                    -> 200 "ok"
 //
 // The jobs endpoints exist when the server is given an admission queue
@@ -41,10 +44,31 @@ import (
 	"time"
 
 	"github.com/unify-repro/escape/internal/admission"
+	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/nffg"
 	"github.com/unify-repro/escape/internal/unify"
 )
+
+// PipelineInfo is the payload of GET /unify/stats/pipeline: the layer's
+// mapping-pipeline counters plus, for sharded orchestrators, every DoV
+// shard's generation and commit counters.
+type PipelineInfo struct {
+	Layer  string             `json:"layer"`
+	Stats  core.PipelineStats `json:"stats"`
+	Shards []core.ShardStats  `json:"shards,omitempty"`
+}
+
+// pipelineStatsProvider is any layer exposing mapping-pipeline counters
+// (core.ResourceOrchestrator does).
+type pipelineStatsProvider interface {
+	PipelineStats() core.PipelineStats
+}
+
+// shardStatsProvider is any layer exposing per-shard DoV counters.
+type shardStatsProvider interface {
+	ShardStats() []core.ShardStats
+}
 
 // Server exposes a layer over HTTP.
 type Server struct {
@@ -80,6 +104,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	mux.HandleFunc("GET /unify/services", s.handleList)
 	mux.HandleFunc("POST /unify/services", s.handleInstall)
 	mux.HandleFunc("DELETE /unify/services/{id}", s.handleRemove)
+	mux.HandleFunc("GET /unify/stats/pipeline", s.handlePipelineStats)
 	if s.adm != nil {
 		mux.HandleFunc("GET /unify/jobs", s.handleJobs)
 		mux.HandleFunc("GET /unify/jobs/{id}", s.handleJob)
@@ -217,6 +242,19 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAdmissionStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.adm.Stats())
+}
+
+func (s *Server) handlePipelineStats(w http.ResponseWriter, _ *http.Request) {
+	p, ok := s.layer.(pipelineStatsProvider)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: layer exposes no pipeline stats"})
+		return
+	}
+	info := PipelineInfo{Layer: s.layer.ID(), Stats: p.PipelineStats()}
+	if sp, ok := s.layer.(shardStatsProvider); ok {
+		info.Shards = sp.ShardStats()
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -421,11 +459,24 @@ func (c *Client) Jobs(ctx context.Context) ([]admission.Job, error) {
 	return jobs, err
 }
 
+// waitJobMaxRetries bounds consecutive transport failures of one WaitJob
+// long-poll before the last error is surfaced: a flaky hop re-polls, a dead
+// server does not spin forever.
+const waitJobMaxRetries = 5
+
 // WaitJob long-polls until the job reaches a terminal state or ctx is done.
 // Each poll asks the server to hold the request for up to pollWindow; a 202
 // means "still running", and the loop re-polls.
+//
+// Transport errors are classified, not treated as uniformly terminal: a
+// server- or proxy-side poll timeout that drops the connection is retryable
+// (the job is still running — re-poll, with backoff), while the caller's own
+// context ending returns its error immediately. Only waitJobMaxRetries
+// consecutive transport failures make the transport error final.
 func (c *Client) WaitJob(ctx context.Context, id string) (admission.Job, error) {
 	const pollWindow = 30 * time.Second
+	backoff := 250 * time.Millisecond
+	failures := 0
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 			c.base+"/unify/jobs/"+url.PathEscape(id)+"/wait?timeout="+pollWindow.String(), nil)
@@ -434,8 +485,29 @@ func (c *Client) WaitJob(ctx context.Context, id string) (admission.Job, error) 
 		}
 		resp, err := c.long.Do(req)
 		if err != nil {
-			return admission.Job{}, err
+			// The caller canceled (or timed out): that is the terminal
+			// condition, reported with its context identity.
+			if cerr := ctx.Err(); cerr != nil {
+				return admission.Job{}, cerr
+			}
+			// Server-side poll timeout or a transient transport failure: the
+			// job may well still be running — re-poll.
+			failures++
+			if failures >= waitJobMaxRetries {
+				return admission.Job{}, fmt.Errorf("api: wait for job %s: %w", id, err)
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return admission.Job{}, ctx.Err()
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
 		}
+		failures = 0
+		backoff = 250 * time.Millisecond
 		switch resp.StatusCode {
 		case http.StatusOK, http.StatusAccepted:
 			var job admission.Job
@@ -475,6 +547,14 @@ func (c *Client) AdmissionStats(ctx context.Context) (admission.Stats, error) {
 	var st admission.Stats
 	err := c.getJSON(ctx, "/unify/stats/admission", &st)
 	return st, err
+}
+
+// PipelineStats fetches the remote layer's mapping-pipeline counters and,
+// for sharded orchestrators, its per-shard DoV generations.
+func (c *Client) PipelineStats(ctx context.Context) (PipelineInfo, error) {
+	var info PipelineInfo
+	err := c.getJSON(ctx, "/unify/stats/pipeline", &info)
+	return info, err
 }
 
 // Remove implements unify.Layer.

@@ -3,6 +3,10 @@ package api
 import (
 	"context"
 	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -309,5 +313,169 @@ func TestCapabilitiesOverHTTP(t *testing.T) {
 	}
 	if !domain.Has(cli, domain.CapCompute) {
 		t.Fatal("compute capability missing")
+	}
+}
+
+// flakyWaitServer is a raw HTTP server whose /wait endpoint drops the first
+// `drops` connections mid-poll (simulating a server/proxy-side long-poll
+// timeout), then answers 200 with a terminal job.
+func flakyWaitServer(t *testing.T, drops int) (addr string, polls *atomic.Int32) {
+	t.Helper()
+	polls = &atomic.Int32{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	})
+	mux.HandleFunc("GET /unify/jobs/{id}/wait", func(w http.ResponseWriter, r *http.Request) {
+		n := polls.Add(1)
+		if int(n) <= drops {
+			// Kill the connection without a response: the client sees a
+			// transport error, not an HTTP status.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("response writer not hijackable")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		writeJSON(w, http.StatusOK, admission.Job{
+			ID: r.PathValue("id"), ServiceID: "svc", State: admission.StateDeployed,
+		})
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return ln.Addr().String(), polls
+}
+
+// TestWaitJobRetriesServerDrop pins the long-poll fix: a connection dropped
+// server-side mid-poll is retryable — WaitJob re-polls and returns the
+// terminal job — instead of surfacing the transport error as terminal.
+func TestWaitJobRetriesServerDrop(t *testing.T) {
+	addr, polls := flakyWaitServer(t, 2)
+	cli, err := Dial("remote", "http://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := cli.WaitJob(context.Background(), "job-1")
+	if err != nil {
+		t.Fatalf("WaitJob must survive dropped polls: %v", err)
+	}
+	if job.State != admission.StateDeployed {
+		t.Fatalf("job: %+v", job)
+	}
+	if got := polls.Load(); got != 3 {
+		t.Fatalf("polls: %d, want 3 (2 drops + 1 success)", got)
+	}
+}
+
+// TestWaitJobGivesUpOnDeadServer: a server that keeps dropping connections
+// exhausts the bounded retries and surfaces the transport error.
+func TestWaitJobGivesUpOnDeadServer(t *testing.T) {
+	addr, polls := flakyWaitServer(t, 1_000_000)
+	cli, err := Dial("remote", "http://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cli.WaitJob(context.Background(), "job-1")
+	if err == nil {
+		t.Fatal("WaitJob must eventually give up on a dead server")
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("no context was canceled: %v", err)
+	}
+	if got := polls.Load(); got < 2 {
+		t.Fatalf("WaitJob gave up without retrying: %d polls", got)
+	}
+}
+
+// TestWaitJobContextCancel pins the other half of the fix: the CALLER's
+// context ending is terminal and keeps its identity — WaitJob must not
+// re-poll through it.
+func TestWaitJobContextCancel(t *testing.T) {
+	// A server that holds the poll open until the client goes away.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	})
+	mux.HandleFunc("GET /unify/jobs/{id}/wait", func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	cli, err := Dial("remote", "http://"+ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = cli.WaitJob(ctx, "job-1")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation must keep context identity: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("WaitJob kept polling %v after cancellation", elapsed)
+	}
+}
+
+// TestPipelineStatsOverHTTP: the stats endpoint exposes the sharded
+// orchestrator's pipeline counters and per-shard generations end to end.
+func TestPipelineStatsOverHTTP(t *testing.T) {
+	ro := core.NewResourceOrchestrator(core.Config{ID: "mdo"})
+	if err := ro.Attach(context.Background(), leaf(t, "d0")); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ro, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := Dial("mdo", "http://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Install(context.Background(), sg(t, "svc")); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cli.PipelineStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Layer != "mdo" || info.Stats.Installs != 1 {
+		t.Fatalf("pipeline info: %+v", info)
+	}
+	if len(info.Shards) != 1 || info.Shards[0].Shard != "d0" || info.Shards[0].Gen == 0 {
+		t.Fatalf("shard stats: %+v", info.Shards)
+	}
+	if info.Shards[0].Gen != info.Shards[0].Commits {
+		t.Fatalf("gen invariant over the wire: %+v", info.Shards[0])
+	}
+
+	// A plain layer without pipeline stats answers 501.
+	lo, cli2 := startPair(t)
+	_ = lo
+	if _, err := cli2.PipelineStats(context.Background()); err == nil {
+		t.Fatal("plain layer must not report pipeline stats")
 	}
 }

@@ -28,30 +28,50 @@ const MaxMapAttempts = 8
 // splits the result into sub-requests for each child. It implements
 // unify.Layer northbound, so orchestrators stack recursively.
 //
-// Concurrency model (snapshot → map → commit): the DoV is treated as an
-// immutable value guarded by a generation counter. Installs snapshot the
-// current (dov, gen) pair, run the CPU-bound embedding and request splitting
-// against the snapshot without holding any lock, and re-validate the
-// generation in a short critical section when swapping the new DoV in. A
-// concurrent commit bumps the generation and forces the loser to re-map on a
-// fresh snapshot (bounded by MaxMapAttempts). Child deployments then fan out
-// in parallel goroutines with first-error cancellation, so install latency is
-// the slowest child rather than the sum of all children.
+// Concurrency model (sharded snapshot → map → commit): the DoV is partitioned
+// into shards (one per child domain by default, see Config.ShardKey), each an
+// immutable graph value guarded by its own generation counter. An install
+// estimates the shard set its request can touch, snapshots a consistent cut
+// of those shards, runs the CPU-bound embedding against the merged snapshot
+// without holding any lock, and re-validates the touched shards' generations
+// in a short critical section when swapping the new graphs in — locking the
+// shards in key order, so multi-shard commits are an ordered two-phase swap
+// while single-shard commits take exactly one lock. Installs whose shard sets
+// are disjoint therefore snapshot, map and commit fully concurrently; only
+// overlapping ones contend, and a loser re-maps on a fresh cut (bounded by
+// MaxMapAttempts). Child deployments then fan out in parallel goroutines with
+// first-error cancellation, so install latency is the slowest child rather
+// than the sum of all children.
 type ResourceOrchestrator struct {
-	id     string
-	virt   Virtualizer
-	mapper *embed.Mapper
-	reg    *domain.Registry
+	id       string
+	virt     Virtualizer
+	mapper   *embed.Mapper
+	reg      *domain.Registry
+	shardKey ShardKeyFunc
 
+	// mu guards the registration-time metadata (dir, owner) — both replaced
+	// copy-on-write so planners read snapshots lock-free — plus the service
+	// table and the global NF/hop identifier reservations. Lock order: a
+	// shard mutex may be acquired before mu, never while holding mu.
 	mu       sync.Mutex
-	dov      *nffg.NFFG         // immutable snapshot; replaced wholesale on commit
-	gen      uint64             // bumped on every committed DoV change
+	dir      *shardDirectory
 	owner    map[nffg.ID]string // immutable snapshot: DoV infra -> child ID that exported it
 	services map[string]*serviceRecord
+	// nfOwner/hopOwner reserve request-graph identifiers globally: shards
+	// commit independently, so cross-shard uniqueness of NF and hop IDs (the
+	// invariant the old single-graph ApplyTo enforced for free) is checked
+	// here at admission instead.
+	nfOwner  map[nffg.ID]string
+	hopOwner map[string]string
+
+	// epoch counts committed DoV changes (attach merges, install commits,
+	// releases) across all shards — the logical generation northbound.
+	epoch atomic.Uint64
 
 	// Contention counters of the mapping pipeline (see PipelineStats).
 	stats struct {
 		installs, mapAttempts, genConflicts, busy, batches, batchedReqs atomic.Uint64
+		multiShard, escalations                                         atomic.Uint64
 	}
 }
 
@@ -61,17 +81,24 @@ type ResourceOrchestrator struct {
 // amortizes.
 type PipelineStats struct {
 	// Installs counts successfully deployed requests.
-	Installs uint64
-	// MapAttempts counts snapshot→map→commit cycles (≥1 per batch).
-	MapAttempts uint64
-	// GenConflicts counts commits lost to a concurrent generation bump.
-	GenConflicts uint64
+	Installs uint64 `json:"installs"`
+	// MapAttempts counts snapshot→map→commit cycles (≥1 per shard group).
+	MapAttempts uint64 `json:"map_attempts"`
+	// GenConflicts counts commits lost to a concurrent generation bump on an
+	// overlapping shard.
+	GenConflicts uint64 `json:"gen_conflicts"`
 	// Busy counts requests that exhausted MaxMapAttempts (unify.ErrBusy).
-	Busy uint64
+	Busy uint64 `json:"busy"`
 	// Batches counts committed admission batches; BatchedRequests the
 	// requests they carried (BatchedRequests/Batches = mean batch size).
-	Batches         uint64
-	BatchedRequests uint64
+	Batches         uint64 `json:"batches"`
+	BatchedRequests uint64 `json:"batched_requests"`
+	// MultiShardCommits counts commits that spanned more than one shard (the
+	// ordered two-phase path).
+	MultiShardCommits uint64 `json:"multi_shard_commits"`
+	// Escalations counts requests whose scoped plan failed and was retried
+	// against the full shard set.
+	Escalations uint64 `json:"escalations"`
 }
 
 // serviceState tracks the lifecycle of a serviceRecord so concurrent
@@ -95,6 +122,12 @@ type serviceRecord struct {
 	// children maps child ID -> sub-service IDs installed there.
 	children map[string][]string
 	receipt  *unify.Receipt
+	// shards is the set of shard keys the committed mapping touched (the
+	// shards Remove must release).
+	shards []string
+	// resNFs/resHops are the identifiers reserved in nfOwner/hopOwner.
+	resNFs  []nffg.ID
+	resHops []string
 }
 
 // Config configures a ResourceOrchestrator.
@@ -105,6 +138,10 @@ type Config struct {
 	Virtualizer Virtualizer
 	// Mapper selects the embedding algorithm (default embed.NewDefault).
 	Mapper *embed.Mapper
+	// ShardKey groups child domains into DoV shards (default ShardPerDomain:
+	// every child gets its own shard; SingleShard restores the pre-sharding
+	// single generation counter).
+	ShardKey ShardKeyFunc
 }
 
 // NewResourceOrchestrator creates an orchestrator with no children attached.
@@ -118,12 +155,20 @@ func NewResourceOrchestrator(cfg Config) *ResourceOrchestrator {
 	if cfg.ID == "" {
 		cfg.ID = "ro"
 	}
+	if cfg.ShardKey == nil {
+		cfg.ShardKey = ShardPerDomain
+	}
 	return &ResourceOrchestrator{
 		id:       cfg.ID,
 		virt:     cfg.Virtualizer,
 		mapper:   cfg.Mapper,
 		reg:      domain.NewRegistry(),
+		shardKey: cfg.ShardKey,
+		dir:      newShardDirectory(),
+		owner:    map[nffg.ID]string{},
 		services: map[string]*serviceRecord{},
+		nfOwner:  map[nffg.ID]string{},
+		hopOwner: map[string]string{},
 	}
 }
 
@@ -131,11 +176,14 @@ func NewResourceOrchestrator(cfg Config) *ResourceOrchestrator {
 func (ro *ResourceOrchestrator) ID() string { return ro.id }
 
 // Attach registers a southbound layer (an infrastructure domain adapter or
-// another orchestrator) and folds its view into the DoV. Children exporting
-// the same SAP IDs are stitched at those border SAPs. The merge runs on a
-// copy that is swapped in only on success, so a failed Attach can never leave
-// a partially-merged DoV behind. ctx bounds the child view fetch (which may
-// be a remote call).
+// another orchestrator) and folds its view into the DoV shard its shard key
+// selects. Children exporting the same SAP IDs are stitched at those border
+// SAPs (also across shards: a border SAP shared by two shards appears in
+// both, and is the stitch point when their graphs are merged for planning).
+// Link IDs are qualified with the child ID so they stay unique across shards.
+// The merge runs on a copy that is swapped in only on success, so a failed
+// Attach can never leave a partially-merged shard behind. ctx bounds the
+// child view fetch (which may be a remote call).
 func (ro *ResourceOrchestrator) Attach(ctx context.Context, d domain.Domain) error {
 	if err := ro.reg.Register(d); err != nil {
 		return err
@@ -145,80 +193,278 @@ func (ro *ResourceOrchestrator) Attach(ctx context.Context, d domain.Domain) err
 		_ = ro.reg.Deregister(d.ID())
 		return fmt.Errorf("core: attach %s: %w", d.ID(), err)
 	}
+	// Qualify link IDs: shard graphs are merged on demand for planning, and
+	// per-child qualification keeps link identity stable across any merge
+	// order (the mapping's path link IDs must resolve in the owning shard).
+	qual := view.Copy()
+	for _, l := range qual.Links {
+		l.ID = l.ID + "@" + d.ID()
+	}
+	key := ro.shardKey(d.ID())
+
 	ro.mu.Lock()
-	defer ro.mu.Unlock()
-	next := nffg.New(ro.id + "-dov")
-	if ro.dov != nil {
-		next = ro.dov.Copy()
+	// Infra IDs must stay globally unique even across shards (the owner map
+	// is the authority the per-graph merge check used to be).
+	for _, id := range qual.InfraIDs() {
+		if prev, ok := ro.owner[id]; ok {
+			ro.mu.Unlock()
+			_ = ro.reg.Deregister(d.ID())
+			return fmt.Errorf("core: attach %s: infra %s already exported by %s", d.ID(), id, prev)
+		}
 	}
-	if err := next.Merge(view); err != nil {
-		_ = ro.reg.Deregister(d.ID())
-		return fmt.Errorf("core: merge view of %s: %w", d.ID(), err)
+	dir := ro.dir.clone()
+	sh, existed := dir.shards[key]
+	if !existed {
+		sh = &shard{key: key}
+		dir.shards[key] = sh
+		dir.keys = append(dir.keys, key)
+		sort.Strings(dir.keys)
 	}
-	owner := make(map[nffg.ID]string, len(ro.owner)+len(view.Infras))
+	dir.childShard[d.ID()] = key
+	dir.domains[key] = append(dir.domains[key], d.ID())
+	sort.Strings(dir.domains[key])
+	owner := make(map[nffg.ID]string, len(ro.owner)+len(qual.Infras))
 	for k, v := range ro.owner {
 		owner[k] = v
 	}
-	for _, infra := range view.InfraIDs() {
+	for _, infra := range qual.InfraIDs() {
 		owner[infra] = d.ID()
 	}
-	ro.dov = next
+	ro.dir = dir
 	ro.owner = owner
-	ro.gen++
+	ro.mu.Unlock()
+
+	sh.mu.Lock()
+	next := nffg.New(ro.id + "-dov")
+	if sh.dov != nil {
+		next = sh.dov.Copy()
+	}
+	if err := next.Merge(qual); err != nil {
+		// Remove exactly our entries from the current state (not a snapshot
+		// restore, which would clobber concurrent attaches of other children).
+		// sh.mu is still held — lock order shard→ro.mu is the allowed
+		// direction — so sh.dov cannot change while we decide whether the
+		// shard itself must go.
+		ro.mu.Lock()
+		rb := ro.dir.clone()
+		delete(rb.childShard, d.ID())
+		kept := rb.domains[key][:0]
+		for _, c := range rb.domains[key] {
+			if c != d.ID() {
+				kept = append(kept, c)
+			}
+		}
+		rb.domains[key] = kept
+		if len(kept) == 0 && sh.dov == nil {
+			// We created this shard and nothing ever merged into it: drop it,
+			// or it would haunt ShardStats and every all-shard cut forever.
+			delete(rb.shards, key)
+			delete(rb.domains, key)
+			keys := rb.keys[:0]
+			for _, k := range rb.keys {
+				if k != key {
+					keys = append(keys, k)
+				}
+			}
+			rb.keys = keys
+		}
+		rbOwner := make(map[nffg.ID]string, len(ro.owner))
+		for k, v := range ro.owner {
+			if v != d.ID() {
+				rbOwner[k] = v
+			}
+		}
+		ro.dir, ro.owner = rb, rbOwner
+		ro.mu.Unlock()
+		sh.mu.Unlock()
+		_ = ro.reg.Deregister(d.ID())
+		return fmt.Errorf("core: merge view of %s: %w", d.ID(), err)
+	}
+	sh.dov = next
+	sh.gen++
+	sh.commits++
+	sh.mu.Unlock()
+	ro.epoch.Add(1)
 	return nil
 }
 
 // Children lists attached child layer IDs.
 func (ro *ResourceOrchestrator) Children() []string { return ro.reg.Names() }
 
-// snapshot returns the current immutable (dov, owner, gen) triple.
-func (ro *ResourceOrchestrator) snapshot() (*nffg.NFFG, map[nffg.ID]string, uint64) {
+// snapshotDir returns the current immutable (directory, owner) pair.
+func (ro *ResourceOrchestrator) snapshotDir() (*shardDirectory, map[nffg.ID]string) {
 	ro.mu.Lock()
 	defer ro.mu.Unlock()
-	return ro.dov, ro.owner, ro.gen
+	return ro.dir, ro.owner
 }
 
-// Generation returns the current DoV generation (exported for tests and
-// metrics: the number of committed DoV changes since start).
+// mergedDoV merges a consistent cut of every shard into one graph. The
+// returned graph is freshly built (caller may mutate) unless single is true,
+// in which case it is the shard's immutable snapshot and must be treated as
+// read-only. Returns nil when no shard holds a view yet.
+func (ro *ResourceOrchestrator) mergedDoV() (g *nffg.NFFG, single bool) {
+	dir, _ := ro.snapshotDir()
+	shs := dir.ordered(dir.keys)
+	graphs, _ := snapshotCut(shs)
+	var live []*nffg.NFFG
+	for _, gr := range graphs {
+		if gr != nil {
+			live = append(live, gr)
+		}
+	}
+	if len(live) == 0 {
+		return nil, false
+	}
+	if len(live) == 1 {
+		return live[0], true
+	}
+	m := nffg.New(ro.id + "-dov")
+	for _, gr := range live {
+		if err := m.Merge(gr); err != nil {
+			log.Printf("core %s: merging shard views: %v", ro.id, err)
+		}
+	}
+	return m, false
+}
+
+// Generation returns the DoV epoch: the number of committed DoV changes
+// (attach merges, install commits, releases) since start, summed across
+// shards but counted once per commit event.
 func (ro *ResourceOrchestrator) Generation() uint64 {
-	ro.mu.Lock()
-	defer ro.mu.Unlock()
-	return ro.gen
+	return ro.epoch.Load()
 }
 
 // PipelineStats returns the cumulative mapping-pipeline counters.
 func (ro *ResourceOrchestrator) PipelineStats() PipelineStats {
 	return PipelineStats{
-		Installs:        ro.stats.installs.Load(),
-		MapAttempts:     ro.stats.mapAttempts.Load(),
-		GenConflicts:    ro.stats.genConflicts.Load(),
-		Busy:            ro.stats.busy.Load(),
-		Batches:         ro.stats.batches.Load(),
-		BatchedRequests: ro.stats.batchedReqs.Load(),
+		Installs:          ro.stats.installs.Load(),
+		MapAttempts:       ro.stats.mapAttempts.Load(),
+		GenConflicts:      ro.stats.genConflicts.Load(),
+		Busy:              ro.stats.busy.Load(),
+		Batches:           ro.stats.batches.Load(),
+		BatchedRequests:   ro.stats.batchedReqs.Load(),
+		MultiShardCommits: ro.stats.multiShard.Load(),
+		Escalations:       ro.stats.escalations.Load(),
 	}
+}
+
+// ShardStats reports every DoV shard's generation and commit counters, in
+// shard-key order.
+func (ro *ResourceOrchestrator) ShardStats() []ShardStats {
+	dir, _ := ro.snapshotDir()
+	out := make([]ShardStats, 0, len(dir.keys))
+	for _, key := range dir.keys {
+		sh := dir.shards[key]
+		sh.mu.Lock()
+		st := ShardStats{
+			Shard:             key,
+			Domains:           append([]string(nil), dir.domains[key]...),
+			Gen:               sh.gen,
+			Commits:           sh.commits,
+			Conflicts:         sh.conflicts,
+			MultiShardCommits: sh.multi,
+		}
+		sh.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
 }
 
 // DoV returns a copy of the current global resource view (for inspection).
+// The copy is assembled from a consistent cut across all shards: a
+// multi-shard commit is never observed half-applied.
 func (ro *ResourceOrchestrator) DoV() *nffg.NFFG {
-	snap, _, _ := ro.snapshot()
-	if snap == nil {
+	merged, single := ro.mergedDoV()
+	if merged == nil {
 		return nffg.New(ro.id + "-dov")
 	}
-	return snap.Copy()
+	if single {
+		return merged.Copy()
+	}
+	return merged
 }
 
 // View implements unify.Layer: the northbound virtualization of the DoV.
-// The view derives from an immutable snapshot, so the computation runs
-// without holding the orchestrator lock.
+// The view derives from an immutable consistent cut, so the computation runs
+// without holding any shard lock.
 func (ro *ResourceOrchestrator) View(ctx context.Context) (*nffg.NFFG, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	snap, _, _ := ro.snapshot()
-	if snap == nil {
+	merged, _ := ro.mergedDoV()
+	if merged == nil {
 		return nil, ErrEmptyView
 	}
-	return ro.virt.View(snap)
+	return ro.virt.View(merged)
+}
+
+// ShardSet implements unify.Sharder: it estimates, without mapping, which DoV
+// shards a request's embedding may touch — from the shards exporting the
+// request's SAPs and the shards a pinned NF host expands into. nil means the
+// set could not be narrowed (an unpinned NF may land anywhere, an aggregate
+// view node spans every shard): the request must be planned globally.
+func (ro *ResourceOrchestrator) ShardSet(req *nffg.NFFG) []string {
+	if req == nil {
+		return nil
+	}
+	dir, owner := ro.snapshotDir()
+	shs := dir.ordered(dir.keys)
+	// An estimate needs no consistent cut: read each shard's graph pointer
+	// individually, so submissions never rendezvous on every shard lock at
+	// once (the contention sharding exists to remove).
+	byKey := make(map[string]*nffg.NFFG, len(shs))
+	for _, sh := range shs {
+		sh.mu.Lock()
+		g := sh.dov
+		sh.mu.Unlock()
+		if g != nil {
+			byKey[sh.key] = g
+		}
+	}
+	set := map[string]bool{}
+	for sapID := range req.SAPs {
+		found := false
+		for key, g := range byKey {
+			if _, ok := g.SAPs[sapID]; ok {
+				set[key] = true
+				found = true
+			}
+		}
+		if !found {
+			return nil // unknown endpoint: let the global plan reject it
+		}
+	}
+	for _, id := range req.NFIDs() {
+		host := req.NFs[id].Host
+		if host == "" {
+			return nil // unpinned: may land on any shard
+		}
+		if child, ok := owner[host]; ok {
+			if key, ok := dir.childShard[child]; ok {
+				set[key] = true
+				continue
+			}
+		}
+		matched := false
+		for key, g := range byKey {
+			if len(ro.virt.Scope(g, host)) > 0 {
+				set[key] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil // unknown pin: let the global plan reject it
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // plan runs the CPU-bound embedding of one request against an immutable DoV
@@ -255,6 +501,38 @@ func (ro *ResourceOrchestrator) plan(snap *nffg.NFFG, req *nffg.NFFG) (*embed.Ma
 	return mapping, nil
 }
 
+// touchedShards derives the shard set a planned mapping actually occupies:
+// the shards owning its NF hosts and every infra node its hop paths cross.
+// The home shard (first in key order) carries the mapping's bookkeeping
+// records. Falls back to the group's first shard for mappings that touch no
+// infra at all (degenerate SAP-to-SAP paths).
+func touchedShards(mp *embed.Mapping, owner map[nffg.ID]string, dir *shardDirectory, groupKeys []string) (keys []string, home string) {
+	set := map[string]bool{}
+	add := func(node nffg.ID) {
+		if child, ok := owner[node]; ok {
+			if key, ok := dir.childShard[child]; ok {
+				set[key] = true
+			}
+		}
+	}
+	for _, host := range mp.NFHost {
+		add(host)
+	}
+	for _, p := range mp.Paths {
+		for _, n := range p.Nodes {
+			add(nffg.ID(n))
+		}
+	}
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		keys = []string{groupKeys[0]}
+	}
+	return keys, keys[0]
+}
+
 // Install implements unify.Layer: a single-request admission batch (see
 // InstallBatch for the snapshot→map→commit pipeline).
 func (ro *ResourceOrchestrator) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
@@ -262,146 +540,325 @@ func (ro *ResourceOrchestrator) Install(ctx context.Context, req *nffg.NFFG) (*u
 	return out[0].Receipt, out[0].Err
 }
 
-// InstallBatch implements unify.BatchInstaller: the whole batch is planned
-// against ONE DoV snapshot — each request over the residual capacity left by
-// its predecessors — and committed with a single generation bump, so N
-// concurrently-admitted requests cost one commit instead of N racing ones.
-// Requests fail individually: a graph that cannot be embedded is rejected
-// alone while the rest of the batch proceeds. After the commit the admitted
-// requests fan out in parallel (each inheriting the per-child fan-out of
-// deployChildren); a failed deployment releases only its own reservation.
-func (ro *ResourceOrchestrator) InstallBatch(ctx context.Context, reqs []*nffg.NFFG, obs unify.BatchObserver) []unify.BatchOutcome {
-	out := make([]unify.BatchOutcome, len(reqs))
-	attempts := 0
-	// conclude finalizes one outcome and fires obs.Done exactly once. The
-	// deploy goroutines below call it for their own index only; finish is
-	// the single exit point and sweeps up everything not yet concluded.
-	notified := make([]bool, len(reqs))
-	conclude := func(i int) {
-		if notified[i] {
-			return
-		}
-		notified[i] = true
-		out[i].Attempts = attempts
-		if obs.Done != nil {
-			obs.Done(i, out[i])
+// batchRun carries the shared state of one InstallBatch call across its
+// concurrent shard groups. Each request index is owned by exactly one group
+// at a time (escalated indices move to the phase-2 group only after every
+// phase-1 group finished), so the per-index slices need no locking; the
+// conclude/escalate bookkeeping that crosses groups is guarded by mu.
+type batchRun struct {
+	ro      *ResourceOrchestrator
+	reqs    []*nffg.NFFG
+	out     []unify.BatchOutcome
+	obs     unify.BatchObserver
+	records []*serviceRecord
+	live    []bool
+	planErr []error
+
+	mu        sync.Mutex
+	notified  []bool
+	escalated []int
+}
+
+func (bc *batchRun) conclude(i int) {
+	bc.mu.Lock()
+	if bc.notified[i] {
+		bc.mu.Unlock()
+		return
+	}
+	bc.notified[i] = true
+	bc.mu.Unlock()
+	if bc.obs.Done != nil {
+		bc.obs.Done(i, bc.out[i])
+	}
+}
+
+func (bc *batchRun) finish() []unify.BatchOutcome {
+	for i := range bc.out {
+		bc.conclude(i)
+	}
+	return bc.out
+}
+
+// abort drops request i's reservations (service ID, NF IDs, hop IDs) and
+// finalizes its error. Only the group (or deploy goroutine) owning index i
+// may call it.
+func (bc *batchRun) abort(i int, err error) {
+	ro := bc.ro
+	ro.mu.Lock()
+	ro.dropReservationsLocked(bc.reqs[i].ID, bc.records[i])
+	ro.mu.Unlock()
+	bc.live[i] = false
+	bc.out[i].Err = err
+}
+
+func (bc *batchRun) escalate(i int) {
+	bc.ro.stats.escalations.Add(1)
+	bc.mu.Lock()
+	bc.escalated = append(bc.escalated, i)
+	bc.mu.Unlock()
+}
+
+func (bc *batchRun) takeEscalated() []int {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	out := bc.escalated
+	bc.escalated = nil
+	sort.Ints(out)
+	return out
+}
+
+// dropReservationsLocked releases a service's identifier reservations.
+// Callers hold ro.mu.
+func (ro *ResourceOrchestrator) dropReservationsLocked(serviceID string, rec *serviceRecord) {
+	delete(ro.services, serviceID)
+	if rec == nil {
+		return
+	}
+	for _, nf := range rec.resNFs {
+		if ro.nfOwner[nf] == serviceID {
+			delete(ro.nfOwner, nf)
 		}
 	}
-	finish := func() []unify.BatchOutcome {
-		for i := range out {
-			conclude(i)
+	for _, h := range rec.resHops {
+		if ro.hopOwner[h] == serviceID {
+			delete(ro.hopOwner, h)
 		}
-		return out
+	}
+}
+
+// InstallBatch implements unify.BatchInstaller: the batch is partitioned by
+// the shard sets its requests can touch; groups with disjoint shard sets plan
+// and commit fully concurrently, each against ONE consistent snapshot cut of
+// its shards — every request over the residual capacity left by its
+// predecessors — with a single generation bump per touched shard. Requests
+// fail individually: a graph that cannot be embedded is rejected alone while
+// the rest of its group proceeds, and a request that fails on its narrowed
+// shard set is escalated once to a full-DoV plan before the rejection is
+// final. After a group's commit its admitted requests fan out in parallel
+// (each inheriting the per-child fan-out of deployChildren); a failed
+// deployment releases only its own reservation, shard by shard.
+func (ro *ResourceOrchestrator) InstallBatch(ctx context.Context, reqs []*nffg.NFFG, obs unify.BatchObserver) []unify.BatchOutcome {
+	bc := &batchRun{
+		ro:       ro,
+		reqs:     reqs,
+		out:      make([]unify.BatchOutcome, len(reqs)),
+		obs:      obs,
+		records:  make([]*serviceRecord, len(reqs)),
+		live:     make([]bool, len(reqs)),
+		planErr:  make([]error, len(reqs)),
+		notified: make([]bool, len(reqs)),
 	}
 	if err := ctx.Err(); err != nil {
-		for i := range out {
-			out[i].Err = err
+		for i := range bc.out {
+			bc.out[i].Err = err
 		}
-		return finish()
+		return bc.finish()
 	}
 
-	// Reserve the request IDs so concurrent duplicate installs (and
-	// duplicates within the batch) reject immediately and individually.
-	records := make([]*serviceRecord, len(reqs))
-	live := make([]bool, len(reqs))
+	// Intake: reserve the service IDs plus the request-graph NF and hop IDs,
+	// so duplicates — concurrent, within the batch, or across disjoint shards
+	// — reject immediately and individually.
 	ro.mu.Lock()
-	if ro.dov == nil {
+	if len(ro.dir.keys) == 0 {
 		ro.mu.Unlock()
-		for i := range out {
-			out[i].Err = fmt.Errorf("%w: no domains attached", unify.ErrRejected)
+		for i := range bc.out {
+			bc.out[i].Err = fmt.Errorf("%w: no domains attached", unify.ErrRejected)
 		}
-		return finish()
+		return bc.finish()
 	}
 	for i, req := range reqs {
 		if req == nil || req.ID == "" {
-			out[i].Err = fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
+			bc.out[i].Err = fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
 			continue
 		}
 		if _, dup := ro.services[req.ID]; dup {
-			out[i].Err = fmt.Errorf("%w: service %s already installed", unify.ErrRejected, req.ID)
+			bc.out[i].Err = fmt.Errorf("%w: service %s already installed", unify.ErrRejected, req.ID)
 			continue
 		}
-		records[i] = &serviceRecord{state: statePending, children: map[string][]string{}}
-		ro.services[req.ID] = records[i]
-		live[i] = true
+		if err := ro.checkIdentifiersLocked(req); err != nil {
+			bc.out[i].Err = err
+			continue
+		}
+		rec := &serviceRecord{state: statePending, children: map[string][]string{}}
+		for _, nf := range req.NFIDs() {
+			ro.nfOwner[nf] = req.ID
+			rec.resNFs = append(rec.resNFs, nf)
+		}
+		for _, h := range req.Hops {
+			ro.hopOwner[h.ID] = req.ID
+			rec.resHops = append(rec.resHops, h.ID)
+		}
+		ro.services[req.ID] = rec
+		bc.records[i] = rec
+		bc.live[i] = true
 	}
 	ro.mu.Unlock()
 
-	// abort drops request i's reservation. The per-request deploy goroutines
-	// below may call it concurrently: each touches only its own index.
-	abort := func(i int, err error) {
-		ro.mu.Lock()
-		delete(ro.services, reqs[i].ID)
-		ro.mu.Unlock()
-		live[i] = false
-		out[i].Err = err
+	// Partition by estimated shard overlap and run the groups concurrently.
+	est := make([][]string, len(reqs))
+	var liveIdx []int
+	for i := range reqs {
+		if bc.live[i] {
+			est[i] = ro.ShardSet(reqs[i])
+			liveIdx = append(liveIdx, i)
+		}
 	}
-	abortAll := func(err error) []unify.BatchOutcome {
-		for i := range reqs {
-			if live[i] {
-				abort(i, err)
+	groups := groupByOverlap(liveIdx, est)
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g shardGroup) {
+			defer wg.Done()
+			bc.runGroup(ctx, g.idx, g.keys, true)
+		}(g)
+	}
+	wg.Wait()
+
+	// Phase 2: requests rejected on a narrowed shard set get one full-DoV
+	// retry (a path may legitimately detour through a shard the estimate did
+	// not include).
+	if esc := bc.takeEscalated(); len(esc) > 0 {
+		bc.runGroup(ctx, esc, nil, false)
+	}
+	return bc.finish()
+}
+
+// checkIdentifiersLocked rejects a request whose NF or hop IDs are already
+// reserved by another live service. Callers hold ro.mu.
+func (ro *ResourceOrchestrator) checkIdentifiersLocked(req *nffg.NFFG) error {
+	for _, nf := range req.NFIDs() {
+		if owner, taken := ro.nfOwner[nf]; taken {
+			return fmt.Errorf("%w: NF id %s already in use by service %s", unify.ErrRejected, nf, owner)
+		}
+	}
+	for _, h := range req.Hops {
+		if owner, taken := ro.hopOwner[h.ID]; taken {
+			return fmt.Errorf("%w: hop id %s already in use by service %s", unify.ErrRejected, h.ID, owner)
+		}
+	}
+	return nil
+}
+
+// plannedReq is one accepted plan within a shard group.
+type plannedReq struct {
+	mapping *embed.Mapping
+	subs    map[string]*nffg.NFFG
+	touched []string // shard keys the mapping occupies (home first)
+	home    string
+}
+
+// runGroup admits one shard group of the batch: the optimistic
+// snapshot→map→commit loop over the group's shard set. keys == nil plans
+// against every shard. When mayEscalate is set, plan rejections on a narrowed
+// set are deferred to the caller's phase-2 global group instead of being
+// final.
+func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayEscalate bool) {
+	ro := bc.ro
+	attempts := 0
+	abortIdx := func(err error) {
+		for _, i := range idx {
+			if bc.live[i] {
+				bc.out[i].Attempts += attempts
+				bc.abort(i, err)
 			}
 		}
-		return finish()
 	}
 
-	// Optimistic batch loop: plan every live request against one snapshot,
-	// then swap the combined DoV in iff no concurrent commit moved the
-	// generation; otherwise re-plan the whole batch, at most MaxMapAttempts
-	// times.
-	type plannedReq struct {
-		mapping *embed.Mapping
-		subs    map[string]*nffg.NFFG
-	}
-	plans := make([]*plannedReq, len(reqs))
-	planErrs := make([]error, len(reqs))
+	plans := make(map[int]*plannedReq, len(idx))
 	committed := false
+	narrow := false
 	var lastErr error
+	var tshs []*shard
 	for attempts < MaxMapAttempts {
 		attempts++
 		if err := ctx.Err(); err != nil {
-			return abortAll(err)
+			abortIdx(err)
+			return
 		}
 		ro.stats.mapAttempts.Add(1)
-		snap, owner, snapGen := ro.snapshot()
-		// The whole batch shares ONE working copy of the snapshot: each
-		// accepted mapping is realized on it in place (embed.ApplyTo), so
-		// admitting N requests costs one graph copy instead of N.
-		cur := snap
+		dir, owner := ro.snapshotDir()
+		gkeys := keys
+		if gkeys == nil {
+			gkeys = dir.keys
+		}
+		narrow = len(gkeys) < len(dir.keys)
+		shs := dir.ordered(gkeys)
+		if len(shs) == 0 {
+			abortIdx(fmt.Errorf("%w: no domains attached", unify.ErrRejected))
+			return
+		}
+		skeys := make([]string, len(shs))
+		for i, s := range shs {
+			skeys[i] = s.key
+		}
+		graphs, gens := snapshotCut(shs)
+
+		// The group's working graph: a consistent merge of its shards. The
+		// whole group shares ONE working copy — each accepted mapping is
+		// realized on it in place (embed.ApplyTo), so admitting N requests
+		// costs one graph copy instead of N.
+		var base *nffg.NFFG
+		if len(shs) == 1 {
+			base = graphs[0]
+		} else {
+			base = nffg.New(ro.id + "-plan")
+			mergeErr := false
+			for _, g := range graphs {
+				if g == nil {
+					continue
+				}
+				if err := base.Merge(g); err != nil {
+					log.Printf("core %s: merging shard snapshots: %v", ro.id, err)
+					mergeErr = true
+					break
+				}
+			}
+			if mergeErr {
+				abortIdx(fmt.Errorf("%w: shard views unmergeable", unify.ErrRejected))
+				return
+			}
+		}
+		if base == nil {
+			abortIdx(fmt.Errorf("%w: no domains attached", unify.ErrRejected))
+			return
+		}
+		cur := base
 		var accepted []*embed.Mapping
-		mappable := 0
 		rebuild := func() {
 			// An ApplyTo failed partway and may have left cur inconsistent:
 			// rebuild it by replaying the accepted mappings on a fresh copy
 			// (deterministic — they applied cleanly before).
-			cur = snap.Copy()
+			cur = base.Copy()
 			for _, mp := range accepted {
 				if rerr := embed.ApplyTo(cur, mp); rerr != nil {
 					log.Printf("core %s: batch replay inconsistency: %v", ro.id, rerr)
 				}
 			}
 		}
-		for i, req := range reqs {
-			if !live[i] {
+		mappable := 0
+		for _, i := range idx {
+			if !bc.live[i] {
 				continue
 			}
-			plans[i], planErrs[i] = nil, nil
+			delete(plans, i)
+			bc.planErr[i] = nil
+			req := bc.reqs[i]
 			mapping, err := ro.plan(cur, req)
 			if err != nil {
-				planErrs[i] = err
+				bc.planErr[i] = err
 				continue
 			}
-			if cur == snap {
-				cur = snap.Copy()
+			if cur == base {
+				cur = base.Copy()
 			}
 			if err := embed.ApplyTo(cur, mapping); err != nil {
-				planErrs[i] = fmt.Errorf("%w: %v", unify.ErrRejected, err)
+				bc.planErr[i] = fmt.Errorf("%w: %v", unify.ErrRejected, err)
 				rebuild()
 				continue
 			}
-			subs, err := ro.split(snap, owner, req.ID, mapping)
+			subs, err := ro.split(base, owner, req.ID, mapping)
 			if err != nil {
-				planErrs[i] = fmt.Errorf("%w: %v", unify.ErrRejected, err)
+				bc.planErr[i] = fmt.Errorf("%w: %v", unify.ErrRejected, err)
 				// The mapping applied cleanly, so Release is its exact inverse.
 				if rerr := embed.Release(cur, mapping); rerr != nil {
 					log.Printf("core %s: releasing unsplittable mapping: %v", ro.id, rerr)
@@ -409,42 +866,92 @@ func (ro *ResourceOrchestrator) InstallBatch(ctx context.Context, reqs []*nffg.N
 				}
 				continue
 			}
-			plans[i] = &plannedReq{mapping: mapping, subs: subs}
+			touched, home := touchedShards(mapping, owner, dir, skeys)
+			plans[i] = &plannedReq{mapping: mapping, subs: subs, touched: touched, home: home}
 			accepted = append(accepted, mapping)
 			mappable++
 		}
 		if mappable == 0 {
 			// Nothing mappable on this snapshot. If a concurrent commit moved
-			// the DoV meanwhile the failures may be stale (e.g. a Remove just
-			// freed the conflicting resources) — retry fresh; otherwise they
-			// are final.
-			if _, _, gen := ro.snapshot(); gen != snapGen {
+			// one of the group's shards meanwhile the failures may be stale
+			// (e.g. a Remove just freed the conflicting resources) — retry
+			// fresh; otherwise they are final (or escalate to a global plan).
+			if _, cgens := snapshotCut(shs); !equalGens(cgens, gens) {
 				lastErr = fmt.Errorf("%w: DoV generation advanced during mapping", unify.ErrBusy)
 				continue
 			}
-			for i := range reqs {
-				if live[i] {
-					abort(i, planErrs[i])
+			bc.finalizeRejections(idx, attempts, mayEscalate && narrow)
+			return
+		}
+
+		// Commit: lock the union of the touched shards in key order, validate
+		// their generations against the snapshot cut, then swap every touched
+		// shard's graph with a single generation bump each.
+		tkeys := map[string]bool{}
+		for _, i := range idx {
+			if p, ok := plans[i]; ok && bc.live[i] {
+				for _, k := range p.touched {
+					tkeys[k] = true
 				}
 			}
-			return finish()
 		}
-		ro.mu.Lock()
-		if ro.gen == snapGen {
-			ro.dov = cur
-			ro.gen++
-			ro.mu.Unlock()
-			committed = true
-			break
+		var tkeyList []string
+		for k := range tkeys {
+			tkeyList = append(tkeyList, k)
 		}
-		ro.mu.Unlock()
-		// Lost the commit race; loop re-plans against the new generation.
-		ro.stats.genConflicts.Add(1)
-		lastErr = fmt.Errorf("%w: DoV generation advanced during mapping", unify.ErrBusy)
+		sort.Strings(tkeyList)
+		tshs = dir.ordered(tkeyList)
+		genByKey := map[string]uint64{}
+		for i, s := range shs {
+			genByKey[s.key] = gens[i]
+		}
+		lockAll(tshs)
+		conflict := false
+		for _, s := range tshs {
+			if s.gen != genByKey[s.key] {
+				s.conflicts++
+				conflict = true
+			}
+		}
+		if conflict {
+			unlockAll(tshs)
+			// Lost the commit race; loop re-plans against the fresh cut.
+			ro.stats.genConflicts.Add(1)
+			lastErr = fmt.Errorf("%w: DoV generation advanced during mapping", unify.ErrBusy)
+			continue
+		}
+		if len(shs) == 1 && len(tshs) == 1 && tshs[0] == shs[0] {
+			// Single-shard fast path: the working copy IS the shard's next
+			// snapshot.
+			tshs[0].dov = cur
+		} else {
+			// Project each accepted mapping onto every touched shard's
+			// copy-on-write graph; the home shard carries the bookkeeping.
+			if err := bc.projectLocked(tshs, cur, idx, plans); err != nil {
+				unlockAll(tshs)
+				log.Printf("core %s: scoped commit projection failed: %v", ro.id, err)
+				abortIdx(fmt.Errorf("%w: commit projection failed: %v", unify.ErrRejected, err))
+				return
+			}
+		}
+		for _, s := range tshs {
+			s.gen++
+			s.commits++
+			if len(tshs) > 1 {
+				s.multi++
+			}
+		}
+		unlockAll(tshs)
+		if len(tshs) > 1 {
+			ro.stats.multiShard.Add(1)
+		}
+		ro.epoch.Add(1)
+		committed = true
+		break
 	}
 	if !committed {
-		for i := range reqs {
-			if !live[i] {
+		for _, i := range idx {
+			if !bc.live[i] {
 				continue
 			}
 			ro.stats.busy.Add(1)
@@ -452,68 +959,142 @@ func (ro *ResourceOrchestrator) InstallBatch(ctx context.Context, reqs []*nffg.N
 			// that kept failing to map while the generation churned is more
 			// usefully reported than the generic lost-race error.
 			cause := lastErr
-			if planErrs[i] != nil {
-				cause = planErrs[i]
+			if bc.planErr[i] != nil {
+				cause = bc.planErr[i]
 			}
-			abort(i, fmt.Errorf("%w: gave up after %d mapping attempts (last: %v)", unify.ErrBusy, MaxMapAttempts, cause))
+			bc.out[i].Attempts += attempts
+			bc.abort(i, fmt.Errorf("%w: gave up after %d mapping attempts (last: %v)", unify.ErrBusy, MaxMapAttempts, cause))
 		}
-		return finish()
+		return
 	}
 
-	// The commit landed: batch-local rejections are final; everyone else now
-	// holds a DoV reservation and must either deploy or release it.
-	admittedCount := 0
-	for i := range reqs {
-		if !live[i] {
+	// The commit landed: group-local rejections are final (or escalate);
+	// everyone else now holds a DoV reservation and must either deploy or
+	// release it.
+	var deployable []int
+	for _, i := range idx {
+		if !bc.live[i] {
 			continue
 		}
-		if plans[i] == nil {
-			abort(i, planErrs[i])
+		if _, ok := plans[i]; !ok {
+			if mayEscalate && narrow {
+				bc.out[i].Attempts += attempts
+				bc.escalate(i)
+			} else {
+				bc.out[i].Attempts += attempts
+				bc.abort(i, bc.planErr[i])
+			}
 			continue
 		}
-		admittedCount++
+		deployable = append(deployable, i)
 	}
 	ro.stats.batches.Add(1)
-	ro.stats.batchedReqs.Add(uint64(admittedCount))
+	ro.stats.batchedReqs.Add(uint64(len(deployable)))
 
 	var wg sync.WaitGroup
-	for i := range reqs {
-		if !live[i] {
-			continue
-		}
-		if obs.Admitted != nil {
-			obs.Admitted(i)
+	for _, i := range deployable {
+		bc.out[i].Attempts += attempts
+		if bc.obs.Admitted != nil {
+			bc.obs.Admitted(i)
 		}
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, p *plannedReq) {
 			defer wg.Done()
-			defer conclude(i)
-			p := plans[i]
+			defer bc.conclude(i)
 			children := sortedKeys(p.subs)
 			receipts, err := ro.deployChildren(ctx, children, p.subs)
 			if err != nil {
-				if rerr := ro.releaseDoV(p.mapping); rerr != nil {
-					log.Printf("core %s: releasing aborted install %s: %v", ro.id, reqs[i].ID, rerr)
+				if rerr := ro.releaseShards(p.mapping, p.touched); rerr != nil {
+					log.Printf("core %s: releasing aborted install %s: %v", ro.id, bc.reqs[i].ID, rerr)
 				}
-				abort(i, err)
+				bc.abort(i, err)
 				return
 			}
-			receipt := buildReceipt(reqs[i].ID, p.mapping, children, receipts)
+			receipt := buildReceipt(bc.reqs[i].ID, p.mapping, children, receipts)
 			ro.mu.Lock()
-			rec := records[i]
+			rec := bc.records[i]
 			rec.mapping = p.mapping
+			rec.shards = p.touched
 			for _, childID := range children {
 				rec.children[childID] = append(rec.children[childID], p.subs[childID].ID)
 			}
 			rec.receipt = receipt
 			rec.state = stateReady
 			ro.mu.Unlock()
-			out[i].Receipt = receipt
+			bc.out[i].Receipt = receipt
 			ro.stats.installs.Add(1)
-		}(i)
+		}(i, plans[i])
 	}
 	wg.Wait()
-	return finish()
+}
+
+// finalizeRejections settles a group whose snapshot admitted nothing: either
+// escalate every live member to the phase-2 global group, or make the
+// rejections final.
+func (bc *batchRun) finalizeRejections(idx []int, attempts int, escalate bool) {
+	for _, i := range idx {
+		if !bc.live[i] {
+			continue
+		}
+		bc.out[i].Attempts += attempts
+		if escalate {
+			bc.escalate(i)
+			continue
+		}
+		bc.abort(i, bc.planErr[i])
+	}
+}
+
+// projectLocked replays the group's accepted mappings onto copies of the
+// touched shards' graphs (callers hold every shard lock in tshs). Each shard
+// receives exactly its slice of each mapping; the mapping's home shard also
+// records the bookkeeping hop/requirement entries. Every projection is built
+// before ANY shard pointer is swapped, so a failure leaves all shards
+// untouched — a half-committed multi-shard group is impossible.
+func (bc *batchRun) projectLocked(tshs []*shard, ref *nffg.NFFG, idx []int, plans map[int]*plannedReq) error {
+	next := make([]*nffg.NFFG, len(tshs))
+	for si, s := range tshs {
+		g := nffg.New(bc.ro.id + "-dov")
+		if s.dov != nil {
+			g = s.dov.Copy()
+		}
+		for _, i := range idx {
+			p, ok := plans[i]
+			if !ok || !bc.live[i] {
+				continue
+			}
+			mine := false
+			for _, k := range p.touched {
+				if k == s.key {
+					mine = true
+					break
+				}
+			}
+			if !mine {
+				continue
+			}
+			if err := embed.ApplyScoped(g, ref, p.mapping, s.key == p.home); err != nil {
+				return fmt.Errorf("shard %s, request %s: %w", s.key, bc.reqs[i].ID, err)
+			}
+		}
+		next[si] = g
+	}
+	for si, s := range tshs {
+		s.dov = next[si]
+	}
+	return nil
+}
+
+func equalGens(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // mappingReceipt turns a mapping into the northbound deployment record
@@ -622,19 +1203,37 @@ func pickRootCause(children []string, errs []error) error {
 	return first
 }
 
-// releaseDoV returns a mapping's resources to the DoV (copy-on-write: the
-// release runs on a copy that replaces the current snapshot).
-func (ro *ResourceOrchestrator) releaseDoV(mp *embed.Mapping) error {
-	ro.mu.Lock()
-	defer ro.mu.Unlock()
-	next := ro.dov.Copy()
-	err := embed.Release(next, mp)
-	if err == nil {
-		ro.dov = next
+// releaseShards returns a mapping's resources to the shards it occupies
+// (copy-on-write: each shard's release runs on a copy that replaces the
+// current snapshot under the shard's lock; the shards are locked together in
+// key order so the release is observed atomically).
+func (ro *ResourceOrchestrator) releaseShards(mp *embed.Mapping, keys []string) error {
+	dir, _ := ro.snapshotDir()
+	shs := dir.ordered(keys)
+	if len(shs) == 0 {
+		return nil
 	}
-	// Bump the generation either way so optimistic mappers re-read.
-	ro.gen++
-	return err
+	var firstErr error
+	lockAll(shs)
+	for _, s := range shs {
+		if s.dov != nil {
+			next := s.dov.Copy()
+			if err := embed.Release(next, mp); err == nil {
+				s.dov = next
+			} else if firstErr == nil {
+				firstErr = err
+			}
+		}
+		// Bump the generation either way so optimistic mappers re-read.
+		s.gen++
+		s.commits++
+		if len(shs) > 1 {
+			s.multi++
+		}
+	}
+	unlockAll(shs)
+	ro.epoch.Add(1)
+	return firstErr
 }
 
 // Remove implements unify.Layer. Child teardowns fan out in parallel;
@@ -698,11 +1297,11 @@ func (ro *ResourceOrchestrator) Remove(ctx context.Context, serviceID string) er
 		ro.mu.Unlock()
 		return firstErr
 	}
-	if err := ro.releaseDoV(rec.mapping); err != nil {
+	if err := ro.releaseShards(rec.mapping, rec.shards); err != nil {
 		firstErr = err
 	}
 	ro.mu.Lock()
-	delete(ro.services, serviceID)
+	ro.dropReservationsLocked(serviceID, rec)
 	ro.mu.Unlock()
 	return firstErr
 }

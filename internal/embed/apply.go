@@ -36,12 +36,42 @@ func Apply(sub *nffg.NFFG, mp *Mapping) (*nffg.NFFG, error) {
 // from their snapshot. A cleanly applied mapping is exactly undone by
 // Release.
 func ApplyTo(out *nffg.NFFG, mp *Mapping) error {
-	// 1. Place NFs.
+	return applyScoped(out, out, mp, true)
+}
+
+// ApplyScoped realizes onto dst only the slice of a mapping that falls inside
+// dst's node set: NFs whose host is a dst infra, flowrules on dst infras, and
+// bandwidth on links dst owns. ref must be a graph holding the full topology
+// the mapping was planned against (the merged shard-set working graph) — it
+// is used read-only to resolve hop segments and ports that cross out of dst.
+//
+// This is the commit half of the sharded DoV: a mapping planned on a merged
+// multi-shard snapshot is projected per shard, so each shard's copy-on-write
+// graph receives exactly its own slice of the reservation. Exactly one shard
+// — the mapping's home shard — must be called with bookkeeping set: it
+// carries the SG-hop and requirement records of the request (appended without
+// endpoint validation, since a cross-shard hop's peer endpoint legitimately
+// lives in a sibling shard's graph).
+//
+// A cleanly applied slice is exactly undone by Release on the same graph
+// (Release skips NFs, links and hops a shard does not hold).
+func ApplyScoped(dst, ref *nffg.NFFG, mp *Mapping, bookkeeping bool) error {
+	return applyScoped(dst, ref, mp, bookkeeping)
+}
+
+func applyScoped(dst, ref *nffg.NFFG, mp *Mapping, bookkeeping bool) error {
+	full := dst == ref
+	// 1. Place NFs (scoped: only those hosted on dst's infras).
 	for _, id := range mp.Request.NFIDs() {
 		nf := mp.Request.NFs[id]
 		host, ok := mp.NFHost[id]
 		if !ok {
 			return fmt.Errorf("embed: NF %s has no host in mapping", id)
+		}
+		if !full {
+			if _, mine := dst.Infras[host]; !mine {
+				continue
+			}
 		}
 		c := &nffg.NF{
 			ID: id, Name: nf.Name, FunctionalType: nf.FunctionalType,
@@ -52,39 +82,64 @@ func ApplyTo(out *nffg.NFFG, mp *Mapping) error {
 			cp := *p
 			c.Ports = append(c.Ports, &cp)
 		}
-		if err := out.AddNF(c); err != nil {
+		if err := dst.AddNF(c); err != nil {
 			return err
 		}
 	}
 	// 2. Copy SG hops and requirements into the configured view for
-	// bookkeeping (teardown, monitoring).
-	for _, h := range mp.Request.Hops {
-		ch := *h
-		if err := out.AddHop(&ch); err != nil {
-			return err
+	// bookkeeping (teardown, monitoring). Under sharding only the home shard
+	// records them; hop endpoints may live in sibling shards, so the scoped
+	// path appends directly instead of re-validating endpoints.
+	if bookkeeping {
+		for _, h := range mp.Request.Hops {
+			ch := *h
+			if full {
+				if err := dst.AddHop(&ch); err != nil {
+					return err
+				}
+			} else {
+				dst.Hops = append(dst.Hops, &ch)
+			}
+		}
+		for _, r := range mp.Request.Reqs {
+			cr := *r
+			cr.HopIDs = append([]string(nil), r.HopIDs...)
+			dst.Reqs = append(dst.Reqs, &cr)
 		}
 	}
-	for _, r := range mp.Request.Reqs {
-		cr := *r
-		cr.HopIDs = append([]string(nil), r.HopIDs...)
-		out.Reqs = append(out.Reqs, &cr)
-	}
-	// 3. Generate flowrules per hop.
+	// 3. Generate flowrules per hop, resolving segments and ports against the
+	// full reference graph, installing only onto dst's own infras.
 	for _, h := range mp.Request.Hops {
 		p, ok := mp.Paths[h.ID]
 		if !ok {
 			return fmt.Errorf("embed: hop %s missing from mapping", h.ID)
 		}
-		if err := programHop(out, mp, h, p); err != nil {
+		rules, err := hopRules(ref, mp, h, p)
+		if err != nil {
 			return err
 		}
+		for _, r := range rules {
+			if !full {
+				if _, mine := dst.Infras[r.node]; !mine {
+					continue
+				}
+			}
+			if err := installRule(dst, r.node, r.rule); err != nil {
+				return err
+			}
+		}
 	}
-	// 4. Reserve link bandwidth.
+	// 4. Reserve link bandwidth. Shard graphs partition the links (every link
+	// lives in exactly one shard), so a link dst does not hold belongs to a
+	// sibling shard — it only has to exist in the reference graph.
 	for _, h := range mp.Request.Hops {
 		p := mp.Paths[h.ID]
 		for _, lid := range p.Links {
-			l := out.LinkByID(string(lid))
+			l := dst.LinkByID(string(lid))
 			if l == nil {
+				if !full && ref.LinkByID(string(lid)) != nil {
+					continue // a sibling shard owns this segment
+				}
 				return fmt.Errorf("embed: path link %s not in substrate", lid)
 			}
 			if l.Bandwidth < h.Bandwidth {
@@ -93,12 +148,15 @@ func ApplyTo(out *nffg.NFFG, mp *Mapping) error {
 			l.Bandwidth -= h.Bandwidth
 		}
 	}
-	out.NextVersion()
+	dst.NextVersion()
 	return nil
 }
 
 // Release undoes an applied mapping on g in place: removes the hops' rules,
-// restores link bandwidth, unmaps the NFs and drops the hops.
+// restores link bandwidth, unmaps the NFs and drops the hops. It tolerates
+// pieces g does not hold (NFs, links and hop records owned by sibling
+// shards), so releasing a multi-shard mapping shard-by-shard backs out
+// exactly what ApplyScoped put into each shard.
 func Release(g *nffg.NFFG, mp *Mapping) error {
 	for _, h := range mp.Request.Hops {
 		g.RemoveFlowrulesByHop(h.ID)
@@ -166,8 +224,16 @@ func chainDst(req *nffg.NFFG, h *nffg.SGHop) nffg.ID {
 	return ""
 }
 
-// programHop writes the flowrules realizing one hop along its path.
-func programHop(g *nffg.NFFG, mp *Mapping, h *nffg.SGHop, p topo.Path) error {
+// placedRule is one flowrule bound for a specific infra node.
+type placedRule struct {
+	node nffg.ID
+	rule *nffg.Flowrule
+}
+
+// hopRules computes the flowrules realizing one hop along its path, resolving
+// segment ports against g (which must hold the full path topology). It does
+// not mutate g.
+func hopRules(g *nffg.NFFG, mp *Mapping, h *nffg.SGHop, p topo.Path) ([]placedRule, error) {
 	tag := h.ID
 	_, srcIsNF := mp.Request.NFs[h.SrcNode]
 	_, dstIsNF := mp.Request.NFs[h.DstNode]
@@ -186,19 +252,19 @@ func programHop(g *nffg.NFFG, mp *Mapping, h *nffg.SGHop, p topo.Path) error {
 		host := nffg.ID(p.Nodes[0])
 		in, err := endpointPort(g, mp, h.SrcNode, h.SrcPort, srcIsNF)
 		if err != nil {
-			return fmt.Errorf("hop %s src: %w", h.ID, err)
+			return nil, fmt.Errorf("hop %s src: %w", h.ID, err)
 		}
 		out, err := endpointPort(g, mp, h.DstNode, h.DstPort, dstIsNF)
 		if err != nil {
-			return fmt.Errorf("hop %s dst: %w", h.ID, err)
+			return nil, fmt.Errorf("hop %s dst: %w", h.ID, err)
 		}
-		return installRule(g, host, &nffg.Flowrule{
+		return []placedRule{{node: host, rule: &nffg.Flowrule{
 			ID:        fmt.Sprintf("%s@%s", h.ID, host),
 			Match:     nffg.Match{InPort: in, MatchUntagged: true},
 			Action:    nffg.Action{Output: out},
 			Bandwidth: h.Bandwidth,
 			HopID:     h.ID,
-		})
+		}}}, nil
 	}
 
 	for i, node := range p.Nodes {
@@ -210,34 +276,35 @@ func programHop(g *nffg.NFFG, mp *Mapping, h *nffg.SGHop, p topo.Path) error {
 			// First node is an infra: the hop starts at an NF on this node.
 			in, err := endpointPort(g, mp, h.SrcNode, h.SrcPort, srcIsNF)
 			if err != nil {
-				return fmt.Errorf("hop %s src: %w", h.ID, err)
+				return nil, fmt.Errorf("hop %s src: %w", h.ID, err)
 			}
 			s.inPort = in
 		} else {
 			lid := string(p.Links[i-1])
 			port, err := linkPortOn(g, lid, nffg.ID(node), false)
 			if err != nil {
-				return fmt.Errorf("hop %s: %w", h.ID, err)
+				return nil, fmt.Errorf("hop %s: %w", h.ID, err)
 			}
 			s.inPort = nffg.InfraPort(port)
 		}
 		if i == len(p.Nodes)-1 {
 			out, err := endpointPort(g, mp, h.DstNode, h.DstPort, dstIsNF)
 			if err != nil {
-				return fmt.Errorf("hop %s dst: %w", h.ID, err)
+				return nil, fmt.Errorf("hop %s dst: %w", h.ID, err)
 			}
 			s.outPort = out
 		} else {
 			lid := string(p.Links[i])
 			port, err := linkPortOn(g, lid, nffg.ID(node), true)
 			if err != nil {
-				return fmt.Errorf("hop %s: %w", h.ID, err)
+				return nil, fmt.Errorf("hop %s: %w", h.ID, err)
 			}
 			s.outPort = nffg.InfraPort(port)
 		}
 		segs = append(segs, s)
 	}
 
+	var rules []placedRule
 	for i, s := range segs {
 		first := i == 0
 		last := i == len(segs)-1
@@ -259,17 +326,15 @@ func programHop(g *nffg.NFFG, mp *Mapping, h *nffg.SGHop, p topo.Path) error {
 				a.PopTag = true
 			}
 		}
-		if err := installRule(g, s.node, &nffg.Flowrule{
+		rules = append(rules, placedRule{node: s.node, rule: &nffg.Flowrule{
 			ID:        fmt.Sprintf("%s@%s", h.ID, s.node),
 			Match:     m,
 			Action:    a,
 			Bandwidth: h.Bandwidth,
 			HopID:     h.ID,
-		}); err != nil {
-			return err
-		}
+		}})
 	}
-	return nil
+	return rules, nil
 }
 
 // endpointPort resolves a hop endpoint into the PortRef visible inside the

@@ -42,10 +42,12 @@ type NFCounters struct {
 }
 
 // OrchCounters is one orchestrator's mapping-pipeline contention counters
-// (cumulative since start; see core.PipelineStats).
+// (cumulative since start; see core.PipelineStats), plus per-shard DoV
+// generations when the layer shards its resource view.
 type OrchCounters struct {
 	Layer string
 	core.PipelineStats
+	Shards []core.ShardStats
 }
 
 // AttemptsPerInstall is the mean snapshot→map→commit cycles per deployed
@@ -134,14 +136,25 @@ type PipelineStatsProvider interface {
 	PipelineStats() core.PipelineStats
 }
 
-// OrchSource collects contention counters from an orchestrator.
+// ShardStatsProvider is any layer exposing per-shard DoV counters
+// (core.ResourceOrchestrator does).
+type ShardStatsProvider interface {
+	ShardStats() []core.ShardStats
+}
+
+// OrchSource collects contention counters from an orchestrator, including
+// per-shard DoV generations when the orchestrator exposes them.
 type OrchSource struct {
 	Orch PipelineStatsProvider
 }
 
 // Collect implements Source.
 func (s OrchSource) Collect() (*Snapshot, error) {
-	return &Snapshot{Orch: []OrchCounters{{Layer: s.Orch.ID(), PipelineStats: s.Orch.PipelineStats()}}}, nil
+	oc := OrchCounters{Layer: s.Orch.ID(), PipelineStats: s.Orch.PipelineStats()}
+	if sp, ok := s.Orch.(ShardStatsProvider); ok {
+		oc.Shards = sp.ShardStats()
+	}
+	return &Snapshot{Orch: []OrchCounters{oc}}, nil
 }
 
 // QueueSource collects gauges from an admission queue.
@@ -252,6 +265,18 @@ func (s *Snapshot) Render(w io.Writer) {
 				o.Layer, o.Installs, o.MapAttempts, o.GenConflicts, o.Busy, o.Batches,
 				o.AttemptsPerInstall(), o.ConflictRate())
 		}
+		for _, o := range s.Orch {
+			if len(o.Shards) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "\n%-16s %-12s %8s %8s %10s %11s %s\n",
+				"ORCHESTRATOR", "SHARD", "GEN", "COMMITS", "CONFLICTS", "MULTI-SHARD", "DOMAINS")
+			for _, sh := range o.Shards {
+				fmt.Fprintf(w, "%-16s %-12s %8d %8d %10d %11d %s\n",
+					o.Layer, sh.Shard, sh.Gen, sh.Commits, sh.Conflicts, sh.MultiShardCommits,
+					strings.Join(sh.Domains, ","))
+			}
+		}
 	}
 	if len(s.Admission) > 0 {
 		fmt.Fprintf(w, "\n%-16s %6s %9s %9s %7s %9s %8s %10s %9s\n",
@@ -260,6 +285,23 @@ func (s *Snapshot) Render(w io.Writer) {
 			fmt.Fprintf(w, "%-16s %6d %9d %9d %7d %9d %8d %10.2f %9d\n",
 				a.Queue, a.Depth, a.Submitted, a.Deployed, a.Failed, a.Canceled,
 				a.Batches, a.MeanBatch(), a.MaxBatch)
+		}
+		for _, a := range s.Admission {
+			if len(a.Shards) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(a.Shards))
+			for k := range a.Shards {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(w, "\n%-16s %-12s %6s %8s %10s\n",
+				"QUEUE", "SHARD", "DEPTH", "BATCHES", "COALESCED")
+			for _, k := range keys {
+				sh := a.Shards[k]
+				fmt.Fprintf(w, "%-16s %-12s %6d %8d %10d\n",
+					a.Queue, k, sh.Depth, sh.Batches, sh.Coalesced)
+			}
 		}
 	}
 }

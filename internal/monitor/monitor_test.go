@@ -168,3 +168,67 @@ func TestOrchAndQueueSources(t *testing.T) {
 		}
 	}
 }
+
+// TestShardCountersFlow: per-shard DoV generations and per-shard queue lanes
+// flow through Collect and Render alongside the aggregate counters.
+func TestShardCountersFlow(t *testing.T) {
+	ro := core.NewResourceOrchestrator(core.Config{ID: "mdo"})
+	for _, name := range []string{"east", "west"} {
+		sub := nffg.NewBuilder(name).
+			BiSBiS(nffg.ID(name+"-n"), name, 4, nffg.Resources{CPU: 16, Mem: 8192, Storage: 16}, "fw").
+			SAP(nffg.ID(name+"-in")).SAP(nffg.ID(name+"-out")).
+			Link("u1", nffg.ID(name+"-in"), "1", nffg.ID(name+"-n"), "1", 100, 1).
+			Link("u2", nffg.ID(name+"-n"), "2", nffg.ID(name+"-out"), "1", 100, 1).
+			MustBuild()
+		lo, err := core.NewLocalOrchestrator(core.LocalConfig{ID: name, Substrate: sub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ro.Attach(context.Background(), lo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := admission.New(ro, admission.Options{Window: time.Millisecond})
+	defer q.Close()
+	g := nffg.NewBuilder("svc").
+		SAP("east-in").SAP("east-out").
+		NF("svc-nf", "fw", 2, nffg.Resources{CPU: 2, Mem: 512, Storage: 2}).
+		Chain("svc", 1, 0, "east-in", "svc-nf", "east-out").
+		MustBuild()
+	g.NFs["svc-nf"].Host = "bisbis@east"
+	if _, err := q.Install(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := CollectAll(OrchSource{Orch: ro}, QueueSource{Queue: q})
+	o := snap.Orch[0]
+	if len(o.Shards) != 2 || o.Shards[0].Shard != "east" || o.Shards[1].Shard != "west" {
+		t.Fatalf("shard counters: %+v", o.Shards)
+	}
+	// The single-shard install committed on east only: west saw just its
+	// attach merge.
+	if o.Shards[0].Commits <= o.Shards[1].Commits {
+		t.Fatalf("east should out-commit west: %+v", o.Shards)
+	}
+	for _, sh := range o.Shards {
+		if sh.Gen != sh.Commits {
+			t.Fatalf("gen invariant: %+v", sh)
+		}
+	}
+	a := snap.Admission[0]
+	if a.Shards["east"].Batches == 0 {
+		t.Fatalf("queue lane gauges: %+v", a.Shards)
+	}
+
+	var buf strings.Builder
+	snap.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"SHARD", "MULTI-SHARD", "east", "west", "LANE"} {
+		if want == "LANE" {
+			want = "COALESCED"
+		}
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package unify
 import (
 	"context"
 	"errors"
+	"sort"
 
 	"github.com/unify-repro/escape/internal/nffg"
 )
@@ -88,6 +89,96 @@ type BatchInstaller interface {
 	// one rejected graph must not fail the rest of the batch. obs receives
 	// per-request progress (see BatchObserver).
 	InstallBatch(ctx context.Context, reqs []*nffg.NFFG, obs BatchObserver) []BatchOutcome
+}
+
+// Sharder is implemented by layers whose resource view is partitioned into
+// independently-committing shards (core.ResourceOrchestrator shards its DoV
+// by domain). Admission stages use it to dispatch requests with disjoint
+// shard sets concurrently while serializing overlapping ones.
+type Sharder interface {
+	// ShardSet estimates, without mapping, which shards a request's embedding
+	// may touch, as a sorted list of shard keys. nil means the set could not
+	// be narrowed (unpinned NFs, unknown endpoints): the request must be
+	// treated as touching every shard.
+	ShardSet(req *nffg.NFFG) []string
+}
+
+// GroupShardSets partitions the indices 0..len(sets)-1 into connected
+// components of overlapping shard sets (union-find): two indices land in the
+// same group when their sets share a key, directly or transitively. An empty
+// or nil set means "touches every shard" — one such index folds the whole
+// input into a single group. Groups are returned in first-index order;
+// keys[i] is group i's sorted key union, nil for the global group. Both the
+// sharded orchestrator (batch partitioning) and the admission queue (lane
+// dispatch) group through this one helper.
+func GroupShardSets(sets [][]string) (groups [][]int, keys [][]string) {
+	n := len(sets)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	keyOwner := map[string]int{}
+	globalRoot := -1
+	for i, s := range sets {
+		if len(s) == 0 {
+			if globalRoot < 0 {
+				globalRoot = i
+			} else {
+				union(i, globalRoot)
+			}
+			continue
+		}
+		for _, k := range s {
+			if prev, ok := keyOwner[k]; ok {
+				union(i, prev)
+			} else {
+				keyOwner[k] = i
+			}
+		}
+	}
+	if globalRoot >= 0 {
+		// A global index overlaps every shard: fold every component in.
+		for i := 0; i < n; i++ {
+			union(i, globalRoot)
+		}
+	}
+	comp := map[int]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		gi, ok := comp[r]
+		if !ok {
+			gi = len(groups)
+			comp[r] = gi
+			groups = append(groups, nil)
+			keys = append(keys, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	for gi, idx := range groups {
+		if globalRoot >= 0 && find(globalRoot) == find(idx[0]) {
+			keys[gi] = nil // global group
+			continue
+		}
+		seen := map[string]bool{}
+		for _, i := range idx {
+			for _, k := range sets[i] {
+				if !seen[k] {
+					seen[k] = true
+					keys[gi] = append(keys[gi], k)
+				}
+			}
+		}
+		sort.Strings(keys[gi])
+	}
+	return groups, keys
 }
 
 // Receipt reports how a request was realized.
