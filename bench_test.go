@@ -10,6 +10,8 @@ package escape
 //	E5  BenchmarkE5Netconf, BenchmarkE5OpenFlow, BenchmarkE5UNFastPath
 //	E6  BenchmarkE6ParallelInstall, BenchmarkE6FanOut
 //	E7  BenchmarkE7BatchedAdmission, BenchmarkE7BatchMapping
+//	E8  BenchmarkE8ShardedCommit
+//	E9  BenchmarkE9ReadPath, BenchmarkE9GlobalNarrowing
 //
 // Domain-specific results (acceptance ratios, footprints, backtracks) are
 // emitted with b.ReportMetric, so `go test -bench . -benchmem` prints the
@@ -940,6 +942,14 @@ func BenchmarkE7BatchMapping(b *testing.B) {
 // shard sets are exactly their own domain.
 func benchE8RO(b *testing.B, domains int, shardKey core.ShardKeyFunc) *core.ResourceOrchestrator {
 	b.Helper()
+	return benchE8ROOpt(b, domains, shardKey, false)
+}
+
+// benchE8ROOpt is benchE8RO with the shard-set estimator selectable:
+// conservative restores the pre-reverse-index baseline where unpinned NFs
+// make a request global.
+func benchE8ROOpt(b *testing.B, domains int, shardKey core.ShardKeyFunc, conservative bool) *core.ResourceOrchestrator {
+	b.Helper()
 	slowRank := func(nf *nffg.NF, cands []embed.Candidate) []nffg.ID {
 		runtime.Gosched()
 		var sink uint64
@@ -952,9 +962,10 @@ func benchE8RO(b *testing.B, domains int, shardKey core.ShardKeyFunc) *core.Reso
 		return embed.BestFit(nf, cands)
 	}
 	ro := core.NewResourceOrchestrator(core.Config{
-		ID:       "ro",
-		Mapper:   embed.New(embed.Options{Name: "slow-rank", Rank: slowRank}),
-		ShardKey: shardKey,
+		ID:                        "ro",
+		Mapper:                    embed.New(embed.Options{Name: "slow-rank", Rank: slowRank}),
+		ShardKey:                  shardKey,
+		ConservativeShardEstimate: conservative,
 	})
 	for i := 0; i < domains; i++ {
 		name := fmt.Sprintf("d%d", i)
@@ -1076,5 +1087,174 @@ func BenchmarkE8ShardedCommit(b *testing.B) {
 				b.ReportMetric(float64(st.MapAttempts-before.MapAttempts)/installs, "mappasses/install")
 			})
 		}
+	}
+}
+
+// --- E9: generation-keyed read path ---------------------------------------------
+
+// benchE9RO builds `domains` transparent leaves of `nodesPer` BiS-BiS each
+// (one dedicated user-SAP pair per domain) under one orchestrator with the
+// default DomainBiSBiS northbound view — the read-path workload: every View
+// must aggregate domains*nodesPer nodes unless the caches serve it.
+func benchE9RO(b *testing.B, domains, nodesPer int, noCache bool) *core.ResourceOrchestrator {
+	b.Helper()
+	ro := core.NewResourceOrchestrator(core.Config{ID: "ro", NoReadCache: noCache})
+	for i := 0; i < domains; i++ {
+		name := fmt.Sprintf("d%d", i)
+		bl := nffg.NewBuilder(name)
+		var prev nffg.ID
+		for j := 0; j < nodesPer; j++ {
+			id := nffg.ID(fmt.Sprintf("%s-n%d", name, j))
+			bl.BiSBiS(id, name, 4, nffg.Resources{CPU: 1 << 10, Mem: 1 << 20, Storage: 1 << 10},
+				"firewall", "dpi", "nat")
+			if j > 0 {
+				bl.Link(fmt.Sprintf("l%d", j), prev, "2", id, "1", 1e6, 1)
+			}
+			prev = id
+		}
+		in := nffg.ID(fmt.Sprintf("u%d-in", i))
+		out := nffg.ID(fmt.Sprintf("u%d-out", i))
+		bl.SAP(in).SAP(out).
+			Link("i", in, "1", nffg.ID(name+"-n0"), "3", 1e6, 1).
+			Link("o", prev, "4", out, "1", 1e6, 1)
+		lo, err := core.NewLocalOrchestrator(core.LocalConfig{
+			ID: name, Substrate: bl.MustBuild(), Virtualizer: core.Transparent{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ro.Attach(context.Background(), lo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ro
+}
+
+// benchE9Req builds a 1-NF unpinned chain on domain i's user-SAP pair (the
+// reverse index narrows it to shard d<i>).
+func benchE9Req(id string, i int) *nffg.NFFG {
+	in := nffg.ID(fmt.Sprintf("u%d-in", i))
+	out := nffg.ID(fmt.Sprintf("u%d-out", i))
+	nf := nffg.ID(id + "-nf")
+	return nffg.NewBuilder(id).SAP(in).SAP(out).
+		NF(nf, "firewall", 2, nffg.Resources{CPU: 2, Mem: 512, Storage: 1}).
+		Chain(id, 1, 0, in, nf, out).
+		MustBuild()
+}
+
+// BenchmarkE9ReadPath measures the read-path tentpole. Size sweep: View cost
+// versus topology size with the generation-keyed caches on (steady state is a
+// pointer return — cost independent of size) and off (every call re-merges
+// all shards and re-virtualizes). Storm: concurrent readers hammering View
+// while a writer churns commits — reads between commits still hit, and no
+// reader ever blocks on a commit.
+func BenchmarkE9ReadPath(b *testing.B) {
+	ctx := context.Background()
+	const domains = 8
+	for _, nodes := range []int{16, 64, 256, 512} {
+		for _, mode := range []string{"uncached", "cached"} {
+			b.Run(fmt.Sprintf("%s/nodes=%d", mode, nodes), func(b *testing.B) {
+				ro := benchE9RO(b, domains, nodes/domains, mode == "uncached")
+				if _, err := ro.View(ctx); err != nil {
+					b.Fatal(err) // warm: the steady state is what's measured
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ro.View(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "views/s")
+			})
+		}
+	}
+	b.Run("storm/readers=8/nodes=64", func(b *testing.B) {
+		ro := benchE9RO(b, domains, 64/domains, false)
+		stop := make(chan struct{})
+		var committer sync.WaitGroup
+		committer.Add(1)
+		go func() {
+			defer committer.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("storm-%d", i)
+				if _, err := ro.Install(ctx, benchE9Req(id, i%domains)); err == nil {
+					_ = ro.Remove(ctx, id)
+				}
+			}
+		}()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := ro.View(ctx); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		close(stop)
+		committer.Wait()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "views/s")
+		st := ro.PipelineStats()
+		if total := st.ViewCache.Hits + st.ViewCache.Misses; total > 0 {
+			b.ReportMetric(float64(st.ViewCache.Hits)/float64(total), "view-hit-rate")
+		}
+	})
+}
+
+// BenchmarkE9GlobalNarrowing measures what the reverse index buys the WRITE
+// path: batches of unpinned-NF requests (one per domain, anchored only by
+// their SAPs) admitted with the conservative estimator (any unpinned NF ->
+// global shard set -> the whole batch serializes as ONE exclusive group)
+// versus the reverse index (each request narrows to its SAP's shard ->
+// disjoint groups plan and commit concurrently). groups/batch > 1 is the
+// narrowing win: the batch no longer serializes through one exclusive global
+// group (or admission's global gate). ms/batch tracks the wall-clock effect —
+// the total mapping work is identical, so the speedup scales with real cores
+// (on a single-core runner the modes tie).
+func BenchmarkE9GlobalNarrowing(b *testing.B) {
+	const domains = 8
+	if runtime.GOMAXPROCS(0) < domains {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(domains))
+	}
+	for _, mode := range []string{"conservative", "indexed"} {
+		b.Run(fmt.Sprintf("%s/reqs=%d", mode, domains), func(b *testing.B) {
+			ro := benchE8ROOpt(b, domains, core.ShardPerDomain, mode == "conservative")
+			ctx := context.Background()
+			before := ro.PipelineStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reqs := make([]*nffg.NFFG, domains)
+				for c := range reqs {
+					req := benchE8Req(fmt.Sprintf("e9n-%d-%d", i, c), c)
+					for _, nfID := range req.NFIDs() {
+						req.NFs[nfID].Host = "" // unpinned: only the SAPs anchor it
+					}
+					reqs[c] = req
+				}
+				for c, o := range ro.InstallBatch(ctx, reqs, unify.BatchObserver{}) {
+					if o.Err != nil {
+						b.Fatal(c, o.Err)
+					}
+				}
+				b.StopTimer()
+				for _, req := range reqs {
+					if err := ro.Remove(ctx, req.ID); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+			st := ro.PipelineStats()
+			installs := float64(st.Installs - before.Installs)
+			b.ReportMetric(float64(st.Batches-before.Batches)/float64(b.N), "groups/batch")
+			b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "ms/batch")
+			b.ReportMetric(float64(st.MapAttempts-before.MapAttempts)/installs, "mappasses/install")
+		})
 	}
 }

@@ -216,9 +216,13 @@ func main() {
 			log.Printf("pipeline stats unavailable: %v", err)
 		} else {
 			st := info.Stats
-			fmt.Printf("layer %s: installs=%d mappasses=%d conflicts=%d busy=%d batches=%d multi-shard=%d escalations=%d\n",
+			fmt.Printf("layer %s: installs=%d mappasses=%d conflicts=%d busy=%d batches=%d multi-shard=%d escalations=%d merge-errors=%d\n",
 				info.Layer, st.Installs, st.MapAttempts, st.GenConflicts, st.Busy, st.Batches,
-				st.MultiShardCommits, st.Escalations)
+				st.MultiShardCommits, st.Escalations, st.MergeErrors)
+			fmt.Printf("  cache cut:  hits=%-8d misses=%-8d invalidations=%d\n",
+				st.CutCache.Hits, st.CutCache.Misses, st.CutCache.Invalidations)
+			fmt.Printf("  cache view: hits=%-8d misses=%-8d invalidations=%d\n",
+				st.ViewCache.Hits, st.ViewCache.Misses, st.ViewCache.Invalidations)
 			for _, sh := range info.Shards {
 				fmt.Printf("  shard %-12s gen=%-6d commits=%-6d conflicts=%-6d multi=%-6d domains=%s\n",
 					sh.Shard, sh.Gen, sh.Commits, sh.Conflicts, sh.MultiShardCommits, strings.Join(sh.Domains, ","))

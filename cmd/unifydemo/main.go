@@ -71,7 +71,10 @@ func run(ctx context.Context) error {
 
 	// ---------------------------------------------------------------- (i)
 	section("(i) Joint domain abstraction for networks and clouds")
-	dov := sys.MdO.DoV()
+	dov, err := sys.MdO.DoV()
+	if err != nil {
+		return err
+	}
 	fmt.Println("domain-of-views (DoV) — each domain exports one BiS-BiS:")
 	fmt.Print(dov.Render())
 	view, err := sys.MdO.View(ctx)

@@ -19,7 +19,10 @@ func newSys(t testing.TB) *Fig1System {
 func TestFig1SystemBringUp(t *testing.T) {
 	sys := newSys(t)
 	// DoV: 4 domain views merged.
-	dov := sys.MdO.DoV()
+	dov, err := sys.MdO.DoV()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(dov.Infras) != 4 {
 		t.Fatalf("DoV should hold 4 exported views: %s", dov.Summary())
 	}

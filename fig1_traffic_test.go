@@ -111,7 +111,10 @@ func TestFig1SnapshotAndHopHealth(t *testing.T) {
 // install/remove cycles: after removal, the DoV matches its pristine state.
 func TestFig1CapacityAccounting(t *testing.T) {
 	sys := newSys(t)
-	before := sys.MdO.DoV()
+	before, err := sys.MdO.DoV()
+	if err != nil {
+		t.Fatal(err)
+	}
 	chain, err := sys.DemoChain("acct", 100)
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +122,10 @@ func TestFig1CapacityAccounting(t *testing.T) {
 	if _, err := sys.Service.Submit(context.Background(), chain); err != nil {
 		t.Fatal(err)
 	}
-	during := sys.MdO.DoV()
+	during, err := sys.MdO.DoV()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Some link lost 100 Mbit/s while deployed.
 	lost := false
 	for _, l := range during.Links {
@@ -133,7 +139,10 @@ func TestFig1CapacityAccounting(t *testing.T) {
 	if err := sys.Service.Remove(context.Background(), "acct"); err != nil {
 		t.Fatal(err)
 	}
-	after := sys.MdO.DoV()
+	after, err := sys.MdO.DoV()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, l := range after.Links {
 		orig := before.LinkByID(l.ID)
 		if orig == nil {

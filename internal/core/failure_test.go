@@ -160,7 +160,7 @@ func TestROManySequentialServices(t *testing.T) {
 	if len(ro.Services())+len(loA.Services())+len(loB.Services()) != 0 {
 		t.Fatal("state leaked across churn")
 	}
-	dov := ro.DoV()
+	dov := mustDoV(t, ro)
 	if len(dov.NFs) != 0 {
 		t.Fatalf("NFs leaked into DoV: %v", dov.NFIDs())
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/embed"
@@ -56,10 +57,22 @@ type LocalOrchestrator struct {
 	caps   []domain.Capability
 
 	mu       sync.Mutex
-	cfg      *nffg.NFFG // immutable snapshot: internal topology + deployed state
+	cfg      *nffg.NFFG // immutable sealed snapshot: internal topology + deployed state
 	gen      uint64     // bumped on every committed substrate change
 	services map[string]*embed.Mapping
 	pending  map[string]bool // IDs reserved by in-flight installs
+
+	// viewCache memoizes the exported virtualization per substrate
+	// generation: on the steady state View is a pointer return of one sealed
+	// graph shared by all readers (see readcache.go for the discipline).
+	viewCache atomic.Pointer[loViewEntry]
+	viewStats cacheCounters
+}
+
+// loViewEntry is one cached (generation, sealed view) pair.
+type loViewEntry struct {
+	gen  uint64
+	view *nffg.NFFG
 }
 
 // LocalConfig assembles a LocalOrchestrator.
@@ -109,7 +122,7 @@ func NewLocalOrchestrator(cfg LocalConfig) (*LocalOrchestrator, error) {
 		mapper:   cfg.Mapper,
 		prog:     cfg.Programmer,
 		caps:     cfg.Capabilities,
-		cfg:      cfg.Substrate.Copy(),
+		cfg:      cfg.Substrate.Copy().Seal(),
 		services: map[string]*embed.Mapping{},
 		pending:  map[string]bool{},
 	}, nil
@@ -131,14 +144,33 @@ func (lo *LocalOrchestrator) snapshot() (*nffg.NFFG, uint64) {
 }
 
 // View implements unify.Layer: the domain's exported virtualization, derived
-// from an immutable snapshot without holding the lock.
+// from an immutable snapshot without holding the lock. The output is memoized
+// per substrate generation — between commits repeated views share one sealed
+// graph (readers Copy() before mutating, per the unify.Layer contract).
 func (lo *LocalOrchestrator) View(ctx context.Context) (*nffg.NFFG, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	snap, _ := lo.snapshot()
-	return lo.virt.View(snap)
+	snap, gen := lo.snapshot()
+	if e := lo.viewCache.Load(); e != nil && e.gen == gen {
+		lo.viewStats.hits.Add(1)
+		return e.view, nil
+	}
+	lo.viewStats.misses.Add(1)
+	v, err := lo.virt.View(snap)
+	if err != nil {
+		return nil, err
+	}
+	v.Seal()
+	if old := lo.viewCache.Load(); old != nil {
+		lo.viewStats.invalidations.Add(1)
+	}
+	lo.viewCache.Store(&loViewEntry{gen: gen, view: v})
+	return v, nil
 }
+
+// ViewCacheStats returns the view memoization counters.
+func (lo *LocalOrchestrator) ViewCacheStats() CacheStats { return lo.viewStats.snapshot() }
 
 // Internal returns a copy of the internal configured substrate (inspection
 // and tests).
@@ -242,7 +274,7 @@ func (lo *LocalOrchestrator) Install(ctx context.Context, req *nffg.NFFG) (*unif
 			}
 			return nil, fmt.Errorf("%w: programming failed: %v", unify.ErrRejected, err)
 		}
-		lo.cfg = newCfg
+		lo.cfg = newCfg.Seal()
 		lo.gen++
 		lo.services[req.ID] = mapping
 		delete(lo.pending, req.ID)
@@ -276,7 +308,7 @@ func (lo *LocalOrchestrator) Remove(ctx context.Context, serviceID string) error
 	if err := lo.prog.Commit(ctx, delta, newCfg); err != nil {
 		return fmt.Errorf("core %s: programming teardown: %w", lo.id, err)
 	}
-	lo.cfg = newCfg
+	lo.cfg = newCfg.Seal()
 	lo.gen++
 	delete(lo.services, serviceID)
 	return nil

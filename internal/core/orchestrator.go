@@ -49,10 +49,16 @@ type ResourceOrchestrator struct {
 	reg      *domain.Registry
 	shardKey ShardKeyFunc
 
-	// mu guards the registration-time metadata (dir, owner) — both replaced
-	// copy-on-write so planners read snapshots lock-free — plus the service
-	// table and the global NF/hop identifier reservations. Lock order: a
-	// shard mutex may be acquired before mu, never while holding mu.
+	// Read-path configuration (see readcache.go): noReadCache disables the
+	// generation-keyed cut/view caches, conservativeEstimate restores the
+	// pre-reverse-index shard estimator. Both exist as measurable baselines.
+	noReadCache          bool
+	conservativeEstimate bool
+
+	// mu guards the registration-time metadata (dir, owner, contrib/index) —
+	// all replaced copy-on-write so planners read snapshots lock-free — plus
+	// the service table and the global NF/hop identifier reservations. Lock
+	// order: a shard mutex may be acquired before mu, never while holding mu.
 	mu       sync.Mutex
 	dir      *shardDirectory
 	owner    map[nffg.ID]string // immutable snapshot: DoV infra -> child ID that exported it
@@ -63,15 +69,27 @@ type ResourceOrchestrator struct {
 	// here at admission instead.
 	nfOwner  map[nffg.ID]string
 	hopOwner map[string]string
+	// contrib maps shard key -> node IDs it answers for (tagged with the
+	// shard generation it was derived from); index is the derived reverse
+	// index (node -> sorted shard keys) ShardSet reads. Both rebuilt at
+	// attach time only (commit never changes membership; see readcache.go).
+	contrib map[string]shardContrib
+	index   map[nffg.ID][]string
 
 	// epoch counts committed DoV changes (attach merges, install commits,
 	// releases) across all shards — the logical generation northbound.
 	epoch atomic.Uint64
 
+	// Generation-keyed read caches (see readcache.go).
+	cutCache  atomic.Pointer[cutEntry]
+	viewCache atomic.Pointer[viewEntry]
+	cutStats  cacheCounters
+	viewStats cacheCounters
+
 	// Contention counters of the mapping pipeline (see PipelineStats).
 	stats struct {
 		installs, mapAttempts, genConflicts, busy, batches, batchedReqs atomic.Uint64
-		multiShard, escalations                                         atomic.Uint64
+		multiShard, escalations, mergeErrors                            atomic.Uint64
 	}
 }
 
@@ -99,6 +117,15 @@ type PipelineStats struct {
 	// Escalations counts requests whose scoped plan failed and was retried
 	// against the full shard set.
 	Escalations uint64 `json:"escalations"`
+	// MergeErrors counts failed all-shard cut merges (colliding shard
+	// exports). The error is propagated to the View/DoV/plan caller instead
+	// of serving an incomplete cut; a nonzero counter means the DoV holds
+	// conflicting state and needs operator attention.
+	MergeErrors uint64 `json:"merge_errors"`
+	// CutCache/ViewCache count the generation-keyed read caches: the merged
+	// all-shard cut and the memoized virtualizer view (see readcache.go).
+	CutCache  CacheStats `json:"cut_cache"`
+	ViewCache CacheStats `json:"view_cache"`
 }
 
 // serviceState tracks the lifecycle of a serviceRecord so concurrent
@@ -142,6 +169,14 @@ type Config struct {
 	// every child gets its own shard; SingleShard restores the pre-sharding
 	// single generation counter).
 	ShardKey ShardKeyFunc
+	// NoReadCache disables the generation-keyed cut/view caches: every read
+	// re-merges and re-virtualizes. The measurable baseline for the cached
+	// read path (BenchmarkE9ReadPath) — production configs leave it off.
+	NoReadCache bool
+	// ConservativeShardEstimate restores the pre-reverse-index shard-set
+	// estimator, where any unpinned NF makes a request global. The baseline
+	// for BenchmarkE9GlobalNarrowing — production configs leave it off.
+	ConservativeShardEstimate bool
 }
 
 // NewResourceOrchestrator creates an orchestrator with no children attached.
@@ -159,16 +194,20 @@ func NewResourceOrchestrator(cfg Config) *ResourceOrchestrator {
 		cfg.ShardKey = ShardPerDomain
 	}
 	return &ResourceOrchestrator{
-		id:       cfg.ID,
-		virt:     cfg.Virtualizer,
-		mapper:   cfg.Mapper,
-		reg:      domain.NewRegistry(),
-		shardKey: cfg.ShardKey,
-		dir:      newShardDirectory(),
-		owner:    map[nffg.ID]string{},
-		services: map[string]*serviceRecord{},
-		nfOwner:  map[nffg.ID]string{},
-		hopOwner: map[string]string{},
+		id:                   cfg.ID,
+		virt:                 cfg.Virtualizer,
+		mapper:               cfg.Mapper,
+		reg:                  domain.NewRegistry(),
+		shardKey:             cfg.ShardKey,
+		noReadCache:          cfg.NoReadCache,
+		conservativeEstimate: cfg.ConservativeShardEstimate,
+		dir:                  newShardDirectory(),
+		owner:                map[nffg.ID]string{},
+		services:             map[string]*serviceRecord{},
+		nfOwner:              map[nffg.ID]string{},
+		hopOwner:             map[string]string{},
+		contrib:              map[string]shardContrib{},
+		index:                map[nffg.ID][]string{},
 	}
 }
 
@@ -280,11 +319,35 @@ func (ro *ResourceOrchestrator) Attach(ctx context.Context, d domain.Domain) err
 		_ = ro.reg.Deregister(d.ID())
 		return fmt.Errorf("core: merge view of %s: %w", d.ID(), err)
 	}
-	sh.dov = next
+	sh.dov = next.Seal()
 	sh.gen++
 	sh.commits++
 	sh.mu.Unlock()
 	ro.epoch.Add(1)
+
+	// Refresh the reverse index with the shard's new contribution (its DoV
+	// nodes, SAPs and the view nodes they aggregate into). The contribution
+	// is computed from the shard's CURRENT graph — not from `next`, which a
+	// concurrent Attach to the same shard key may already have superseded —
+	// and stored guarded by the shard generation it was derived from, so a
+	// late writer can never clobber a newer sibling's contribution. Between
+	// the commit above and this update, ShardSet may briefly miss the new
+	// nodes and fall back to a global estimate — safe, merely conservative.
+	sh.mu.Lock()
+	cur, curGen := sh.dov, sh.gen
+	sh.mu.Unlock()
+	contribution := shardContrib{gen: curGen, nodes: ro.shardContribution(cur)}
+	ro.mu.Lock()
+	if prev, ok := ro.contrib[key]; !ok || curGen >= prev.gen {
+		contrib := make(map[string]shardContrib, len(ro.contrib)+1)
+		for k, v := range ro.contrib {
+			contrib[k] = v
+		}
+		contrib[key] = contribution
+		ro.contrib = contrib
+		ro.rebuildIndexLocked()
+	}
+	ro.mu.Unlock()
 	return nil
 }
 
@@ -296,35 +359,6 @@ func (ro *ResourceOrchestrator) snapshotDir() (*shardDirectory, map[nffg.ID]stri
 	ro.mu.Lock()
 	defer ro.mu.Unlock()
 	return ro.dir, ro.owner
-}
-
-// mergedDoV merges a consistent cut of every shard into one graph. The
-// returned graph is freshly built (caller may mutate) unless single is true,
-// in which case it is the shard's immutable snapshot and must be treated as
-// read-only. Returns nil when no shard holds a view yet.
-func (ro *ResourceOrchestrator) mergedDoV() (g *nffg.NFFG, single bool) {
-	dir, _ := ro.snapshotDir()
-	shs := dir.ordered(dir.keys)
-	graphs, _ := snapshotCut(shs)
-	var live []*nffg.NFFG
-	for _, gr := range graphs {
-		if gr != nil {
-			live = append(live, gr)
-		}
-	}
-	if len(live) == 0 {
-		return nil, false
-	}
-	if len(live) == 1 {
-		return live[0], true
-	}
-	m := nffg.New(ro.id + "-dov")
-	for _, gr := range live {
-		if err := m.Merge(gr); err != nil {
-			log.Printf("core %s: merging shard views: %v", ro.id, err)
-		}
-	}
-	return m, false
 }
 
 // Generation returns the DoV epoch: the number of committed DoV changes
@@ -345,6 +379,9 @@ func (ro *ResourceOrchestrator) PipelineStats() PipelineStats {
 		BatchedRequests:   ro.stats.batchedReqs.Load(),
 		MultiShardCommits: ro.stats.multiShard.Load(),
 		Escalations:       ro.stats.escalations.Load(),
+		MergeErrors:       ro.stats.mergeErrors.Load(),
+		CutCache:          ro.cutStats.snapshot(),
+		ViewCache:         ro.viewStats.snapshot(),
 	}
 }
 
@@ -370,90 +407,103 @@ func (ro *ResourceOrchestrator) ShardStats() []ShardStats {
 	return out
 }
 
-// DoV returns a copy of the current global resource view (for inspection).
-// The copy is assembled from a consistent cut across all shards: a
-// multi-shard commit is never observed half-applied.
-func (ro *ResourceOrchestrator) DoV() *nffg.NFFG {
-	merged, single := ro.mergedDoV()
+// DoV returns the current global resource view, assembled from a consistent
+// cut across all shards: a multi-shard commit is never observed half-applied.
+// The returned graph is a SHARED, sealed snapshot served from the
+// generation-keyed cut cache — treat it as read-only and Copy() before
+// mutating (race builds enforce this). An error means the shard exports
+// could not be merged into one cut (see PipelineStats.MergeErrors).
+func (ro *ResourceOrchestrator) DoV() (*nffg.NFFG, error) {
+	graphs, vec := ro.currentCut()
+	merged, err := ro.mergedFromCut(graphs, vec)
+	if err != nil {
+		return nil, err
+	}
 	if merged == nil {
-		return nffg.New(ro.id + "-dov")
+		return nffg.New(ro.id + "-dov"), nil
 	}
-	if single {
-		return merged.Copy()
-	}
-	return merged
+	return merged, nil
 }
 
 // View implements unify.Layer: the northbound virtualization of the DoV.
 // The view derives from an immutable consistent cut, so the computation runs
-// without holding any shard lock.
+// without holding any shard lock — and on the steady state it is a pointer
+// return: the virtualizer output is memoized per generation vector, so
+// repeated views between commits share one sealed graph (readers Copy()
+// before mutating, per the unify.Layer contract).
 func (ro *ResourceOrchestrator) View(ctx context.Context) (*nffg.NFFG, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	merged, _ := ro.mergedDoV()
+	graphs, vec := ro.currentCut()
+	if !ro.noReadCache {
+		if e := ro.viewCache.Load(); e != nil && e.vec.equal(vec) {
+			ro.viewStats.hits.Add(1)
+			return e.view, nil
+		}
+	}
+	ro.viewStats.misses.Add(1)
+	merged, err := ro.mergedFromCut(graphs, vec)
+	if err != nil {
+		return nil, err
+	}
 	if merged == nil {
 		return nil, ErrEmptyView
 	}
-	return ro.virt.View(merged)
+	v, err := ro.virt.View(merged)
+	if err != nil {
+		return nil, err
+	}
+	v.Seal()
+	if !ro.noReadCache {
+		if old := ro.viewCache.Load(); old != nil {
+			ro.viewStats.invalidations.Add(1)
+		}
+		ro.viewCache.Store(&viewEntry{vec: vec, view: v})
+	}
+	return v, nil
 }
 
 // ShardSet implements unify.Sharder: it estimates, without mapping, which DoV
-// shards a request's embedding may touch — from the shards exporting the
-// request's SAPs and the shards a pinned NF host expands into. nil means the
-// set could not be narrowed (an unpinned NF may land anywhere, an aggregate
-// view node spans every shard): the request must be planned globally.
+// shards a request's embedding may touch, by looking every endpoint and pin
+// up in the reverse index (node -> owning shards, maintained at attach time —
+// no shard graph is read and no shard lock taken). Requests with unpinned NFs
+// narrow to the shards of their SAP anchors: the scoped plan can only place
+// within that cut, and a plan that legitimately needs more (a detour, a
+// placement elsewhere) escalates once to a full-DoV pass. nil means the set
+// could not be narrowed at all (unknown endpoint or pin, a view node spanning
+// every shard, no SAP anchors): the request must be planned globally.
 func (ro *ResourceOrchestrator) ShardSet(req *nffg.NFFG) []string {
 	if req == nil {
 		return nil
 	}
-	dir, owner := ro.snapshotDir()
-	shs := dir.ordered(dir.keys)
-	// An estimate needs no consistent cut: read each shard's graph pointer
-	// individually, so submissions never rendezvous on every shard lock at
-	// once (the contention sharding exists to remove).
-	byKey := make(map[string]*nffg.NFFG, len(shs))
-	for _, sh := range shs {
-		sh.mu.Lock()
-		g := sh.dov
-		sh.mu.Unlock()
-		if g != nil {
-			byKey[sh.key] = g
-		}
-	}
+	ro.mu.Lock()
+	idx := ro.index
+	ro.mu.Unlock()
 	set := map[string]bool{}
 	for sapID := range req.SAPs {
-		found := false
-		for key, g := range byKey {
-			if _, ok := g.SAPs[sapID]; ok {
-				set[key] = true
-				found = true
-			}
-		}
-		if !found {
+		keys := idx[sapID]
+		if len(keys) == 0 {
 			return nil // unknown endpoint: let the global plan reject it
+		}
+		for _, k := range keys {
+			set[k] = true
 		}
 	}
 	for _, id := range req.NFIDs() {
 		host := req.NFs[id].Host
 		if host == "" {
-			return nil // unpinned: may land on any shard
-		}
-		if child, ok := owner[host]; ok {
-			if key, ok := dir.childShard[child]; ok {
-				set[key] = true
-				continue
+			if ro.conservativeEstimate || len(req.SAPs) == 0 {
+				return nil // no anchor to narrow by (or legacy estimator)
 			}
+			continue // unpinned: bounded by the SAP-anchored cut + escalation
 		}
-		matched := false
-		for key, g := range byKey {
-			if len(ro.virt.Scope(g, host)) > 0 {
-				set[key] = true
-				matched = true
-			}
-		}
-		if !matched {
+		keys := idx[host]
+		if len(keys) == 0 {
 			return nil // unknown pin: let the global plan reject it
+		}
+		for _, k := range keys {
+			set[k] = true
 		}
 	}
 	if len(set) == 0 {
@@ -796,27 +846,25 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 		// The group's working graph: a consistent merge of its shards. The
 		// whole group shares ONE working copy — each accepted mapping is
 		// realized on it in place (embed.ApplyTo), so admitting N requests
-		// costs one graph copy instead of N.
+		// costs one graph copy instead of N. A full-DoV group plans on the
+		// generation-keyed cut cache: between commits the merge is skipped
+		// entirely and the group reads the same sealed cut every reader sees.
 		var base *nffg.NFFG
-		if len(shs) == 1 {
+		var mergeErr error
+		switch {
+		case len(shs) == 1:
 			base = graphs[0]
-		} else {
-			base = nffg.New(ro.id + "-plan")
-			mergeErr := false
-			for _, g := range graphs {
-				if g == nil {
-					continue
-				}
-				if err := base.Merge(g); err != nil {
-					log.Printf("core %s: merging shard snapshots: %v", ro.id, err)
-					mergeErr = true
-					break
-				}
-			}
-			if mergeErr {
-				abortIdx(fmt.Errorf("%w: shard views unmergeable", unify.ErrRejected))
-				return
-			}
+		case !narrow:
+			base, mergeErr = ro.mergedFromCut(graphs, genVec{keys: skeys, gens: gens})
+		default:
+			// Narrowed groups merge their subset cut uncached (only the
+			// all-shard cut is generation-keyed today; see ROADMAP).
+			base, mergeErr = ro.mergeCut(ro.id+"-plan", graphs)
+		}
+		if mergeErr != nil {
+			log.Printf("core %s: merging shard snapshots: %v", ro.id, mergeErr)
+			abortIdx(fmt.Errorf("%w: shard views unmergeable: %v", unify.ErrRejected, mergeErr))
+			return
 		}
 		if base == nil {
 			abortIdx(fmt.Errorf("%w: no domains attached", unify.ErrRejected))
@@ -922,8 +970,8 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 		}
 		if len(shs) == 1 && len(tshs) == 1 && tshs[0] == shs[0] {
 			// Single-shard fast path: the working copy IS the shard's next
-			// snapshot.
-			tshs[0].dov = cur
+			// snapshot (sealed: shard snapshots are shared by the read caches).
+			tshs[0].dov = cur.Seal()
 		} else {
 			// Project each accepted mapping onto every touched shard's
 			// copy-on-write graph; the home shard carries the bookkeeping.
@@ -1080,7 +1128,7 @@ func (bc *batchRun) projectLocked(tshs []*shard, ref *nffg.NFFG, idx []int, plan
 		next[si] = g
 	}
 	for si, s := range tshs {
-		s.dov = next[si]
+		s.dov = next[si].Seal()
 	}
 	return nil
 }
@@ -1219,7 +1267,7 @@ func (ro *ResourceOrchestrator) releaseShards(mp *embed.Mapping, keys []string) 
 		if s.dov != nil {
 			next := s.dov.Copy()
 			if err := embed.Release(next, mp); err == nil {
-				s.dov = next
+				s.dov = next.Seal()
 			} else if firstErr == nil {
 				firstErr = err
 			}

@@ -62,6 +62,17 @@ func leafDomain(t testing.TB, name string, userSAP, borderSAP nffg.ID, prog Prog
 	return lo
 }
 
+// mustDoV reads the orchestrator's consistent DoV cut, failing the test on a
+// merge error. The returned graph is a shared sealed snapshot: read-only.
+func mustDoV(t testing.TB, ro *ResourceOrchestrator) *nffg.NFFG {
+	t.Helper()
+	dov, err := ro.DoV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dov
+}
+
 // chainReq builds sap1 -> fw -> sap2 with the given id.
 func chainReq(t testing.TB, id string, sapA, sapB nffg.ID, nfType string) *nffg.NFFG {
 	t.Helper()
@@ -192,7 +203,7 @@ func buildMdO(t testing.TB, progA, progB Programmer) (*ResourceOrchestrator, *Lo
 
 func TestROAggregatesDomainViews(t *testing.T) {
 	ro, _, _ := buildMdO(t, &recordingProgrammer{}, &recordingProgrammer{})
-	dov := ro.DoV()
+	dov := mustDoV(t, ro)
 	if len(dov.Infras) != 2 {
 		t.Fatalf("DoV should hold one exported node per domain: %s", dov.Summary())
 	}

@@ -46,8 +46,20 @@ func (p *slowProgrammer) Commit(ctx context.Context, d *nffg.Delta, _ *nffg.NFFG
 // orchestrator. Returns the RO and the leaves.
 func lineRO(t testing.TB, n int, delay time.Duration, progs map[int]Programmer) (*ResourceOrchestrator, []*LocalOrchestrator) {
 	t.Helper()
+	return lineROCfg(t, n, delay, progs, Config{ID: "ro"})
+}
+
+// lineROWith is lineRO with an explicit orchestrator Config (and no
+// per-domain programmer latency).
+func lineROWith(t testing.TB, n int, cfg Config) (*ResourceOrchestrator, []*LocalOrchestrator) {
+	t.Helper()
+	return lineROCfg(t, n, 0, nil, cfg)
+}
+
+func lineROCfg(t testing.TB, n int, delay time.Duration, progs map[int]Programmer, cfg Config) (*ResourceOrchestrator, []*LocalOrchestrator) {
+	t.Helper()
 	var los []*LocalOrchestrator
-	ro := NewResourceOrchestrator(Config{ID: "ro"})
+	ro := NewResourceOrchestrator(cfg)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("d%d", i)
 		left := nffg.ID(fmt.Sprintf("b%d", i-1))
@@ -258,7 +270,7 @@ func TestRollbackOnMidFanoutFailure(t *testing.T) {
 	ro, los := lineRO(t, 3, delay, map[int]Programmer{
 		1: &slowProgrammer{delay: delay, failPfx: "bad"},
 	})
-	dovBefore := ro.DoV()
+	dovBefore := mustDoV(t, ro)
 
 	var wg sync.WaitGroup
 	var goodErr error
@@ -296,7 +308,7 @@ func TestRollbackOnMidFanoutFailure(t *testing.T) {
 	if err := ro.Remove(context.Background(), "good"); err != nil {
 		t.Fatal(err)
 	}
-	dovAfter := ro.DoV()
+	dovAfter := mustDoV(t, ro)
 	for _, id := range dovBefore.InfraIDs() {
 		before, _ := dovBefore.AvailableResources(id)
 		after, _ := dovAfter.AvailableResources(id)
@@ -399,7 +411,7 @@ func TestRemoveRetryAfterChildTeardownFailure(t *testing.T) {
 	if _, err := ro.Install(context.Background(), spanReq(t, "svc", 2)); err != nil {
 		t.Fatal(err)
 	}
-	dovDeployed := ro.DoV()
+	dovDeployed := mustDoV(t, ro)
 
 	if err := ro.Remove(context.Background(), "svc"); err == nil {
 		t.Fatal("first remove must report the child teardown failure")
@@ -408,7 +420,7 @@ func TestRemoveRetryAfterChildTeardownFailure(t *testing.T) {
 		t.Fatalf("service must stay removable after failed teardown: %v", got)
 	}
 	// The reservation is still held: the DoV must not have been released.
-	after := ro.DoV()
+	after := mustDoV(t, ro)
 	for _, id := range dovDeployed.InfraIDs() {
 		b, _ := dovDeployed.AvailableResources(id)
 		a, _ := after.AvailableResources(id)

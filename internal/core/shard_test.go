@@ -12,8 +12,9 @@ import (
 )
 
 // TestShardSetEstimation pins the shard-set estimator: single-domain chains
-// narrow to one shard, border SAPs widen to their neighbors, unpinned NFs and
-// unknown endpoints fall back to the global (nil) set.
+// narrow to one shard, border SAPs widen to their neighbors, unpinned NFs
+// narrow to their SAP anchors via the reverse index, and unknown endpoints
+// fall back to the global (nil) set.
 func TestShardSetEstimation(t *testing.T) {
 	ro, _ := lineRO(t, 4, 0, nil)
 
@@ -31,10 +32,11 @@ func TestShardSetEstimation(t *testing.T) {
 		t.Fatalf("outer chain: %v, want %v", got, want)
 	}
 
-	// Unpinned NF: cannot be narrowed.
+	// Unpinned NF: the reverse index narrows it to the SAP anchors (sap1 in
+	// d0, sap2 in d3); a plan that needs the transit shards escalates.
 	req3 := chainReq(t, "est3", "sap1", "sap2", "fw")
-	if got := ro.ShardSet(req3); got != nil {
-		t.Fatalf("unpinned: %v, want nil", got)
+	if got, want := ro.ShardSet(req3), []string{"d0", "d3"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("unpinned: %v, want %v", got, want)
 	}
 
 	// Unknown SAP: cannot be narrowed (the plan rejects it with a real error).
@@ -42,6 +44,42 @@ func TestShardSetEstimation(t *testing.T) {
 	req4.NFs["est4-nf"].Host = "bisbis@d0"
 	if got := ro.ShardSet(req4); got != nil {
 		t.Fatalf("unknown SAP: %v, want nil", got)
+	}
+}
+
+// TestShardSetConservativeEstimate pins the pre-reverse-index baseline
+// (Config.ConservativeShardEstimate): any unpinned NF makes the set global.
+func TestShardSetConservativeEstimate(t *testing.T) {
+	ro, _ := lineROWith(t, 4, Config{ID: "ro", ConservativeShardEstimate: true})
+	req := chainReq(t, "cons", "sap1", "sap2", "fw")
+	if got := ro.ShardSet(req); got != nil {
+		t.Fatalf("conservative unpinned: %v, want nil", got)
+	}
+	// Pinned requests still narrow — the baseline only changes unpinned NFs.
+	req2 := chainReq(t, "cons2", "sap1", "b0", "fw")
+	req2.NFs["cons2-nf"].Host = "bisbis@d0"
+	if got, want := ro.ShardSet(req2), []string{"d0", "d1"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("conservative pinned: %v, want %v", got, want)
+	}
+}
+
+// TestUnpinnedNarrowedEscalation: an unpinned chain whose SAP anchors miss
+// the transit shards plans on the narrowed cut, fails there (no path), and
+// must escalate to a full-DoV plan and deploy.
+func TestUnpinnedNarrowedEscalation(t *testing.T) {
+	ro, _ := lineRO(t, 4, 0, nil)
+	req := chainReq(t, "unp", "sap1", "sap2", "fw")
+	if set := ro.ShardSet(req); len(set) != 2 {
+		t.Fatalf("estimate should narrow to the SAP anchors: %v", set)
+	}
+	if _, err := ro.Install(context.Background(), req); err != nil {
+		t.Fatalf("escalated unpinned install failed: %v", err)
+	}
+	if st := ro.PipelineStats(); st.Escalations == 0 {
+		t.Fatalf("install did not escalate: %+v", st)
+	}
+	if err := ro.Remove(context.Background(), "unp"); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -30,7 +30,13 @@ import (
 // ones.
 func meshRO(t testing.TB, n, slots int) (*ResourceOrchestrator, []string) {
 	t.Helper()
-	ro := NewResourceOrchestrator(Config{ID: "ro"})
+	return meshROCfg(t, n, slots, Config{ID: "ro"})
+}
+
+// meshROCfg is meshRO with an explicit orchestrator Config.
+func meshROCfg(t testing.TB, n, slots int, cfg Config) (*ResourceOrchestrator, []string) {
+	t.Helper()
+	ro := NewResourceOrchestrator(cfg)
 	keys := make([]string, n)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("d%d", i)
@@ -194,7 +200,7 @@ func TestShardRaceOverlapping(t *testing.T) {
 		rounds  = 15
 	)
 	ro, _ := meshRO(t, domains, 2)
-	initial := ro.DoV()
+	initial := mustDoV(t, ro)
 
 	stop := make(chan struct{})
 	verifierErr := make(chan error, 1)
@@ -206,7 +212,11 @@ func TestShardRaceOverlapping(t *testing.T) {
 				return
 			default:
 			}
-			dov := ro.DoV()
+			dov, err := ro.DoV()
+			if err != nil {
+				verifierErr <- fmt.Errorf("unmergeable DoV cut: %w", err)
+				return
+			}
 			if err := dov.Validate(); err != nil {
 				verifierErr <- fmt.Errorf("torn DoV cut: %w", err)
 				return
@@ -264,7 +274,7 @@ func TestShardRaceOverlapping(t *testing.T) {
 	assertShardInvariants(t, ro)
 
 	// Drained: the DoV must be restored resource-for-resource.
-	final := ro.DoV()
+	final := mustDoV(t, ro)
 	if len(final.NFs) != 0 {
 		t.Fatalf("NFs leaked into DoV: %v", final.NFIDs())
 	}
@@ -313,11 +323,25 @@ func TestShardRaceMixedContention(t *testing.T) {
 				switch {
 				case w < domains:
 					req = slotChain(t, id, w, 0)
-				default:
-					// Unpinned: shard set cannot be narrowed — a global
-					// request that overlaps (and serializes with) everything.
+				case r%2 == 0:
+					// Unpinned, anchored in one domain: the reverse index
+					// narrows it to that shard, where it contends with the
+					// domain's pinned worker on the same lane.
 					req = slotChain(t, id, r%domains, 1)
 					req.NFs[nffg.ID(id+"-nf")].Host = ""
+				default:
+					// Unpinned across the line: anchors {d0, d<last>} miss the
+					// transit shards, so the scoped plan fails and escalates to
+					// a full-DoV (all-shard) pass — the worst interleaving for
+					// the ordered two-phase commit.
+					in := nffg.ID("d0-u1in")
+					out := nffg.ID(fmt.Sprintf("d%d-u1out", domains-1))
+					nf := nffg.ID(id + "-nf")
+					req = nffg.NewBuilder(id).
+						SAP(in).SAP(out).
+						NF(nf, "fw", 2, res(2, 64)).
+						Chain(id, 1, 0, in, nf, out).
+						MustBuild()
 				}
 				_, err := ro.Install(ctx, req)
 				if errors.Is(err, unify.ErrBusy) {

@@ -67,6 +67,15 @@ func (c OrchCounters) ConflictRate() float64 {
 	return float64(c.GenConflicts) / float64(c.MapAttempts)
 }
 
+// hitRate is a cache's hits per read (0 when it never served).
+func hitRate(c core.CacheStats) float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
 // AdmissionCounters is one admission queue's gauges and counters.
 type AdmissionCounters struct {
 	Queue string
@@ -275,6 +284,26 @@ func (s *Snapshot) Render(w io.Writer) {
 				fmt.Fprintf(w, "%-16s %-12s %8d %8d %10d %11d %s\n",
 					o.Layer, sh.Shard, sh.Gen, sh.Commits, sh.Conflicts, sh.MultiShardCommits,
 					strings.Join(sh.Domains, ","))
+			}
+		}
+		// The generation-keyed read caches: one row per cache, so the hit
+		// ratio of the steady-state read path is visible at a glance.
+		// MergeErrors is orchestrator-level (a failed all-shard cut merge),
+		// so it prints once per orchestrator, not per cache.
+		fmt.Fprintf(w, "\n%-16s %-10s %9s %9s %13s %9s\n",
+			"ORCHESTRATOR", "CACHE", "HITS", "MISSES", "INVALIDATIONS", "HIT-RATE")
+		for _, o := range s.Orch {
+			for _, c := range []struct {
+				name  string
+				stats core.CacheStats
+			}{{"cut", o.CutCache}, {"view", o.ViewCache}} {
+				fmt.Fprintf(w, "%-16s %-10s %9d %9d %13d %9.3f\n",
+					o.Layer, c.name, c.stats.Hits, c.stats.Misses, c.stats.Invalidations,
+					hitRate(c.stats))
+			}
+			if o.MergeErrors > 0 {
+				fmt.Fprintf(w, "%-16s merge-errors=%d (unmergeable DoV cuts — needs operator attention)\n",
+					o.Layer, o.MergeErrors)
 			}
 		}
 	}

@@ -159,10 +159,24 @@ func TestOrchAndQueueSources(t *testing.T) {
 		t.Fatalf("admission counters: %+v", a)
 	}
 
+	// The read caches flow through too: a view read warms the view cache and
+	// the counters surface in the snapshot and the rendered report.
+	if _, err := ro.View(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.View(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap = CollectAll(OrchSource{Orch: ro}, QueueSource{Queue: q})
+	o = snap.Orch[0]
+	if o.ViewCache.Misses == 0 || o.ViewCache.Hits == 0 {
+		t.Fatalf("view cache counters missing: %+v", o.ViewCache)
+	}
+
 	var buf strings.Builder
 	snap.Render(&buf)
 	out := buf.String()
-	for _, want := range []string{"ORCHESTRATOR", "CONFLICTS", "QUEUE", "MEAN-BATCH"} {
+	for _, want := range []string{"ORCHESTRATOR", "CONFLICTS", "QUEUE", "MEAN-BATCH", "CACHE", "INVALIDATIONS", "HIT-RATE"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}

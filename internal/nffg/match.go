@@ -185,6 +185,7 @@ func (f *Flowrule) Equal(o *Flowrule) bool {
 // referenced ports exist (infra ports on the node, NF ports on NFs mapped to
 // the node).
 func (g *NFFG) AddFlowrule(infra ID, f *Flowrule) error {
+	g.mustMutable("AddFlowrule")
 	i, ok := g.Infras[infra]
 	if !ok {
 		return fmt.Errorf("%w: infra %s", ErrNotFound, infra)

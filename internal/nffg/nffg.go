@@ -214,6 +214,33 @@ type NFFG struct {
 	Links []*Link        `json:"links,omitempty" xml:"links>link,omitempty"`
 	Hops  []*SGHop       `json:"sg_hops,omitempty" xml:"sg_hops>hop,omitempty"`
 	Reqs  []*Requirement `json:"requirements,omitempty" xml:"requirements>requirement,omitempty"`
+
+	// sealed marks the graph as a shared immutable snapshot (see Seal).
+	sealed bool
+}
+
+// Seal marks the graph as a shared read-only snapshot: orchestration caches
+// hand one graph to many readers instead of defensively copying per call, so
+// after Seal the graph must never be mutated again. Copy always returns an
+// unsealed graph — callers that need to mutate a sealed view copy first.
+//
+// The discipline is enforced in race and nffg_sealcheck builds, where every
+// mutator panics on a sealed graph; release builds compile the check away.
+// Seal must happen-before the graph is published to other goroutines (the
+// caches publish through atomics, which gives that ordering for free).
+func (g *NFFG) Seal() *NFFG {
+	g.sealed = true
+	return g
+}
+
+// Sealed reports whether the graph is a shared read-only snapshot.
+func (g *NFFG) Sealed() bool { return g.sealed }
+
+// mustMutable is the per-mutator seal assertion (free in release builds).
+func (g *NFFG) mustMutable(op string) {
+	if sealCheckEnabled && g.sealed {
+		panic("nffg: " + op + " on sealed graph " + g.ID + " (Copy before mutating a shared snapshot)")
+	}
 }
 
 // Errors shared by model operations.
@@ -225,16 +252,24 @@ var (
 
 // New returns an empty NFFG with the given ID.
 func New(id string) *NFFG {
+	return NewSized(id, 0, 0, 0)
+}
+
+// NewSized returns an empty NFFG with node maps pre-sized for the given
+// counts — the allocation-friendly constructor behind Copy and the DoV merge
+// paths, where target sizes are known up front.
+func NewSized(id string, infras, nfs, saps int) *NFFG {
 	return &NFFG{
 		ID:     id,
-		Infras: make(map[ID]*Infra),
-		NFs:    make(map[ID]*NF),
-		SAPs:   make(map[ID]*SAP),
+		Infras: make(map[ID]*Infra, infras),
+		NFs:    make(map[ID]*NF, nfs),
+		SAPs:   make(map[ID]*SAP, saps),
 	}
 }
 
 // AddInfra inserts a BiS-BiS node.
 func (g *NFFG) AddInfra(i *Infra) error {
+	g.mustMutable("AddInfra")
 	if g.hasNode(i.ID) {
 		return fmt.Errorf("%w: %s", ErrDuplicateID, i.ID)
 	}
@@ -244,6 +279,7 @@ func (g *NFFG) AddInfra(i *Infra) error {
 
 // AddNF inserts an NF node.
 func (g *NFFG) AddNF(n *NF) error {
+	g.mustMutable("AddNF")
 	if g.hasNode(n.ID) {
 		return fmt.Errorf("%w: %s", ErrDuplicateID, n.ID)
 	}
@@ -256,6 +292,7 @@ func (g *NFFG) AddNF(n *NF) error {
 
 // AddSAP inserts a service access point.
 func (g *NFFG) AddSAP(s *SAP) error {
+	g.mustMutable("AddSAP")
 	if g.hasNode(s.ID) {
 		return fmt.Errorf("%w: %s", ErrDuplicateID, s.ID)
 	}
@@ -268,6 +305,7 @@ func (g *NFFG) AddSAP(s *SAP) error {
 
 // RemoveNF deletes an NF and any SG hops touching it.
 func (g *NFFG) RemoveNF(id ID) error {
+	g.mustMutable("RemoveNF")
 	if _, ok := g.NFs[id]; !ok {
 		return fmt.Errorf("%w: NF %s", ErrNotFound, id)
 	}
@@ -284,6 +322,7 @@ func (g *NFFG) RemoveNF(id ID) error {
 
 // AddLink inserts a static link after verifying its endpoints exist.
 func (g *NFFG) AddLink(l *Link) error {
+	g.mustMutable("AddLink")
 	for _, existing := range g.Links {
 		if existing.ID == l.ID {
 			return fmt.Errorf("%w: link %s", ErrDuplicateID, l.ID)
@@ -313,6 +352,7 @@ func (g *NFFG) AddDuplexLink(id string, aNode ID, aPort string, bNode ID, bPort 
 
 // AddHop inserts a service-graph hop after verifying endpoints.
 func (g *NFFG) AddHop(h *SGHop) error {
+	g.mustMutable("AddHop")
 	for _, existing := range g.Hops {
 		if existing.ID == h.ID {
 			return fmt.Errorf("%w: hop %s", ErrDuplicateID, h.ID)
@@ -330,6 +370,7 @@ func (g *NFFG) AddHop(h *SGHop) error {
 
 // AddReq inserts an end-to-end requirement; all referenced hops must exist.
 func (g *NFFG) AddReq(r *Requirement) error {
+	g.mustMutable("AddReq")
 	for _, hid := range r.HopIDs {
 		if g.HopByID(hid) == nil {
 			return fmt.Errorf("%w: requirement %s references hop %s", ErrNotFound, r.ID, hid)
@@ -432,6 +473,7 @@ func (g *NFFG) AvailableResources(infra ID) (Resources, error) {
 
 // NextVersion bumps the version counter and returns the new value.
 func (g *NFFG) NextVersion() int {
+	g.mustMutable("NextVersion")
 	g.Version++
 	return g.Version
 }

@@ -2,14 +2,18 @@ package nffg
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/unify-repro/escape/internal/topo"
 )
 
-// Copy returns a deep copy of the graph.
+// Copy returns a deep copy of the graph. The copy is never sealed (it is the
+// escape hatch for mutating a shared snapshot), and its maps and edge slices
+// are pre-sized from the source — Copy sits on every cache miss of the
+// orchestration read path, so its allocation count matters.
 func (g *NFFG) Copy() *NFFG {
-	c := New(g.ID)
+	c := NewSized(g.ID, len(g.Infras), len(g.NFs), len(g.SAPs))
 	c.Name = g.Name
 	c.Version = g.Version
 	for id, i := range g.Infras {
@@ -22,13 +26,22 @@ func (g *NFFG) Copy() *NFFG {
 		p := *s.Port
 		c.SAPs[id] = &SAP{ID: s.ID, Name: s.Name, Port: &p}
 	}
+	if len(g.Links) > 0 {
+		c.Links = make([]*Link, 0, len(g.Links))
+	}
 	for _, l := range g.Links {
 		cl := *l
 		c.Links = append(c.Links, &cl)
 	}
+	if len(g.Hops) > 0 {
+		c.Hops = make([]*SGHop, 0, len(g.Hops))
+	}
 	for _, h := range g.Hops {
 		ch := *h
 		c.Hops = append(c.Hops, &ch)
+	}
+	if len(g.Reqs) > 0 {
+		c.Reqs = make([]*Requirement, 0, len(g.Reqs))
 	}
 	for _, r := range g.Reqs {
 		cr := *r
@@ -43,6 +56,9 @@ func copyInfra(i *Infra) *Infra {
 	c.Ports = copyPorts(i.Ports)
 	c.Supported = append([]string(nil), i.Supported...)
 	c.Flowrules = nil
+	if len(i.Flowrules) > 0 {
+		c.Flowrules = make([]*Flowrule, 0, len(i.Flowrules))
+	}
 	for _, f := range i.Flowrules {
 		cf := *f
 		c.Flowrules = append(c.Flowrules, &cf)
@@ -156,6 +172,7 @@ func (g *NFFG) InfraTopo() *topo.Graph {
 // attachment point). Links and hops are appended. Used by the resource
 // orchestrator to build the global domain view (DoV).
 func (g *NFFG) Merge(other *NFFG) error {
+	g.mustMutable("Merge")
 	for _, id := range other.InfraIDs() {
 		if g.hasNode(id) {
 			return fmt.Errorf("%w: infra %s present in both graphs", ErrDuplicateID, id)
@@ -166,6 +183,11 @@ func (g *NFFG) Merge(other *NFFG) error {
 			return fmt.Errorf("%w: NF %s present in both graphs", ErrDuplicateID, id)
 		}
 	}
+	// Pre-grow the edge slices: a DoV merge folds many domain views into one
+	// graph, and growing append-by-append reallocates on every shard.
+	g.Links = slices.Grow(g.Links, len(other.Links))
+	g.Hops = slices.Grow(g.Hops, len(other.Hops))
+	g.Reqs = slices.Grow(g.Reqs, len(other.Reqs))
 	for _, id := range other.InfraIDs() {
 		g.Infras[id] = copyInfra(other.Infras[id])
 	}
@@ -309,6 +331,7 @@ func Diff(oldG, newG *NFFG) (*Delta, error) {
 // ones. Apply(Diff(a, b), a) makes a equivalent to b for placements and
 // flowtables.
 func (g *NFFG) Apply(d *Delta) error {
+	g.mustMutable("Apply")
 	for _, id := range d.DelNFs {
 		if nf, ok := g.NFs[id]; ok {
 			nf.Host = ""

@@ -1,0 +1,7 @@
+//go:build !race && !nffg_sealcheck
+
+package nffg
+
+// sealCheckEnabled is false in release builds: Seal is pure documentation
+// there, and the per-mutator check is dead code the compiler removes.
+const sealCheckEnabled = false

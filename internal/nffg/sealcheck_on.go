@@ -1,0 +1,8 @@
+//go:build race || nffg_sealcheck
+
+package nffg
+
+// sealCheckEnabled turns every mutator into a seal assertion. Race builds
+// (the CI test configuration) get it for free; release builds compile the
+// checks away entirely. Enable explicitly with -tags nffg_sealcheck.
+const sealCheckEnabled = true

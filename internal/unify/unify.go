@@ -40,7 +40,11 @@ type Layer interface {
 	ID() string
 	// View returns the current virtualization view: topology, available
 	// resources, supported NF types, SAPs, and the configuration deployed so
-	// far. The caller owns the returned graph.
+	// far. The returned graph may be a SHARED immutable snapshot served from
+	// a generation-keyed cache (core layers memoize views between commits and
+	// seal them — see nffg.Seal): treat it as read-only and Copy() before
+	// mutating. Remote layers return a caller-owned graph, but portable
+	// callers must not rely on that.
 	View(ctx context.Context) (*nffg.NFFG, error)
 	// Install deploys a service request expressed against the view: NFs
 	// (optionally pinned to view nodes), SG hops and e2e requirements. The
