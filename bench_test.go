@@ -12,6 +12,7 @@ package escape
 //	E7  BenchmarkE7BatchedAdmission, BenchmarkE7BatchMapping
 //	E8  BenchmarkE8ShardedCommit
 //	E9  BenchmarkE9ReadPath, BenchmarkE9GlobalNarrowing
+//	E10 BenchmarkE10FairAdmission
 //
 // Domain-specific results (acceptance ratios, footprints, backtracks) are
 // emitted with b.ReportMetric, so `go test -bench . -benchmem` prints the
@@ -1255,6 +1256,126 @@ func BenchmarkE9GlobalNarrowing(b *testing.B) {
 			b.ReportMetric(float64(st.Batches-before.Batches)/float64(b.N), "groups/batch")
 			b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "ms/batch")
 			b.ReportMetric(float64(st.MapAttempts-before.MapAttempts)/installs, "mappasses/install")
+		})
+	}
+}
+
+// --- E10: multi-tenant weighted-fair admission ----------------------------------
+
+// benchE10Layer is a plain layer (no BatchInstaller, no Sharder) with a fixed
+// install latency: E10 measures ADMISSION SCHEDULING, so the layer below is
+// deliberately trivial and every job costs the same.
+type benchE10Layer struct {
+	delay time.Duration
+
+	mu       sync.Mutex
+	services map[string]bool
+}
+
+func (d *benchE10Layer) ID() string { return "e10" }
+func (d *benchE10Layer) View(context.Context) (*nffg.NFFG, error) {
+	return nffg.New("e10-view"), nil
+}
+func (d *benchE10Layer) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
+	select {
+	case <-time.After(d.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	d.mu.Lock()
+	d.services[req.ID] = true
+	d.mu.Unlock()
+	return &unify.Receipt{ServiceID: req.ID}, nil
+}
+func (d *benchE10Layer) Remove(_ context.Context, id string) error {
+	d.mu.Lock()
+	delete(d.services, id)
+	d.mu.Unlock()
+	return nil
+}
+func (d *benchE10Layer) Services() []string { return nil }
+
+// BenchmarkE10FairAdmission measures the fairness tentpole: an "elephant"
+// tenant parks a deep backlog, then N mouse tenants each submit one job.
+// Under the FIFO baseline every mouse strictly waits out the whole elephant
+// backlog (elephants-before-mouse = the backlog size, mouse p95 wait =
+// O(backlog drain)); under the weighted-fair scheduler each mouse is
+// guaranteed its share of the very next scheduling round (elephants-before-
+// mouse = one in-flight window, mouse wait = near-isolated latency), while
+// aggregate throughput stays within a few percent — the same number of jobs
+// drain through the same in-flight budget either way.
+//
+// elephants-before-mouse counts elephant jobs dispatched strictly before the
+// first mouse dispatch: a scheduling-ORDER counter, robust to runner timing
+// noise (FIFO pins it at the backlog size; DWRR at the first window).
+func BenchmarkE10FairAdmission(b *testing.B) {
+	const (
+		backlog        = 64
+		mice           = 8
+		installLatency = 2 * time.Millisecond
+		window         = 4 // MaxBatch and the per-tenant in-flight budget
+	)
+	ctx := context.Background()
+	for _, mode := range []string{"fifo", "dwrr"} {
+		b.Run(fmt.Sprintf("%s/backlog=%d/mice=%d", mode, backlog, mice), func(b *testing.B) {
+			var mouseWaits []time.Duration
+			var elephantsBefore, jobs float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				layer := &benchE10Layer{delay: installLatency, services: map[string]bool{}}
+				q := admission.New(layer, admission.Options{
+					Window:            -1, // dispatch immediately
+					MaxBatch:          window,
+					TenantMaxInFlight: window,
+					DisableFairness:   mode == "fifo",
+				})
+				ectx := unify.WithMeta(ctx, unify.RequestMeta{Tenant: "elephant"})
+				eIDs := make([]string, backlog)
+				for e := 0; e < backlog; e++ {
+					j, err := q.Submit(ectx, nffg.New(fmt.Sprintf("e10-%s-%d-e%d", mode, i, e)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					eIDs[e] = j.ID
+				}
+				mIDs := make([]string, mice)
+				for m := 0; m < mice; m++ {
+					mctx := unify.WithMeta(ctx, unify.RequestMeta{Tenant: fmt.Sprintf("mouse%d", m)})
+					j, err := q.Submit(mctx, nffg.New(fmt.Sprintf("e10-%s-%d-m%d", mode, i, m)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					mIDs[m] = j.ID
+				}
+				var firstMouse time.Time
+				for _, id := range mIDs {
+					j, err := q.Wait(ctx, id)
+					if err != nil || j.State != admission.StateDeployed {
+						b.Fatalf("mouse job %s: %v %v", id, j.State, err)
+					}
+					mouseWaits = append(mouseWaits, j.Started.Sub(j.Submitted))
+					if firstMouse.IsZero() || j.Started.Before(firstMouse) {
+						firstMouse = j.Started
+					}
+				}
+				for _, id := range eIDs {
+					j, err := q.Wait(ctx, id)
+					if err != nil || j.State != admission.StateDeployed {
+						b.Fatalf("elephant job %s: %v %v", id, j.State, err)
+					}
+					if j.Started.Before(firstMouse) {
+						elephantsBefore++
+					}
+				}
+				jobs += backlog + mice
+				q.Close()
+			}
+			b.StopTimer()
+			sort.Slice(mouseWaits, func(i, k int) bool { return mouseWaits[i] < mouseWaits[k] })
+			p95 := mouseWaits[(len(mouseWaits)*95+99)/100-1]
+			b.ReportMetric(float64(p95.Microseconds())/1000, "mouse-p95-ms")
+			b.ReportMetric(elephantsBefore/float64(b.N), "elephants-before-mouse")
+			b.ReportMetric(jobs/b.Elapsed().Seconds(), "installs/s")
 		})
 	}
 }

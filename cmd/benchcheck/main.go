@@ -1,0 +1,271 @@
+// Command benchcheck is the benchmark-regression gate of CI: it parses the
+// result stream of `go test -bench ... -json` (the BENCH_E10.json artifact),
+// extracts every benchmark's reported metrics, and compares them against a
+// committed baseline (bench_baseline.json).
+//
+// The baseline is self-describing: each metric entry carries its expected
+// value, which direction is worse, a tolerance, and whether it GATES the
+// build. Gated metrics are the deterministic scheduling/amortization counters
+// (mappasses/install, conflicts/install, groups/batch,
+// elephants-before-mouse): a drift there is a real behavioral regression, not
+// runner noise, so it fails the job. Timing-derived metrics (installs/s,
+// views/s, p95 waits, ns/op) stay warn-only — a shared CI runner is not a
+// benchmarking rig.
+//
+//	benchcheck -baseline bench_baseline.json BENCH_E10.json
+//
+// Exit status 1 on any gated regression (or a gated metric missing from the
+// run — a silently vanished benchmark must not pass the gate).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the schema of bench_baseline.json.
+type Baseline struct {
+	// Comment documents how to regenerate the file.
+	Comment string `json:"comment,omitempty"`
+	// Benchmarks is keyed by benchmark name WITHOUT the -GOMAXPROCS suffix
+	// (e.g. "BenchmarkE8ShardedCommit/sharded/shards=8").
+	Benchmarks map[string]BenchBaseline `json:"benchmarks"`
+}
+
+// BenchBaseline is one benchmark's expected metrics.
+type BenchBaseline struct {
+	Metrics map[string]MetricRule `json:"metrics"`
+}
+
+// MetricRule is one metric's expectation and check configuration.
+type MetricRule struct {
+	// Value is the committed expectation.
+	Value float64 `json:"value"`
+	// Worse is the regression direction: "higher" (default) or "lower".
+	Worse string `json:"worse,omitempty"`
+	// Abs and Rel widen the acceptance band: a current value regresses only
+	// beyond Value ± max(Abs, Rel*|Value|). Rel defaults to 0.25 when neither
+	// is set.
+	Abs float64 `json:"abs,omitempty"`
+	Rel float64 `json:"rel,omitempty"`
+	// Gate makes a regression fail the job; otherwise it only warns.
+	Gate bool `json:"gate,omitempty"`
+}
+
+// tolerance is the metric's acceptance half-width.
+func (r MetricRule) tolerance() float64 {
+	tol := r.Abs
+	if r.Rel == 0 && r.Abs == 0 {
+		r.Rel = 0.25
+	}
+	if rel := r.Rel * abs(r.Value); rel > tol {
+		tol = rel
+	}
+	return tol
+}
+
+// regressed reports whether cur is outside the acceptance band in the worse
+// direction.
+func (r MetricRule) regressed(cur float64) bool {
+	tol := r.tolerance()
+	if r.Worse == "lower" {
+		return cur < r.Value-tol
+	}
+	return cur > r.Value+tol
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// testEvent is the subset of the test2json event schema benchcheck reads.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// gomaxprocsSuffix strips the trailing -N GOMAXPROCS tag off a benchmark name.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseResults extracts benchmark metrics from a `go test -json` stream (or
+// plain `go test -bench` text: lines that fail to decode as JSON events are
+// treated as raw output). test2json splits one benchmark's result line across
+// several Output events, so output is reassembled per package before the
+// lines are parsed.
+func parseResults(r io.Reader) (map[string]map[string]float64, error) {
+	perPkg := map[string]*strings.Builder{}
+	order := []string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err == nil && ev.Action != "" {
+			if ev.Action != "output" {
+				continue
+			}
+			b, ok := perPkg[ev.Package]
+			if !ok {
+				b = &strings.Builder{}
+				perPkg[ev.Package] = b
+				order = append(order, ev.Package)
+			}
+			b.WriteString(ev.Output)
+			continue
+		}
+		b, ok := perPkg[""]
+		if !ok {
+			b = &strings.Builder{}
+			perPkg[""] = b
+			order = append(order, "")
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]float64{}
+	for _, pkg := range order {
+		for _, line := range strings.Split(perPkg[pkg].String(), "\n") {
+			name, metrics, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			out[name] = metrics
+		}
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one complete benchmark result line, e.g.
+//
+//	BenchmarkE8ShardedCommit/sharded/shards=8-8   1   2436776 ns/op   0 conflicts/install   1.000 mappasses/install
+//
+// returning the name (GOMAXPROCS suffix stripped) and its metric map
+// (including ns/op).
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+	metrics := map[string]float64{}
+	// fields[1] is the iteration count; then (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if _, ok := metrics["ns/op"]; !ok {
+		return "", nil, false // not a result line (e.g. the bare name echo)
+	}
+	return name, metrics, true
+}
+
+// check compares a run against the baseline, writing a report to w.
+// It returns the number of gated failures.
+func check(w io.Writer, base Baseline, results map[string]map[string]float64) int {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failures := 0
+	for _, name := range names {
+		got, ok := results[name]
+		metrics := make([]string, 0, len(base.Benchmarks[name].Metrics))
+		for m := range base.Benchmarks[name].Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			rule := base.Benchmarks[name].Metrics[m]
+			cur, have := got[m]
+			switch {
+			case !ok || !have:
+				if rule.Gate {
+					failures++
+					fmt.Fprintf(w, "FAIL %s %s: missing from this run (want %v)\n", name, m, rule.Value)
+				} else {
+					fmt.Fprintf(w, "warn %s %s: missing from this run\n", name, m)
+				}
+			case rule.regressed(cur):
+				if rule.Gate {
+					failures++
+					fmt.Fprintf(w, "FAIL %s %s: %v regressed beyond %v±%v (worse=%s)\n",
+						name, m, cur, rule.Value, rule.tolerance(), worse(rule))
+				} else {
+					fmt.Fprintf(w, "warn %s %s: %v drifted beyond %v±%v (worse=%s, timing — not gated)\n",
+						name, m, cur, rule.Value, rule.tolerance(), worse(rule))
+				}
+			default:
+				fmt.Fprintf(w, "ok   %s %s: %v (baseline %v±%v)\n", name, m, cur, rule.Value, rule.tolerance())
+			}
+		}
+	}
+	return failures
+}
+
+func worse(r MetricRule) string {
+	if r.Worse == "lower" {
+		return "lower"
+	}
+	return "higher"
+}
+
+func main() {
+	log.SetPrefix("benchcheck: ")
+	log.SetFlags(0)
+	baselinePath := flag.String("baseline", "bench_baseline.json", "committed baseline file")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("parsing %s: %v", *baselinePath, err)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		readers := make([]io.Reader, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+	results, err := parseResults(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark results found in the input")
+	}
+	if failures := check(os.Stdout, base, results); failures > 0 {
+		log.Fatalf("%d gated benchmark regression(s)", failures)
+	}
+	fmt.Println("benchcheck: all gated benchmark counters within baseline tolerances")
+}

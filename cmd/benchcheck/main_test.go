@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// A miniature test2json stream: one benchmark's result line split across
+// several Output events (as the real tool emits it), one plain-text line, and
+// unrelated events.
+const sampleStream = `{"Action":"start","Package":"p"}
+{"Action":"output","Package":"p","Output":"BenchmarkGate/sub=1\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkGate/sub=1-8         \t"}
+{"Action":"output","Package":"p","Output":"       1\t  1500 ns/op\t         2.000 widgets/op\t       100.0 rate/s\n"}
+{"Action":"output","Package":"p","Output":"PASS\n"}
+BenchmarkPlain-4   10   250 ns/op   7.000 things/op
+`
+
+func parse(t *testing.T, s string) map[string]map[string]float64 {
+	t.Helper()
+	res, err := parseResults(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParseReassemblesSplitLines(t *testing.T) {
+	res := parse(t, sampleStream)
+	got, ok := res["BenchmarkGate/sub=1"]
+	if !ok {
+		t.Fatalf("split benchmark line not reassembled: %v", res)
+	}
+	if got["widgets/op"] != 2 || got["ns/op"] != 1500 {
+		t.Fatalf("metrics: %v", got)
+	}
+	if res["BenchmarkPlain"]["things/op"] != 7 {
+		t.Fatalf("plain-text line not parsed: %v", res)
+	}
+}
+
+func baseline(rule MetricRule) Baseline {
+	return Baseline{Benchmarks: map[string]BenchBaseline{
+		"BenchmarkGate/sub=1": {Metrics: map[string]MetricRule{"widgets/op": rule}},
+	}}
+}
+
+func TestGatedRegressionFails(t *testing.T) {
+	res := parse(t, sampleStream) // widgets/op = 2
+	var out strings.Builder
+	// Within band: 2 <= 1.5+1.0.
+	if n := check(&out, baseline(MetricRule{Value: 1.5, Abs: 1.0, Gate: true}), res); n != 0 {
+		t.Fatalf("within-band value failed the gate: %s", out.String())
+	}
+	// Beyond band, higher-is-worse: fails.
+	if n := check(&out, baseline(MetricRule{Value: 1.0, Abs: 0.5, Gate: true}), res); n != 1 {
+		t.Fatalf("regression not caught: %s", out.String())
+	}
+	// Same drift, not gated: warns only.
+	if n := check(&out, baseline(MetricRule{Value: 1.0, Abs: 0.5}), res); n != 0 {
+		t.Fatalf("ungated metric failed the build: %s", out.String())
+	}
+	// Lower-is-worse direction.
+	if n := check(&out, baseline(MetricRule{Value: 4.0, Abs: 0.5, Worse: "lower", Gate: true}), res); n != 1 {
+		t.Fatalf("lower-is-worse regression not caught: %s", out.String())
+	}
+	// A gated metric missing from the run fails too.
+	miss := Baseline{Benchmarks: map[string]BenchBaseline{
+		"BenchmarkVanished": {Metrics: map[string]MetricRule{"widgets/op": {Value: 1, Gate: true}}},
+	}}
+	if n := check(&out, miss, res); n != 1 {
+		t.Fatalf("missing gated benchmark must fail: %s", out.String())
+	}
+}
+
+func TestDefaultRelTolerance(t *testing.T) {
+	// Neither abs nor rel set: the band defaults to 25% of the value.
+	r := MetricRule{Value: 8}
+	if r.regressed(9.9) {
+		t.Fatal("9.9 is within 8±25%")
+	}
+	if !r.regressed(10.1) {
+		t.Fatal("10.1 is beyond 8±25%")
+	}
+}

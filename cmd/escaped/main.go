@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -42,6 +43,30 @@ func (c *childFlags) Set(v string) error {
 	return nil
 }
 
+// tenantWeightFlags accumulates repeatable -tenant-weight name=N flags.
+type tenantWeightFlags struct {
+	specs   []string
+	weights map[string]int
+}
+
+func (t *tenantWeightFlags) String() string { return strings.Join(t.specs, ",") }
+func (t *tenantWeightFlags) Set(v string) error {
+	name, raw, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=N, got %q", v)
+	}
+	w, err := strconv.Atoi(raw)
+	if err != nil || w < 1 {
+		return fmt.Errorf("weight of %s must be a positive integer, got %q", name, raw)
+	}
+	if t.weights == nil {
+		t.weights = map[string]int{}
+	}
+	t.weights[name] = w
+	t.specs = append(t.specs, v)
+	return nil
+}
+
 func main() {
 	log.SetPrefix("escaped: ")
 	log.SetFlags(0)
@@ -58,9 +83,17 @@ func main() {
 		window    = flag.Duration("batch-window", 2*time.Millisecond, "admission: coalescing window after the first arrival")
 		maxBatch  = flag.Int("batch-max", 32, "admission: max requests per coalesced batch")
 		shard     = flag.String("shard", "domain", "orchestrator: DoV sharding: domain (one shard per child, disjoint installs commit concurrently) | single (one global generation counter)")
+
+		defWeight  = flag.Int("tenant-default-weight", 1, "admission: DWRR weight of tenants without a -tenant-weight entry")
+		tenantCap  = flag.Int("tenant-queue-cap", 0, "admission: per-tenant queued-job bound (0 = the global queue cap)")
+		tenantInFl = flag.Int("tenant-inflight", 0, "admission: per-tenant dispatched-job bound (0 = unlimited)")
+		ageAfter   = flag.Duration("age-after", 0, "admission: starvation-free aging interval (0 = 30s default, negative disables)")
+		fifo       = flag.Bool("fifo", false, "admission: disable weighted-fair scheduling (strict arrival order; baseline only)")
 	)
 	var children childFlags
 	flag.Var(&children, "child", "orchestrator: child layer as name=url (repeatable)")
+	var tenantWeights tenantWeightFlags
+	flag.Var(&tenantWeights, "tenant-weight", "admission: tenant DWRR weight as name=N (repeatable; unlisted tenants get -tenant-default-weight)")
 	flag.Parse()
 
 	if *id == "" {
@@ -73,7 +106,16 @@ func main() {
 	srv := api.NewServer(layer, nil)
 	var queue *admission.Queue
 	if *admit {
-		queue = admission.New(layer, admission.Options{Window: *window, MaxBatch: *maxBatch})
+		queue = admission.New(layer, admission.Options{
+			Window:            *window,
+			MaxBatch:          *maxBatch,
+			TenantWeights:     tenantWeights.weights,
+			DefaultWeight:     *defWeight,
+			TenantQueueCap:    *tenantCap,
+			TenantMaxInFlight: *tenantInFl,
+			AgeAfter:          *ageAfter,
+			DisableFairness:   *fifo,
+		})
 		srv.WithAdmission(queue)
 	}
 	addr, err := srv.Listen(*listen)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	unifyctl -server http://127.0.0.1:8181 [-timeout 30s] view [-format text|json|xml]
-//	unifyctl -server http://127.0.0.1:8181 submit request.json
+//	unifyctl -server http://127.0.0.1:8181 [-tenant acme] [-priority high] submit request.json
 //	unifyctl -server http://127.0.0.1:8181 submit -async [-wait] request.json
 //	unifyctl -server http://127.0.0.1:8181 list
 //	unifyctl -server http://127.0.0.1:8181 remove <service-id>
@@ -49,6 +49,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "deadline for the remote operation (0 = none)")
 	async := flag.Bool("async", false, "submit: enqueue and return a job ID instead of waiting")
 	wait := flag.Bool("wait", false, "submit -async: long-poll the job to completion")
+	tenant := flag.String("tenant", "", "submit: tenant identity (X-Unify-Tenant; empty = the server's default tenant)")
+	priority := flag.String("priority", "", "submit: admission priority: low | normal | high")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
@@ -72,6 +74,17 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	prio, err := unify.ParsePriority(*priority)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *tenant != "" || *priority != "" {
+		// The metadata rides the context into the API client, which maps it
+		// onto the X-Unify-* headers of every submission.
+		meta := unify.RequestMeta{Tenant: *tenant, Priority: prio}
+		ctx = unify.WithMeta(ctx, meta)
+		baseCtx = unify.WithMeta(baseCtx, meta)
 	}
 	cli, err := api.Dial("remote", *server)
 	if err != nil {
@@ -244,6 +257,17 @@ func main() {
 			sh := qs.Shards[k]
 			fmt.Printf("  lane %-12s depth=%-6d batches=%-6d coalesced=%d\n", k, sh.Depth, sh.Batches, sh.Coalesced)
 		}
+		var tenants []string
+		for k := range qs.Tenants {
+			tenants = append(tenants, k)
+		}
+		sort.Strings(tenants)
+		for _, k := range tenants {
+			t := qs.Tenants[k]
+			fmt.Printf("  tenant %-12s weight=%-3d depth=%-5d inflight=%-4d submitted=%-6d deployed=%-6d failed=%-5d dropped=%-5d aged=%-4d mean-wait=%s max-wait=%s\n",
+				k, t.Weight, t.Depth, t.InFlight, t.Submitted, t.Deployed, t.Failed, t.Dropped, t.Aged,
+				t.MeanWait().Round(time.Microsecond), t.WaitMax.Round(time.Microsecond))
+		}
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
@@ -251,6 +275,12 @@ func main() {
 
 func printJob(j admission.Job) {
 	fmt.Printf("%-8s %-10s service=%s batch=%d attempts=%d", j.ID, j.State, j.ServiceID, j.Batch, j.Attempts)
+	if j.Tenant != "" {
+		fmt.Printf(" tenant=%s", j.Tenant)
+	}
+	if j.Priority != "" && j.Priority != unify.PriorityNormal {
+		fmt.Printf(" priority=%s", j.Priority)
+	}
 	if !j.Finished.IsZero() {
 		fmt.Printf(" took=%s", j.Finished.Sub(j.Submitted).Round(time.Millisecond))
 	}

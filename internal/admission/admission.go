@@ -16,6 +16,23 @@
 // orchestrator does), each coalescing window is partitioned by shard overlap
 // and disjoint groups dispatch concurrently on per-shard lanes — the global
 // FIFO queue is the degenerate single-lane case of the same machinery.
+//
+// Scheduling is multi-tenant and weighted-fair: every submission carries a
+// tenant identity (unify.RequestMeta via its context; absent = DefaultTenant)
+// and lands in that tenant's sub-queue. Each coalescing window is drawn from
+// the sub-queues by deficit-weighted round-robin — a tenant with weight w
+// earns w slots of credit per round, unused credit carries over while the
+// tenant stays backlogged — so one tenant's elephant backlog cannot starve
+// another's requests: every tenant is guaranteed its weight share of each
+// window no matter how deep a competitor's queue is. Within one tenant's
+// queue, priority classes (unify.Priority) order dispatch, with
+// starvation-free aging: a request queued longer than AgeAfter is promoted
+// one class per elapsed interval, so even low-priority work eventually drains.
+// Per-tenant queue caps bound how much backlog any tenant may park, and a
+// per-tenant in-flight cap keeps its excess IN the queue (where scheduling
+// still owns the order) instead of piled onto dispatch lanes. Tenants with no
+// configuration get DefaultWeight and the shared caps — the zero-config
+// single-tenant case degenerates to the old FIFO exactly.
 package admission
 
 import (
@@ -77,6 +94,11 @@ type Job struct {
 	ID        string `json:"id"`
 	ServiceID string `json:"service_id"`
 	State     State  `json:"state"`
+	// Tenant is the submitting party (unify.DefaultTenant when the submission
+	// carried no identity); Priority its admission class within that tenant's
+	// queue.
+	Tenant   string         `json:"tenant,omitempty"`
+	Priority unify.Priority `json:"priority,omitempty"`
 	// Error is the failure reason when State is failed or canceled.
 	Error string `json:"error,omitempty"`
 	// Attempts is the number of mapping cycles the job's batch consumed.
@@ -99,6 +121,9 @@ type job struct {
 	shards []string      // estimated shard set (nil = global), fixed at submit
 	err    error         // terminal error with sentinel identity preserved
 	done   chan struct{} // closed exactly once on reaching a terminal state
+	// dispatched marks a job popped from its tenant queue (it counts against
+	// the tenant's in-flight cap until terminal). Guarded by Queue.mu.
+	dispatched bool
 }
 
 // Options tune the queue.
@@ -110,12 +135,41 @@ type Options struct {
 	// more requests to coalesce (0 selects the 2ms default; negative
 	// dispatches immediately).
 	Window time.Duration
-	// QueueCap bounds the number of queued (not yet dispatched) jobs;
-	// submissions beyond it fail with ErrQueueFull (default 1024).
+	// QueueCap bounds the number of queued (not yet dispatched) jobs across
+	// all tenants; submissions beyond it fail with ErrQueueFull (default
+	// 1024).
 	QueueCap int
 	// Retention bounds how many finished jobs stay queryable; the oldest
 	// terminal jobs are evicted beyond it (default 4096).
 	Retention int
+
+	// TenantWeights sets per-tenant DWRR weights: a tenant with weight w is
+	// guaranteed w slots of every scheduling round for as long as it has
+	// backlog. Tenants not listed get DefaultWeight.
+	TenantWeights map[string]int
+	// DefaultWeight is the weight of tenants without an explicit entry
+	// (default 1; values < 1 are raised to 1).
+	DefaultWeight int
+	// TenantQueueCap bounds one tenant's queued (undispatched) jobs;
+	// submissions beyond it fail with ErrQueueFull and count as that tenant's
+	// drops (default: QueueCap, i.e. no per-tenant bound beyond the global
+	// one).
+	TenantQueueCap int
+	// TenantMaxInFlight bounds how many of one tenant's jobs may be
+	// dispatched (mapping or deploying) at once; its excess stays queued,
+	// where the scheduler still owns the order (0 = unlimited, the default).
+	TenantMaxInFlight int
+	// AgeAfter is the starvation-free aging interval: a queued job is
+	// scheduled one priority class higher per AgeAfter it has waited (0
+	// selects the 30s default; negative disables aging).
+	AgeAfter time.Duration
+	// DisableFairness restores the single global FIFO: jobs dispatch in
+	// strict arrival order regardless of tenant or priority (the measurable
+	// baseline for BenchmarkE10FairAdmission). Tenant accounting and the
+	// in-flight cap still apply — in FIFO order an over-cap tenant at the head
+	// of the line blocks everyone behind it, which is exactly the behavior
+	// the weighted scheduler exists to fix.
+	DisableFairness bool
 }
 
 func (o *Options) defaults() {
@@ -133,6 +187,25 @@ func (o *Options) defaults() {
 	if o.Retention <= 0 {
 		o.Retention = 4096
 	}
+	if o.DefaultWeight < 1 {
+		o.DefaultWeight = 1
+	}
+	if o.TenantQueueCap <= 0 {
+		o.TenantQueueCap = o.QueueCap
+	}
+	if o.AgeAfter == 0 {
+		o.AgeAfter = 30 * time.Second
+	} else if o.AgeAfter < 0 {
+		o.AgeAfter = 0 // disabled
+	}
+}
+
+// weightOf resolves one tenant's DWRR weight.
+func (o *Options) weightOf(tenant string) int {
+	if w, ok := o.TenantWeights[tenant]; ok && w >= 1 {
+		return w
+	}
+	return o.DefaultWeight
 }
 
 // Stats are the queue's cumulative counters and current gauges.
@@ -156,6 +229,47 @@ type Stats struct {
 	// in their estimated set; jobs whose set could not be narrowed count
 	// under GlobalShard.
 	Shards map[string]ShardQueueStats `json:"shards,omitempty"`
+	// Tenants carries per-tenant scheduling counters, keyed by tenant name.
+	// The population is bounded: beyond maxIdleTenants, idle unweighted
+	// tenants are reclaimed and their per-tenant counters dropped (the
+	// queue-level totals above keep counting them).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats are one tenant's admission counters and gauges.
+type TenantStats struct {
+	// Weight is the tenant's DWRR weight; Depth its current queued backlog
+	// (MaxDepth the deepest observed); InFlight its dispatched, not yet
+	// terminal jobs.
+	Weight   int `json:"weight"`
+	Depth    int `json:"depth"`
+	MaxDepth int `json:"max_depth"`
+	InFlight int `json:"in_flight"`
+	// Submitted/Deployed/Failed/Canceled count the tenant's jobs by outcome;
+	// Admitted counts jobs dispatched into a batch; Dropped counts
+	// submissions rejected at intake (global or per-tenant queue cap).
+	Submitted uint64 `json:"submitted"`
+	Admitted  uint64 `json:"admitted"`
+	Deployed  uint64 `json:"deployed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Dropped   uint64 `json:"dropped"`
+	// Aged counts jobs dispatched above their base priority class (the
+	// starvation-free aging promotion fired).
+	Aged uint64 `json:"aged"`
+	// WaitTotal accumulates queue wait (submit → dispatch) over WaitCount
+	// dispatched jobs; WaitMax is the longest single wait.
+	WaitTotal time.Duration `json:"wait_total_ns"`
+	WaitCount uint64        `json:"wait_count"`
+	WaitMax   time.Duration `json:"wait_max_ns"`
+}
+
+// MeanWait is the tenant's mean queue wait (0 before the first dispatch).
+func (t TenantStats) MeanWait() time.Duration {
+	if t.WaitCount == 0 {
+		return 0
+	}
+	return t.WaitTotal / time.Duration(t.WaitCount)
 }
 
 // GlobalShard is the Stats.Shards key for jobs that touch every shard (an
@@ -196,13 +310,138 @@ type Queue struct {
 	lanesMu sync.Mutex
 	lanes   map[string]*sync.Mutex
 
-	mu       sync.Mutex
-	closed   bool
-	seq      uint64
-	jobs     map[string]*job
-	pending  []*job // FIFO of queued jobs
+	mu     sync.Mutex
+	closed bool
+	seq    uint64
+	jobs   map[string]*job
+	// Per-tenant sub-queues: every queued job lives in exactly one tenant's
+	// class FIFO. order is the round-robin rotation of tenant names (append-
+	// only: an idle tenant keeps its slot, its empty queue is just skipped);
+	// depth is the total queued count across tenants.
+	tenants  map[string]*tenantQueue
+	order    []string
+	rrPos    int
+	depth    int
 	finished []*job // terminal jobs in completion order (retention ring)
 	stats    Stats
+}
+
+// tenantQueue is one tenant's admission sub-queue: a FIFO per priority class
+// plus the tenant's DWRR credit and counters. Guarded by Queue.mu.
+type tenantQueue struct {
+	name   string
+	weight int
+	// deficit is the tenant's unspent scheduling credit: popLocked adds
+	// weight per round a backlogged tenant participates in and spends 1 per
+	// dispatched job. It resets when the queue empties, so idle tenants do
+	// not bank credit.
+	deficit int
+	// classes holds queued jobs FIFO per priority rank (index =
+	// unify.Priority.Rank()); depth is their total.
+	classes  [unify.NumPriorities][]*job
+	depth    int
+	inFlight int
+	stats    TenantStats
+}
+
+func (tq *tenantQueue) push(j *job) {
+	tq.classes[j.snap.Priority.Rank()] = append(tq.classes[j.snap.Priority.Rank()], j)
+	tq.depth++
+	if tq.depth > tq.stats.MaxDepth {
+		tq.stats.MaxDepth = tq.depth
+	}
+}
+
+// remove deletes a still-queued job (cancellation); reports whether it was
+// found. The vacated trailing slot is cleared so the backing array does not
+// pin the job (and its owned request graph) after it left the queue.
+func (tq *tenantQueue) remove(j *job) bool {
+	c := j.snap.Priority.Rank()
+	q := tq.classes[c]
+	for i, p := range q {
+		if p == j {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			tq.classes[c] = q[:len(q)-1]
+			tq.depth--
+			return true
+		}
+	}
+	return false
+}
+
+// effectiveRank is a queued job's scheduling rank after aging: one class per
+// ageAfter waited beyond its base class, capped at the highest class.
+// ageAfter <= 0 disables aging.
+func effectiveRank(j *job, now time.Time, ageAfter time.Duration) int {
+	r := j.snap.Priority.Rank()
+	if ageAfter > 0 {
+		if steps := int(now.Sub(j.snap.Submitted) / ageAfter); steps > 0 {
+			r += steps
+		}
+	}
+	if r > unify.NumPriorities-1 {
+		r = unify.NumPriorities - 1
+	}
+	return r
+}
+
+// pop dequeues the tenant's best job: highest effective rank (aging
+// included), oldest submission first on rank ties. The age tie-break is what
+// makes aging starvation-free: a low-priority job promoted to the top rank is
+// by construction older than the fresh natives it now ties with, so it wins —
+// a steady high-priority stream cannot hold it off forever. Within one class
+// the FIFO head is both the oldest and the most-aged, so only the class heads
+// need comparing. Returns nil when the queue is empty.
+func (tq *tenantQueue) pop(now time.Time, ageAfter time.Duration) *job {
+	best := -1
+	bestRank := -1
+	var bestSub time.Time
+	for c := unify.NumPriorities - 1; c >= 0; c-- {
+		if len(tq.classes[c]) == 0 {
+			continue
+		}
+		h := tq.classes[c][0]
+		r := effectiveRank(h, now, ageAfter)
+		if r > bestRank || (r == bestRank && h.snap.Submitted.Before(bestSub)) {
+			bestRank, best, bestSub = r, c, h.snap.Submitted
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	q := tq.classes[best]
+	j := q[0]
+	// Clear the popped slot (the backing array must not pin the job and its
+	// request graph past dispatch), and drop the array entirely once the
+	// class drains — a daemon's burst peak must not stay allocated forever.
+	q[0] = nil
+	if len(q) == 1 {
+		tq.classes[best] = nil
+	} else {
+		tq.classes[best] = q[1:]
+	}
+	tq.depth--
+	if bestRank > best {
+		tq.stats.Aged++
+	}
+	return j
+}
+
+// head returns the tenant's earliest-submitted queued job without dequeuing
+// it (the FIFO-baseline order ignores class and aging). Returns nil when
+// empty.
+func (tq *tenantQueue) head() *job {
+	var h *job
+	for c := range tq.classes {
+		if len(tq.classes[c]) == 0 {
+			continue
+		}
+		if h == nil || tq.classes[c][0].seq < h.seq {
+			h = tq.classes[c][0]
+		}
+	}
+	return h
 }
 
 // New builds a queue in front of layer and starts its dispatcher. When the
@@ -217,14 +456,20 @@ func New(layer unify.Layer, opts Options) *Queue {
 	opts.defaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
-		layer:  layer,
-		opts:   opts,
-		ctx:    ctx,
-		cancel: cancel,
-		wake:   make(chan struct{}, 1),
-		exited: make(chan struct{}),
-		lanes:  map[string]*sync.Mutex{},
-		jobs:   map[string]*job{},
+		layer:   layer,
+		opts:    opts,
+		ctx:     ctx,
+		cancel:  cancel,
+		wake:    make(chan struct{}, 1),
+		exited:  make(chan struct{}),
+		lanes:   map[string]*sync.Mutex{},
+		jobs:    map[string]*job{},
+		tenants: map[string]*tenantQueue{},
+	}
+	// Pre-create explicitly weighted tenants so their configuration shows in
+	// Stats before their first submission.
+	for name := range opts.TenantWeights {
+		q.tenantLocked(name)
 	}
 	if bi, ok := layer.(unify.BatchInstaller); ok {
 		q.batch = bi
@@ -256,9 +501,58 @@ func (q *Queue) Close() {
 	<-q.exited
 }
 
+// tenantLocked returns (creating on first use) one tenant's sub-queue.
+// Callers hold q.mu (or, during New, have exclusive ownership).
+func (q *Queue) tenantLocked(name string) *tenantQueue {
+	tq, ok := q.tenants[name]
+	if !ok {
+		tq = &tenantQueue{name: name, weight: q.opts.weightOf(name)}
+		tq.stats.Weight = tq.weight
+		q.tenants[name] = tq
+		q.order = append(q.order, name)
+	}
+	return tq
+}
+
+// maxIdleTenants bounds the tenant population the queue keeps scheduler
+// state (and counters) for. Tenant names arrive from the network, so without
+// a bound an attacker cycling names would grow q.tenants — and the rotation
+// every scheduling round scans — forever.
+const maxIdleTenants = 256
+
+// reclaimTenantLocked drops one idle tenant's scheduler state once the
+// population exceeds maxIdleTenants. Explicitly weighted tenants are never
+// reclaimed; a reclaimed tenant's per-tenant counters are lost (the
+// queue-level totals remain), and it simply re-registers at its next
+// submission. Callers hold q.mu.
+func (q *Queue) reclaimTenantLocked(tq *tenantQueue) {
+	if len(q.tenants) <= maxIdleTenants || tq.depth != 0 || tq.inFlight != 0 {
+		return
+	}
+	if _, configured := q.opts.TenantWeights[tq.name]; configured {
+		return
+	}
+	delete(q.tenants, tq.name)
+	kept := q.order[:0]
+	for _, n := range q.order {
+		if n != tq.name {
+			kept = append(kept, n)
+		}
+	}
+	q.order = kept
+	if len(q.order) > 0 {
+		q.rrPos %= len(q.order)
+	} else {
+		q.rrPos = 0
+	}
+}
+
 // Submit enqueues a request and returns the job snapshot immediately. The
-// context bounds only the enqueue; the deployment itself runs on the queue's
-// lifecycle context (use Wait, or the job's terminal state, for completion).
+// context bounds only the enqueue — and carries the submission's tenant
+// identity and priority (unify.WithMeta; absent meta lands in
+// unify.DefaultTenant at normal priority). The deployment itself runs on the
+// queue's lifecycle context (use Wait, or the job's terminal state, for
+// completion).
 func (q *Queue) Submit(ctx context.Context, req *nffg.NFFG) (Job, error) {
 	if err := ctx.Err(); err != nil {
 		return Job{}, err
@@ -266,6 +560,7 @@ func (q *Queue) Submit(ctx context.Context, req *nffg.NFFG) (Job, error) {
 	if req == nil || req.ID == "" {
 		return Job{}, fmt.Errorf("%w: request needs an ID", unify.ErrRejected)
 	}
+	meta := unify.MetaFrom(ctx).Normalize()
 	var shards []string
 	if q.sharder != nil {
 		shards = q.sharder.ShardSet(req)
@@ -275,9 +570,22 @@ func (q *Queue) Submit(ctx context.Context, req *nffg.NFFG) (Job, error) {
 		q.mu.Unlock()
 		return Job{}, ErrClosed
 	}
-	if len(q.pending) >= q.opts.QueueCap {
+	if q.depth >= q.opts.QueueCap {
+		// Attribute the drop when the tenant is already known, but do not
+		// materialize scheduler state for a submission rejected at the global
+		// cap — tenant names arrive from the network, and a full queue must
+		// not be a vector for growing q.tenants without bound.
+		if tq, ok := q.tenants[meta.Tenant]; ok {
+			tq.stats.Dropped++
+		}
 		q.mu.Unlock()
 		return Job{}, fmt.Errorf("%w: %d jobs queued", ErrQueueFull, q.opts.QueueCap)
+	}
+	tq := q.tenantLocked(meta.Tenant)
+	if tq.depth >= q.opts.TenantQueueCap {
+		tq.stats.Dropped++
+		q.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: tenant %s has %d jobs queued", ErrQueueFull, meta.Tenant, q.opts.TenantQueueCap)
 	}
 	q.seq++
 	j := &job{
@@ -288,15 +596,19 @@ func (q *Queue) Submit(ctx context.Context, req *nffg.NFFG) (Job, error) {
 			ID:        fmt.Sprintf("job-%d", q.seq),
 			ServiceID: req.ID,
 			State:     StateQueued,
+			Tenant:    meta.Tenant,
+			Priority:  meta.Priority,
 			Submitted: time.Now(),
 		},
 		done: make(chan struct{}),
 	}
 	q.jobs[j.snap.ID] = j
-	q.pending = append(q.pending, j)
+	tq.push(j)
+	tq.stats.Submitted++
+	q.depth++
 	q.stats.Submitted++
-	if d := len(q.pending); d > q.stats.MaxDepth {
-		q.stats.MaxDepth = d
+	if q.depth > q.stats.MaxDepth {
+		q.stats.MaxDepth = q.depth
 	}
 	snap := j.snap
 	q.mu.Unlock()
@@ -367,33 +679,40 @@ func (q *Queue) Cancel(id string) error {
 	if j.snap.State != StateQueued {
 		return fmt.Errorf("%w: %s is %s", ErrNotCancelable, id, j.snap.State)
 	}
-	for i, p := range q.pending {
-		if p == j {
-			q.pending = append(q.pending[:i], q.pending[i+1:]...)
-			break
-		}
+	if tq, ok := q.tenants[j.snap.Tenant]; ok && tq.remove(j) {
+		q.depth--
 	}
 	q.stats.Canceled++
 	q.terminateLocked(j, nil, ErrCanceled)
 	return nil
 }
 
-// Stats returns the queue's counters; Depth reflects the current backlog.
+// Stats returns the queue's counters; Depth reflects the current backlog and
+// Tenants the per-tenant scheduling state.
 func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	st := q.stats
-	st.Depth = len(q.pending)
+	st.Depth = q.depth
 	st.Shards = make(map[string]ShardQueueStats, len(q.stats.Shards))
 	for k, v := range q.stats.Shards {
 		v.Depth = 0
 		st.Shards[k] = v
 	}
-	for _, j := range q.pending {
-		for _, k := range shardLabels(j) {
-			s := st.Shards[k]
-			s.Depth++
-			st.Shards[k] = s
+	st.Tenants = make(map[string]TenantStats, len(q.tenants))
+	for name, tq := range q.tenants {
+		ts := tq.stats
+		ts.Depth = tq.depth
+		ts.InFlight = tq.inFlight
+		st.Tenants[name] = ts
+		for _, c := range tq.classes {
+			for _, j := range c {
+				for _, k := range shardLabels(j) {
+					s := st.Shards[k]
+					s.Depth++
+					st.Shards[k] = s
+				}
+			}
 		}
 	}
 	return st
@@ -479,6 +798,10 @@ func (q *Queue) rollbackAbandoned(jobID, serviceID string) {
 		j.snap.Receipt = nil
 		q.stats.Deployed--
 		q.stats.Failed++
+		if tq, ok := q.tenants[j.snap.Tenant]; ok {
+			tq.stats.Deployed--
+			tq.stats.Failed++
+		}
 	}
 	q.mu.Unlock()
 }
@@ -620,10 +943,11 @@ func (q *Queue) recordGroup(g jobGroup) {
 	}
 }
 
-// take waits out the coalescing window and pops up to MaxBatch queued jobs.
+// take waits out the coalescing window, then draws up to MaxBatch jobs from
+// the tenant sub-queues by deficit-weighted round-robin (popLocked).
 func (q *Queue) take() []*job {
 	q.mu.Lock()
-	n := len(q.pending)
+	n := q.depth
 	q.mu.Unlock()
 	if n == 0 {
 		return nil
@@ -640,25 +964,122 @@ func (q *Queue) take() []*job {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	k := min(len(q.pending), q.opts.MaxBatch)
-	if k == 0 {
-		// Everything queued was canceled during the window; not a batch.
+	batch := q.popLocked(q.opts.MaxBatch)
+	if len(batch) == 0 {
+		// Everything queued was canceled during the window, or every
+		// backlogged tenant is at its in-flight cap (each finishing job wakes
+		// the dispatcher to retry); not a batch.
 		return nil
 	}
-	batch := make([]*job, k)
-	copy(batch, q.pending[:k])
-	q.pending = append(q.pending[:0:0], q.pending[k:]...)
 	now := time.Now()
 	for _, j := range batch {
 		j.snap.State = StateMapping
 		j.snap.Started = now
 		// Batch is stamped per dispatch group (recordGroup): the window may
 		// split into smaller per-lane groups.
+		j.dispatched = true
+		tq := q.tenants[j.snap.Tenant]
+		tq.inFlight++
+		tq.stats.Admitted++
+		wait := now.Sub(j.snap.Submitted)
+		tq.stats.WaitTotal += wait
+		tq.stats.WaitCount++
+		if wait > tq.stats.WaitMax {
+			tq.stats.WaitMax = wait
+		}
 	}
 	q.stats.Batches++
-	q.stats.Coalesced += uint64(k)
-	if k > q.stats.MaxBatch {
-		q.stats.MaxBatch = k
+	q.stats.Coalesced += uint64(len(batch))
+	if len(batch) > q.stats.MaxBatch {
+		q.stats.MaxBatch = len(batch)
+	}
+	return batch
+}
+
+// atCapLocked reports whether a tenant has exhausted its in-flight budget,
+// counting jobs already drawn into the current (not yet dispatched) batch.
+func (q *Queue) atCapLocked(tq *tenantQueue, popped map[*tenantQueue]int) bool {
+	return q.opts.TenantMaxInFlight > 0 &&
+		tq.inFlight+popped[tq] >= q.opts.TenantMaxInFlight
+}
+
+// popLocked draws up to max jobs from the tenant sub-queues. Callers hold
+// q.mu.
+//
+// Fair mode (the default) is deficit-weighted round-robin over the tenant
+// rotation: each round, every backlogged eligible tenant earns its weight in
+// credit and dequeues (priority-and-aging order, see tenantQueue.pop) while
+// it has credit; unspent credit carries over while the tenant stays
+// backlogged — the "deficit" that makes the long-run share converge to the
+// weight ratio even when MaxBatch is smaller than one full round — and resets
+// when its queue drains. Tenants at their in-flight cap are skipped (earning
+// nothing: a capped tenant is not entitled to a catch-up burst). The rotation
+// start advances once per call so the same tenant does not lead every window.
+//
+// FIFO mode (Options.DisableFairness) dispatches in strict global arrival
+// order; an over-cap tenant at the head of the line blocks everyone behind it
+// — the baseline head-of-line behavior the weighted scheduler exists to fix.
+func (q *Queue) popLocked(max int) []*job {
+	var batch []*job
+	popped := map[*tenantQueue]int{}
+	if q.opts.DisableFairness {
+		for len(batch) < max {
+			var best *tenantQueue
+			var bestJob *job
+			for _, name := range q.order {
+				tq := q.tenants[name]
+				if h := tq.head(); h != nil && (bestJob == nil || h.seq < bestJob.seq) {
+					best, bestJob = tq, h
+				}
+			}
+			if bestJob == nil || q.atCapLocked(best, popped) {
+				break
+			}
+			best.remove(bestJob)
+			q.depth--
+			popped[best]++
+			batch = append(batch, bestJob)
+		}
+		return batch
+	}
+	now := time.Now()
+	for len(batch) < max {
+		progress := false
+		n := len(q.order)
+		for k := 0; k < n && len(batch) < max; k++ {
+			tq := q.tenants[q.order[(q.rrPos+k)%n]]
+			if tq.depth == 0 {
+				tq.deficit = 0
+				continue
+			}
+			if q.atCapLocked(tq, popped) {
+				continue
+			}
+			tq.deficit += tq.weight
+			// Bound banked credit: a tenant starved of batch space for many
+			// windows may catch up, but never by more than one window plus
+			// one round at once.
+			if limit := tq.weight + max; tq.deficit > limit {
+				tq.deficit = limit
+			}
+			for tq.deficit > 0 && tq.depth > 0 && len(batch) < max && !q.atCapLocked(tq, popped) {
+				j := tq.pop(now, q.opts.AgeAfter)
+				tq.deficit--
+				q.depth--
+				popped[tq]++
+				batch = append(batch, j)
+				progress = true
+			}
+			if tq.depth == 0 {
+				tq.deficit = 0
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if n := len(q.order); n > 0 {
+		q.rrPos = (q.rrPos + 1) % n
 	}
 	return batch
 }
@@ -723,11 +1144,18 @@ func (q *Queue) process(batch []*job) {
 func (q *Queue) drain() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for _, j := range q.pending {
-		q.stats.Canceled++
-		q.terminateLocked(j, nil, fmt.Errorf("%w: %v", ErrCanceled, ErrClosed))
+	for _, tq := range q.tenants {
+		for c := range tq.classes {
+			for _, j := range tq.classes[c] {
+				q.stats.Canceled++
+				q.terminateLocked(j, nil, fmt.Errorf("%w: %v", ErrCanceled, ErrClosed))
+			}
+			tq.classes[c] = nil
+		}
+		tq.depth = 0
+		tq.deficit = 0
 	}
-	q.pending = nil
+	q.depth = 0
 }
 
 func (q *Queue) setState(j *job, s State) {
@@ -775,6 +1203,28 @@ func (q *Queue) terminateLocked(j *job, receipt *unify.Receipt, err error) {
 	default:
 		j.snap.State = StateDeployed
 		j.snap.Receipt = receipt
+	}
+	if tq, ok := q.tenants[j.snap.Tenant]; ok {
+		switch j.snap.State {
+		case StateDeployed:
+			tq.stats.Deployed++
+		case StateFailed:
+			tq.stats.Failed++
+		case StateCanceled:
+			tq.stats.Canceled++
+		}
+		if j.dispatched {
+			tq.inFlight--
+			// A freed in-flight slot may unblock a capped tenant's backlog:
+			// nudge the dispatcher (non-blocking; spurious wakes are cheap).
+			if q.opts.TenantMaxInFlight > 0 && q.depth > 0 {
+				select {
+				case q.wake <- struct{}{}:
+				default:
+				}
+			}
+		}
+		q.reclaimTenantLocked(tq)
 	}
 	close(j.done)
 	q.finished = append(q.finished, j)

@@ -27,7 +27,11 @@
 //
 // The jobs endpoints exist when the server is given an admission queue
 // (WithAdmission); synchronous installs then ride the same coalescing batches
-// as async ones.
+// as async ones. Installs (sync and async) accept the X-Unify-Tenant and
+// X-Unify-Priority headers: the submission's admission metadata
+// (unify.RequestMeta), which selects the tenant sub-queue and priority class
+// of the weighted-fair scheduler. An absent tenant header means
+// unify.DefaultTenant; a bad priority is a 400.
 package api
 
 import (
@@ -158,10 +162,35 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.layer.Services())
 }
 
+// TenantHeader and PriorityHeader carry a submission's admission metadata
+// (unify.RequestMeta) over HTTP. An absent tenant header means
+// unify.DefaultTenant; a bad priority value is a 400.
+const (
+	TenantHeader   = "X-Unify-Tenant"
+	PriorityHeader = "X-Unify-Priority"
+)
+
+// requestMeta extracts the submission metadata headers into a context the
+// admission queue reads (unify.MetaFrom).
+func requestMeta(r *http.Request) (context.Context, error) {
+	meta := unify.RequestMeta{Tenant: r.Header.Get(TenantHeader)}
+	prio, err := unify.ParsePriority(r.Header.Get(PriorityHeader))
+	if err != nil {
+		return nil, err
+	}
+	meta.Priority = prio
+	return unify.WithMeta(r.Context(), meta), nil
+}
+
 func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 	req, err := nffg.DecodeJSON(r.Body)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	ctx, err := requestMeta(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "api: " + err.Error()})
 		return
 	}
 	if r.URL.Query().Get("mode") == "async" {
@@ -169,7 +198,7 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: no admission queue configured"})
 			return
 		}
-		job, err := s.adm.Submit(r.Context(), req)
+		job, err := s.adm.Submit(ctx, req)
 		if err != nil {
 			httpError(w, err)
 			return
@@ -178,12 +207,13 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Synchronous installs go through the admission queue too when present,
-	// so they coalesce into the same batches.
+	// so they coalesce into the same batches (and the same per-tenant
+	// scheduling).
 	install := s.layer.Install
 	if s.adm != nil {
 		install = s.adm.Install
 	}
-	receipt, err := install(r.Context(), req)
+	receipt, err := install(ctx, req)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -301,8 +331,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 type Client struct {
 	id    string
 	base  string
-	unary *http.Client // bounded by the dial timeout
-	long  *http.Client // context-governed only
+	meta  unify.RequestMeta // default submission metadata (see WithTenant)
+	unary *http.Client      // bounded by the dial timeout
+	long  *http.Client      // context-governed only
 }
 
 // DefaultTimeout bounds unary client calls (and the Dial health check) unless
@@ -315,6 +346,19 @@ type DialOption func(*Client)
 // WithTimeout overrides the unary-call timeout (0 disables it).
 func WithTimeout(d time.Duration) DialOption {
 	return func(c *Client) { c.unary.Timeout = d }
+}
+
+// WithTenant sets the client's default submission identity: every install or
+// async submit carries it as the X-Unify-Tenant header unless the call's
+// context overrides it (unify.WithMeta).
+func WithTenant(tenant string) DialOption {
+	return func(c *Client) { c.meta.Tenant = tenant }
+}
+
+// WithPriority sets the client's default admission priority, overridable per
+// call via unify.WithMeta on the context.
+func WithPriority(p unify.Priority) DialOption {
+	return func(c *Client) { c.meta.Priority = p }
 }
 
 // Dial checks the remote's health and returns a client. id names the layer
@@ -387,7 +431,11 @@ func (c *Client) View(ctx context.Context) (*nffg.NFFG, error) {
 	return nffg.DecodeJSON(resp.Body)
 }
 
-// install POSTs a request, optionally in async mode.
+// install POSTs a request, optionally in async mode. The submission metadata
+// (tenant, priority) comes from the call context when set there
+// (unify.WithMeta), falling back to the client's dial-time defaults; it rides
+// the X-Unify-* headers, so it survives the process boundary into the remote
+// admission queue.
 func (c *Client) install(ctx context.Context, req *nffg.NFFG, async bool) (*http.Response, error) {
 	var buf bytes.Buffer
 	if err := req.EncodeJSON(&buf); err != nil {
@@ -402,6 +450,19 @@ func (c *Client) install(ctx context.Context, req *nffg.NFFG, async bool) (*http
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	meta := unify.MetaFrom(ctx)
+	if meta.Tenant == "" {
+		meta.Tenant = c.meta.Tenant
+	}
+	if meta.Priority == "" {
+		meta.Priority = c.meta.Priority
+	}
+	if meta.Tenant != "" {
+		hreq.Header.Set(TenantHeader, meta.Tenant)
+	}
+	if meta.Priority != "" {
+		hreq.Header.Set(PriorityHeader, string(meta.Priority))
+	}
 	if async {
 		// Submission returns immediately; the unary bound applies.
 		return c.unary.Do(hreq)

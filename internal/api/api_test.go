@@ -479,3 +479,95 @@ func TestPipelineStatsOverHTTP(t *testing.T) {
 		t.Fatal("plain layer must not report pipeline stats")
 	}
 }
+
+// TestTenantIdentityOverHTTP: the submission's tenant identity and priority
+// survive the whole submit -> job -> stats round-trip over the wire (context
+// meta -> X-Unify-* headers -> remote queue -> job JSON), and default sanely
+// when absent.
+func TestTenantIdentityOverHTTP(t *testing.T) {
+	lo := leaf(t, "remote")
+	q := admission.New(lo, admission.Options{Window: time.Millisecond})
+	t.Cleanup(q.Close)
+	srv := NewServer(lo, nil).WithAdmission(q)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := Dial("remote", "http://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Explicit meta on the call context.
+	actx := unify.WithMeta(ctx, unify.RequestMeta{Tenant: "acme", Priority: unify.PriorityHigh})
+	job, err := cli.SubmitAsync(actx, sg(t, "svc-acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Tenant != "acme" || job.Priority != unify.PriorityHigh {
+		t.Fatalf("submitted job meta: %+v", job)
+	}
+	done, err := cli.WaitJob(ctx, job.ID)
+	if err != nil || done.State != admission.StateDeployed {
+		t.Fatalf("job: %+v %v", done, err)
+	}
+	if done.Tenant != "acme" || done.Priority != unify.PriorityHigh {
+		t.Fatalf("terminal job lost its meta: %+v", done)
+	}
+	if got, err := cli.Job(ctx, job.ID); err != nil || got.Tenant != "acme" {
+		t.Fatalf("job fetch: %+v %v", got, err)
+	}
+	// The leaf has one SAP pair: clear it for the next submission.
+	if err := cli.Remove(ctx, "svc-acme"); err != nil {
+		t.Fatal(err)
+	}
+
+	// No meta at all: the submission lands in the default tenant.
+	dj, err := cli.SubmitAsync(ctx, sg(t, "svc-plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dj.Tenant != unify.DefaultTenant || dj.Priority != unify.PriorityNormal {
+		t.Fatalf("default meta: %+v", dj)
+	}
+	if dd, err := cli.WaitJob(ctx, dj.ID); err != nil || dd.State != admission.StateDeployed {
+		t.Fatalf("default-tenant job: %+v %v", dd, err)
+	}
+	if err := cli.Remove(ctx, "svc-plain"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A client-wide default tenant (dial option) applies when the context
+	// carries none; sync installs are attributed the same way.
+	cli2, err := Dial("remote", "http://"+addr, WithTenant("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli2.Install(ctx, sg(t, "svc-beta")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-tenant accounting made the round trip too.
+	st, err := cli.AdmissionStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenants["acme"].Deployed != 1 || st.Tenants["acme"].Submitted != 1 {
+		t.Fatalf("acme stats over the wire: %+v", st.Tenants)
+	}
+	if st.Tenants[unify.DefaultTenant].Deployed != 1 {
+		t.Fatalf("default-tenant stats: %+v", st.Tenants)
+	}
+	if st.Tenants["beta"].Deployed != 1 {
+		t.Fatalf("beta (client-default) stats: %+v", st.Tenants)
+	}
+
+	// A bad priority header is a 400, not a silent default.
+	bctx := unify.WithMeta(ctx, unify.RequestMeta{Priority: unify.Priority("urgent")})
+	if _, err := cli.SubmitAsync(bctx, sg(t, "svc-bad")); err == nil {
+		t.Fatal("bad priority must be rejected")
+	}
+}

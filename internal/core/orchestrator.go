@@ -80,11 +80,14 @@ type ResourceOrchestrator struct {
 	// releases) across all shards — the logical generation northbound.
 	epoch atomic.Uint64
 
-	// Generation-keyed read caches (see readcache.go).
-	cutCache  atomic.Pointer[cutEntry]
-	viewCache atomic.Pointer[viewEntry]
-	cutStats  cacheCounters
-	viewStats cacheCounters
+	// Generation-keyed read caches (see readcache.go). cutCache holds the
+	// all-shard cut; scopedCuts the per-shard-subset cuts narrowed admission
+	// groups plan on. Both account under cutStats.
+	cutCache   atomic.Pointer[cutEntry]
+	viewCache  atomic.Pointer[viewEntry]
+	scopedCuts scopedCutCache
+	cutStats   cacheCounters
+	viewStats  cacheCounters
 
 	// Contention counters of the mapping pipeline (see PipelineStats).
 	stats struct {
@@ -123,7 +126,8 @@ type PipelineStats struct {
 	// conflicting state and needs operator attention.
 	MergeErrors uint64 `json:"merge_errors"`
 	// CutCache/ViewCache count the generation-keyed read caches: the merged
-	// all-shard cut and the memoized virtualizer view (see readcache.go).
+	// all-shard cut (plus the per-shard-subset cuts narrowed admission groups
+	// plan on) and the memoized virtualizer view (see readcache.go).
 	CutCache  CacheStats `json:"cut_cache"`
 	ViewCache CacheStats `json:"view_cache"`
 }
@@ -857,9 +861,10 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 		case !narrow:
 			base, mergeErr = ro.mergedFromCut(graphs, genVec{keys: skeys, gens: gens})
 		default:
-			// Narrowed groups merge their subset cut uncached (only the
-			// all-shard cut is generation-keyed today; see ROADMAP).
-			base, mergeErr = ro.mergeCut(ro.id+"-plan", graphs)
+			// Narrowed groups plan on the generation-keyed scoped cut cache:
+			// a recurring shard subset skips nffg.Merge while none of its
+			// members committed.
+			base, mergeErr = ro.mergedFromScopedCut(graphs, genVec{keys: skeys, gens: gens})
 		}
 		if mergeErr != nil {
 			log.Printf("core %s: merging shard snapshots: %v", ro.id, mergeErr)

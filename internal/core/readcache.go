@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 
 	"github.com/unify-repro/escape/internal/nffg"
@@ -155,6 +157,65 @@ func (ro *ResourceOrchestrator) mergedFromCut(graphs []*nffg.NFFG, vec genVec) (
 			ro.cutStats.invalidations.Add(1)
 		}
 		ro.cutCache.Store(&cutEntry{vec: vec, graph: merged})
+	}
+	return merged, nil
+}
+
+// --- scoped cuts -------------------------------------------------------------
+
+// scopedCutCap bounds how many distinct shard subsets keep a cached merged
+// cut. Subsets are created by admission's narrowed groups, so in practice the
+// population is small (recurring request footprints); beyond the cap an
+// arbitrary entry is evicted — the cache is a pure performance artifact, so
+// any eviction policy is correct.
+const scopedCutCap = 64
+
+// scopedCutCache caches merged cuts of shard SUBSETS (narrowed admission
+// groups), keyed by the subset's sorted key list and validated against its
+// generation vector — the same discipline as the all-shard cut cache, which
+// stays a separate single atomic entry because every reader hits it. Hits,
+// misses and invalidations ride the same cutStats counters.
+type scopedCutCache struct {
+	mu      sync.Mutex
+	entries map[string]*cutEntry
+}
+
+// mergedFromScopedCut returns the merged graph of a shard-subset cut, served
+// from the scoped cut cache while the subset's generation vector is unmoved
+// and rebuilt (then cached) otherwise. A commit on any subset member bumps
+// its generation, so the next read's vector mismatches and the cut is
+// remerged — invalidation is implicit, exactly like the all-shard cache.
+func (ro *ResourceOrchestrator) mergedFromScopedCut(graphs []*nffg.NFFG, vec genVec) (*nffg.NFFG, error) {
+	key := strings.Join(vec.keys, "\x00")
+	if !ro.noReadCache {
+		ro.scopedCuts.mu.Lock()
+		e := ro.scopedCuts.entries[key]
+		ro.scopedCuts.mu.Unlock()
+		if e != nil && e.vec.equal(vec) {
+			ro.cutStats.hits.Add(1)
+			return e.graph, nil
+		}
+	}
+	ro.cutStats.misses.Add(1)
+	merged, err := ro.mergeCut(ro.id+"-plan", graphs)
+	if err != nil {
+		return nil, err
+	}
+	if !ro.noReadCache {
+		ro.scopedCuts.mu.Lock()
+		if ro.scopedCuts.entries == nil {
+			ro.scopedCuts.entries = make(map[string]*cutEntry, scopedCutCap)
+		}
+		if _, stale := ro.scopedCuts.entries[key]; stale {
+			ro.cutStats.invalidations.Add(1)
+		} else if len(ro.scopedCuts.entries) >= scopedCutCap {
+			for k := range ro.scopedCuts.entries {
+				delete(ro.scopedCuts.entries, k)
+				break
+			}
+		}
+		ro.scopedCuts.entries[key] = &cutEntry{vec: vec, graph: merged}
+		ro.scopedCuts.mu.Unlock()
 	}
 	return merged, nil
 }

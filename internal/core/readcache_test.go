@@ -145,6 +145,63 @@ func TestLocalViewMemoization(t *testing.T) {
 	}
 }
 
+// TestScopedCutCache: a narrowed (shard-subset) admission group plans on a
+// cached merged cut of exactly its subset — a repeat of the same footprint
+// re-merges nothing while none of the subset's shards committed, and a commit
+// on any member invalidates the entry (counted under the shared CutCache
+// stats).
+func TestScopedCutCache(t *testing.T) {
+	ro, _ := lineRO(t, 4, 0, nil)
+	ctx := context.Background()
+	// An unmappable request anchored at the d1 border SAPs: its shard set is
+	// the proper subset {d0,d1,d2}, its plan always rejects (unsupported NF
+	// type), so planning never commits — the scoped cut must be reused.
+	bad := func(id string) *nffg.NFFG {
+		return nffg.NewBuilder(id).SAP("b0").SAP("b1").
+			NF(nffg.ID(id+"-nf"), "no-such-type", 2, res(2, 512)).
+			Chain(id, 1, 0, "b0", nffg.ID(id+"-nf"), "b1").
+			MustBuild()
+	}
+	if set := ro.ShardSet(bad("probe")); len(set) < 2 || len(set) >= 4 {
+		t.Fatalf("expected a proper multi-shard subset, got %v", set)
+	}
+	if _, err := ro.Install(ctx, bad("s1")); !errors.Is(err, unify.ErrRejected) {
+		t.Fatalf("expected rejection, got %v", err)
+	}
+	st1 := ro.PipelineStats()
+	if _, err := ro.Install(ctx, bad("s2")); !errors.Is(err, unify.ErrRejected) {
+		t.Fatalf("expected rejection, got %v", err)
+	}
+	st2 := ro.PipelineStats()
+	if st2.CutCache.Misses != st1.CutCache.Misses {
+		t.Fatalf("second plan re-merged a cut: misses %d -> %d", st1.CutCache.Misses, st2.CutCache.Misses)
+	}
+	// One hit for the scoped subset, one for the escalated full-DoV retry.
+	if st2.CutCache.Hits < st1.CutCache.Hits+2 {
+		t.Fatalf("expected scoped + full cut hits: %+v -> %+v", st1.CutCache, st2.CutCache)
+	}
+
+	// A commit that bumps a subset member's generation makes the cached
+	// scoped cut stale: the next plan re-merges and counts an invalidation.
+	if _, err := ro.Install(ctx, chainReq(t, "svc", "sap1", "b0", "fw")); err != nil {
+		t.Fatal(err)
+	}
+	st3 := ro.PipelineStats()
+	if _, err := ro.Install(ctx, bad("s3")); !errors.Is(err, unify.ErrRejected) {
+		t.Fatalf("expected rejection, got %v", err)
+	}
+	st4 := ro.PipelineStats()
+	if st4.CutCache.Misses == st3.CutCache.Misses {
+		t.Fatal("a commit on a subset member must invalidate the scoped cut")
+	}
+	if st4.CutCache.Invalidations == st3.CutCache.Invalidations {
+		t.Fatal("scoped-cut invalidation not counted")
+	}
+	if err := ro.Remove(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestMergeErrorPropagation: an unmergeable all-shard cut (colliding shard
 // exports) surfaces as an error on View and DoV — not as a silently
 // incomplete cut — and is counted in PipelineStats.MergeErrors.

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/core"
@@ -330,6 +331,27 @@ func (s *Snapshot) Render(w io.Writer) {
 				sh := a.Shards[k]
 				fmt.Fprintf(w, "%-16s %-12s %6d %8d %10d\n",
 					a.Queue, k, sh.Depth, sh.Batches, sh.Coalesced)
+			}
+		}
+		// The weighted-fair scheduler per tenant: backlog, outcomes, drops and
+		// queue-wait distribution — the numbers behind "no tenant starves".
+		for _, a := range s.Admission {
+			if len(a.Tenants) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(a.Tenants))
+			for k := range a.Tenants {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(w, "\n%-16s %-12s %6s %5s %8s %9s %8s %7s %7s %8s %5s %10s %10s\n",
+				"QUEUE", "TENANT", "WEIGHT", "DEPTH", "INFLIGHT", "SUBMITTED", "DEPLOYED", "FAILED", "DROPPED", "ADMITTED", "AGED", "MEAN-WAIT", "MAX-WAIT")
+			for _, k := range keys {
+				t := a.Tenants[k]
+				fmt.Fprintf(w, "%-16s %-12s %6d %5d %8d %9d %8d %7d %7d %8d %5d %10s %10s\n",
+					a.Queue, k, t.Weight, t.Depth, t.InFlight, t.Submitted, t.Deployed,
+					t.Failed, t.Dropped, t.Admitted, t.Aged,
+					t.MeanWait().Round(time.Microsecond), t.WaitMax.Round(time.Microsecond))
 			}
 		}
 	}

@@ -45,6 +45,12 @@ type Request struct {
 	ID    string
 	Graph *nffg.NFFG
 	State State
+	// Tenant is the submitting party (from the submission context's
+	// unify.RequestMeta; unify.DefaultTenant when absent). The service layer
+	// records it for its own book and propagates it southbound on the deploy
+	// context, so a downstream admission queue schedules the install under
+	// the right tenant.
+	Tenant string
 	// Error holds the failure reason when State == StateFailed.
 	Error string
 	// Receipt is the deployment record from the layer below.
@@ -81,7 +87,8 @@ func NewOrchestrator(south unify.Layer, mapper *embed.Mapper) *Orchestrator {
 func (o *Orchestrator) View(ctx context.Context) (*nffg.NFFG, error) { return o.south.View(ctx) }
 
 // book registers a fresh request in the request book (duplicate IDs reject).
-func (o *Orchestrator) book(g *nffg.NFFG) (*Request, error) {
+// The submission context's tenant identity is recorded on the request.
+func (o *Orchestrator) book(ctx context.Context, g *nffg.NFFG) (*Request, error) {
 	if g.ID == "" {
 		return nil, fmt.Errorf("%w: request needs an ID", ErrInvalid)
 	}
@@ -92,6 +99,7 @@ func (o *Orchestrator) book(g *nffg.NFFG) (*Request, error) {
 	}
 	req := &Request{
 		ID: g.ID, Graph: g.Copy(), State: StateReceived,
+		Tenant:    unify.MetaFrom(ctx).Normalize().Tenant,
 		Submitted: time.Now(), done: make(chan struct{}),
 	}
 	o.requests[g.ID] = req
@@ -146,7 +154,7 @@ func (o *Orchestrator) Submit(ctx context.Context, g *nffg.NFFG) (*Request, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	req, err := o.book(g)
+	req, err := o.book(ctx, g)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +170,7 @@ func (o *Orchestrator) SubmitAsync(ctx context.Context, g *nffg.NFFG) (*Request,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	req, err := o.book(g)
+	req, err := o.book(ctx, g)
 	if err != nil {
 		return nil, err
 	}

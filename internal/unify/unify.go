@@ -10,6 +10,7 @@ package unify
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 
 	"github.com/unify-repro/escape/internal/nffg"
@@ -54,6 +55,98 @@ type Layer interface {
 	Remove(ctx context.Context, serviceID string) error
 	// Services lists installed service IDs, sorted.
 	Services() []string
+}
+
+// Priority is a request's admission class. The zero value ("") means
+// PriorityNormal, so callers that never set a priority are unaffected.
+// Priorities order scheduling WITHIN one tenant's admission queue; they do not
+// let one tenant preempt another (cross-tenant capacity is governed by
+// weights), and starvation-free aging eventually promotes any queued request
+// to the highest class.
+type Priority string
+
+// Admission priority classes.
+const (
+	PriorityLow    Priority = "low"
+	PriorityNormal Priority = "normal"
+	PriorityHigh   Priority = "high"
+)
+
+// NumPriorities is the number of distinct priority ranks.
+const NumPriorities = 3
+
+// Rank orders priorities for scheduling: low=0, normal=1, high=2. Empty or
+// unknown values rank as normal.
+func (p Priority) Rank() int {
+	switch p {
+	case PriorityLow:
+		return 0
+	case PriorityHigh:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// ParsePriority validates a priority string ("" is PriorityNormal).
+func ParsePriority(s string) (Priority, error) {
+	switch p := Priority(s); p {
+	case "", PriorityNormal:
+		return PriorityNormal, nil
+	case PriorityLow, PriorityHigh:
+		return p, nil
+	default:
+		return "", fmt.Errorf("unify: unknown priority %q (want low, normal or high)", s)
+	}
+}
+
+// DefaultTenant is the tenant submissions without an explicit identity are
+// attributed to.
+const DefaultTenant = "default"
+
+// RequestMeta is the admission metadata of one submission: who is asking and
+// how urgent it is. It is not part of the request graph — the NFFG describes
+// WHAT to deploy, the meta describes the submission itself — and it travels on
+// the context (WithMeta/MetaFrom), so it crosses the fixed Layer.Install
+// signature, process boundaries (internal/api maps it onto the X-Unify-Tenant
+// and X-Unify-Priority headers) and any layer stack without every layer having
+// to understand it.
+type RequestMeta struct {
+	// Tenant identifies the submitting party ("" = DefaultTenant).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the admission class within the tenant's queue.
+	Priority Priority `json:"priority,omitempty"`
+}
+
+// Normalize fills defaults: empty tenant becomes DefaultTenant, empty or
+// unknown priority becomes PriorityNormal.
+func (m RequestMeta) Normalize() RequestMeta {
+	if m.Tenant == "" {
+		m.Tenant = DefaultTenant
+	}
+	if p, err := ParsePriority(string(m.Priority)); err == nil {
+		m.Priority = p
+	} else {
+		m.Priority = PriorityNormal
+	}
+	return m
+}
+
+// metaKey keys RequestMeta on a context.
+type metaKey struct{}
+
+// WithMeta attaches submission metadata to a context. Layers that understand
+// it (the admission queue, the API client) read it with MetaFrom; everything
+// else passes it through untouched.
+func WithMeta(ctx context.Context, m RequestMeta) context.Context {
+	return context.WithValue(ctx, metaKey{}, m)
+}
+
+// MetaFrom returns the submission metadata carried by ctx, or the zero meta
+// when none is attached (callers normalize as needed).
+func MetaFrom(ctx context.Context) RequestMeta {
+	m, _ := ctx.Value(metaKey{}).(RequestMeta)
+	return m
 }
 
 // BatchOutcome is one request's result within an InstallBatch call.
