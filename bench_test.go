@@ -13,6 +13,7 @@ package escape
 //	E8  BenchmarkE8ShardedCommit
 //	E9  BenchmarkE9ReadPath, BenchmarkE9GlobalNarrowing
 //	E10 BenchmarkE10FairAdmission
+//	E11 BenchmarkE11SouthboundPipeline
 //
 // Domain-specific results (acceptance ratios, footprints, backtracks) are
 // emitted with b.ReportMetric, so `go test -bench . -benchmem` prints the
@@ -22,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"runtime"
 	"sort"
 	"sync"
@@ -33,6 +35,7 @@ import (
 	"github.com/unify-repro/escape/internal/dataplane"
 	"github.com/unify-repro/escape/internal/decomp"
 	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/domain/mininet"
 	"github.com/unify-repro/escape/internal/embed"
 	"github.com/unify-repro/escape/internal/netconf"
 	"github.com/unify-repro/escape/internal/nffg"
@@ -394,8 +397,8 @@ func BenchmarkE5Netconf(b *testing.B) {
 
 type benchDatastore struct{ cfg []byte }
 
-func (d *benchDatastore) GetConfig() ([]byte, error) { return d.cfg, nil }
-func (d *benchDatastore) EditConfig(c []byte) error  { d.cfg = c; return nil }
+func (d *benchDatastore) GetConfig() ([]byte, error)       { return d.cfg, nil }
+func (d *benchDatastore) EditConfig(c []byte) ([]byte, error) { d.cfg = c; return nil, nil }
 func (d *benchDatastore) Call(string, []byte) ([]byte, error) {
 	return nil, nil
 }
@@ -425,14 +428,14 @@ func BenchmarkE5OpenFlow(b *testing.B) {
 				Cmd: openflow.FlowAdd, RuleID: fmt.Sprintf("r%d", i%512),
 				Priority: 10, InPort: 1, AnyTag: true, OutPort: 2,
 			}
-			if err := ctrl.FlowMod("bench-sw", fm); err != nil {
+			if err := ctrl.FlowMod(context.Background(), "bench-sw", fm); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("stats", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := ctrl.Stats("bench-sw"); err != nil {
+			if _, err := ctrl.Stats(context.Background(), "bench-sw"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -1378,4 +1381,207 @@ func BenchmarkE10FairAdmission(b *testing.B) {
 			b.ReportMetric(jobs/b.Elapsed().Seconds(), "installs/s")
 		})
 	}
+}
+
+// --- E11: pipelined southbound programming ----------------------------------
+
+// delayLine injects one-way latency on a net.Conn's writes: data is
+// timestamped on Write and released to the wire after the delay, so pipelined
+// messages overlap their latency while request/reply exchanges pay it in
+// full. Wrapping the agent side delays the reply direction, which is where a
+// barrier-per-rule protocol spends its time.
+type delayLine struct {
+	net.Conn
+	delay time.Duration
+	ch    chan delayChunk
+	done  chan struct{}
+	once  sync.Once
+}
+
+type delayChunk struct {
+	at time.Time
+	b  []byte
+}
+
+func newDelayLine(c net.Conn, delay time.Duration) *delayLine {
+	d := &delayLine{Conn: c, delay: delay, ch: make(chan delayChunk, 8192), done: make(chan struct{})}
+	go d.pump()
+	return d
+}
+
+func (d *delayLine) Write(p []byte) (int, error) {
+	buf := append([]byte(nil), p...)
+	select {
+	case d.ch <- delayChunk{at: time.Now().Add(d.delay), b: buf}:
+		return len(p), nil
+	case <-d.done:
+		return 0, net.ErrClosed
+	}
+}
+
+func (d *delayLine) Close() error {
+	d.once.Do(func() { close(d.done) })
+	return d.Conn.Close()
+}
+
+func (d *delayLine) pump() {
+	for {
+		select {
+		case c := <-d.ch:
+			if wait := time.Until(c.at); wait > 0 {
+				time.Sleep(wait)
+			}
+			if _, err := d.Conn.Write(c.b); err != nil {
+				return
+			}
+		case <-d.done:
+			return
+		}
+	}
+}
+
+// BenchmarkE11SouthboundPipeline measures what the pipelined southbound path
+// buys on a 1000-rule delta when every switch reply costs a real network
+// round-trip (1ms injected one-way on the reply direction):
+//
+//	serial    — FlowMod+barrier per rule: ~rules×rtt wall-clock, 1 flowmod/barrier
+//	pipelined — stream + one barrier: ~1×rtt wall-clock, rules flowmods/barrier
+//	speedup   — serial/pipelined wall-clock ratio on the same delta
+//	netconf   — NF-lifecycle deltas coalesce to exactly 1 NETCONF RPC/delta
+//
+// The deterministic amortization counters (flowmods/barrier, barriers/delta,
+// rpcs/delta) gate CI; the wall-clock ratio is latency-dominated and gated
+// with a wide band.
+func BenchmarkE11SouthboundPipeline(b *testing.B) {
+	const e11Rules = 1000
+	const rtt = time.Millisecond
+
+	setup := func(b *testing.B) (*openflow.Controller, func()) {
+		b.Helper()
+		eng := dataplane.NewEngine()
+		sw := dataplane.NewSwitch(eng, "e11-sw")
+		ctrl := openflow.NewController()
+		addr, err := ctrl.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			ctrl.Close()
+			b.Fatal(err)
+		}
+		ag := openflow.NewSwitchAgent("e11-sw", sw, []uint16{1, 2})
+		if err := ag.ConnectConn(newDelayLine(nc, rtt)); err != nil {
+			ctrl.Close()
+			b.Fatal(err)
+		}
+		if err := ctrl.WaitForSwitches(1, 5*time.Second); err != nil {
+			ctrl.Close()
+			b.Fatal(err)
+		}
+		return ctrl, func() { ag.Close(); ctrl.Close() }
+	}
+	fm := func(r int) *openflow.FlowMod {
+		return &openflow.FlowMod{
+			Cmd: openflow.FlowAdd, RuleID: fmt.Sprintf("r%d", r),
+			Priority: 10, InPort: 1, AnyTag: true, OutPort: 2,
+		}
+	}
+	serialDelta := func(b *testing.B, ctrl *openflow.Controller) time.Duration {
+		b.Helper()
+		start := time.Now()
+		for r := 0; r < e11Rules; r++ {
+			if err := ctrl.FlowMod(context.Background(), "e11-sw", fm(r)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	pipelinedDelta := func(b *testing.B, ctrl *openflow.Controller) time.Duration {
+		b.Helper()
+		start := time.Now()
+		p, err := ctrl.Pipeline("e11-sw")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for r := 0; r < e11Rules; r++ {
+			if err := p.Send(context.Background(), fmt.Sprintf("r%d", r), fm(r)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := p.Flush(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	b.Run(fmt.Sprintf("serial/rules=%d/rtt=1ms", e11Rules), func(b *testing.B) {
+		ctrl, cleanup := setup(b)
+		defer cleanup()
+		b.ResetTimer()
+		var d time.Duration
+		for i := 0; i < b.N; i++ {
+			d = serialDelta(b, ctrl)
+		}
+		b.StopTimer()
+		c := ctrl.Counters()
+		b.ReportMetric(float64(c.FlowMods)/float64(c.Barriers), "flowmods/barrier")
+		b.ReportMetric(float64(d.Milliseconds()), "ms/delta")
+	})
+	b.Run(fmt.Sprintf("pipelined/rules=%d/rtt=1ms", e11Rules), func(b *testing.B) {
+		ctrl, cleanup := setup(b)
+		defer cleanup()
+		b.ResetTimer()
+		var d time.Duration
+		for i := 0; i < b.N; i++ {
+			d = pipelinedDelta(b, ctrl)
+		}
+		b.StopTimer()
+		c := ctrl.Counters()
+		b.ReportMetric(float64(c.FlowMods)/float64(c.Barriers), "flowmods/barrier")
+		b.ReportMetric(float64(c.Barriers)/float64(b.N), "barriers/delta")
+		b.ReportMetric(float64(d.Microseconds())/1000, "ms/delta")
+	})
+	b.Run(fmt.Sprintf("speedup/rules=%d/rtt=1ms", e11Rules), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctrl, cleanup := setup(b)
+			serial := serialDelta(b, ctrl)
+			pipelined := pipelinedDelta(b, ctrl)
+			cleanup()
+			b.ReportMetric(serial.Seconds()/pipelined.Seconds(), "speedup")
+		}
+	})
+	b.Run("netconf/nfs=2", func(b *testing.B) {
+		sub := nffg.NewBuilder("e11-mn").
+			BiSBiS("mn-s1", "mininet", 4, nffg.Resources{CPU: 64, Mem: 65536, Storage: 64}, "firewall", "nat").
+			SAP("sapA").SAP("sapB").
+			Link("u1", "sapA", "1", "mn-s1", "1", 100, 1).
+			Link("u2", "mn-s1", "2", "sapB", "1", 100, 1).
+			MustBuild()
+		d, err := mininet.New(mininet.Config{ID: "e11-mn", Substrate: sub})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := fmt.Sprintf("e11svc%d", i)
+			req := nffg.NewBuilder(id).
+				SAP("sapA").SAP("sapB").
+				NF(nffg.ID(id+"-fw"), "firewall", 2, nffg.Resources{CPU: 1, Mem: 256, Storage: 1}).
+				NF(nffg.ID(id+"-nat"), "nat", 2, nffg.Resources{CPU: 1, Mem: 256, Storage: 1}).
+				Chain(id, 10, 0, "sapA", nffg.ID(id+"-fw"), nffg.ID(id+"-nat"), "sapB").
+				MustBuild()
+			if _, err := d.Install(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Remove(context.Background(), id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := d.SouthboundStats()
+		b.ReportMetric(float64(st.NetconfRPCs)/float64(st.Deltas), "rpcs/delta")
+		b.ReportMetric(st.FlowModsPerBarrier(), "flowmods/barrier")
+	})
 }

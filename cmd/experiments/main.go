@@ -27,7 +27,14 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "experiment to run: e1 | e2 | e3 | e4 | all")
+	run := flag.String("run", "all", "experiment to run: e1 | e2 | e3 | e4 | scenario | all")
+	domains := flag.Int("domains", 100, "scenario: number of technology domains")
+	saps := flag.Int("saps", 10, "scenario: SAPs per domain")
+	services := flag.Int("services", 400, "scenario: service requests submitted")
+	churn := flag.Float64("churn", 0.5, "scenario: fraction of deployed services removed again")
+	mice := flag.Float64("mice", 0.5, "scenario: fraction of requests from mice tenants")
+	clients := flag.Int("clients", 64, "scenario: concurrent submitting clients")
+	out := flag.String("out", "BENCH_SCENARIO_SLO.json", "scenario: SLO artifact path (empty = stdout only)")
 	flag.Parse()
 	switch *run {
 	case "e1":
@@ -38,6 +45,15 @@ func main() {
 		e3()
 	case "e4":
 		e4()
+	case "scenario":
+		scenario(ScenarioConfig{
+			Domains:   *domains,
+			SAPs:      *saps,
+			Services:  *services,
+			Churn:     *churn,
+			MiceShare: *mice,
+			Clients:   *clients,
+		}, *out)
 	case "all":
 		e1()
 		e2()

@@ -1,0 +1,303 @@
+package main
+
+// The scenario generator: a synthetic multi-domain deployment at paper scale
+// and beyond — hundreds of technology domains under one resource
+// orchestrator, thousands of SAPs, an elephant/mice tenant mix and
+// install/remove churn — measuring the admission-to-deployed SLO
+// distribution (p50/p95/p99) end to end: queue wait, batched mapping,
+// sharded commit and the (modeled) southbound programming of every touched
+// domain. Results are written as a JSON artifact for the BENCH_*/benchcheck
+// CI pipeline:
+//
+//	go run ./cmd/experiments -run scenario -domains 100 -saps 10 -services 400
+//	go run ./cmd/experiments -run scenario -out BENCH_SCENARIO_SLO.json
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/unify-repro/escape/internal/admission"
+	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+// ScenarioConfig parameterizes one scenario run.
+type ScenarioConfig struct {
+	Domains   int     `json:"domains"`    // leaf orchestrators under the RO
+	SAPs      int     `json:"saps"`       // SAPs per domain
+	Services  int     `json:"services"`   // install jobs submitted
+	Churn     float64 `json:"churn"`      // fraction of deployed services also removed
+	MiceShare float64 `json:"mice_share"` // fraction of jobs from mice tenants
+	Clients   int     `json:"clients"`    // concurrent submitting clients
+}
+
+// SLOSummary is one class's admission-to-deployed latency distribution.
+type SLOSummary struct {
+	Count  int     `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// ScenarioReport is the JSON artifact of one run.
+type ScenarioReport struct {
+	Scenario   ScenarioConfig        `json:"scenario"`
+	Submitted  int                   `json:"submitted"`
+	Deployed   int                   `json:"deployed"`
+	Failed     int                   `json:"failed"`
+	Removed    int                   `json:"removed"`
+	WallClockS float64               `json:"wall_clock_s"`
+	SLO        map[string]SLOSummary `json:"slo"`
+	Southbound core.SouthboundStats  `json:"southbound"`
+	Admission  admission.Stats       `json:"admission"`
+}
+
+// summarize computes the percentile summary of a latency sample.
+func summarize(samples []time.Duration) SLOSummary {
+	if len(samples) == 0 {
+		return SLOSummary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(p int) float64 {
+		idx := (len(samples)*p + 99) / 100
+		if idx < 1 {
+			idx = 1
+		}
+		return float64(samples[idx-1].Microseconds()) / 1000
+	}
+	var total time.Duration
+	for _, s := range samples {
+		total += s
+	}
+	return SLOSummary{
+		Count:  len(samples),
+		P50Ms:  pct(50),
+		P95Ms:  pct(95),
+		P99Ms:  pct(99),
+		MeanMs: float64((total / time.Duration(len(samples))).Microseconds()) / 1000,
+		MaxMs:  float64(samples[len(samples)-1].Microseconds()) / 1000,
+	}
+}
+
+// scenarioLeafSubstrate is one domain: a single BiS-BiS with its user SAPs.
+func scenarioLeafSubstrate(dom int, saps int) *nffg.NFFG {
+	bb := nffg.ID(fmt.Sprintf("bb%03d", dom))
+	b := nffg.NewBuilder(fmt.Sprintf("dom%03d-sub", dom)).
+		BiSBiS(bb, fmt.Sprintf("dom%03d", dom), saps+2,
+			nffg.Resources{CPU: 64, Mem: 65536, Storage: 256},
+			"firewall", "dpi", "nat", "compress")
+	for s := 0; s < saps; s++ {
+		sap := nffg.ID(fmt.Sprintf("d%03ds%d", dom, s))
+		b.SAP(sap)
+		b.Link(fmt.Sprintf("u%03d-%d", dom, s), sap, "1", bb, fmt.Sprint(s+1), 1000, 0.5)
+	}
+	return b.MustBuild()
+}
+
+// buildScenarioStack assembles the RO over cfg.Domains modeled leaves. Each
+// leaf's Programmer charges a pipelined southbound cost — one barrier RTT per
+// delta plus a small per-operation term — and records it, so the aggregated
+// southbound counters behave like the real adapters' without paying hundreds
+// of protocol servers in one process.
+func buildScenarioStack(cfg ScenarioConfig) (*core.ResourceOrchestrator, error) {
+	ro := core.NewResourceOrchestrator(core.Config{
+		ID:          "scenario-ro",
+		Virtualizer: core.Transparent{},
+	})
+	const (
+		barrierRTT = 200 * time.Microsecond
+		perOp      = 2 * time.Microsecond
+	)
+	for i := 0; i < cfg.Domains; i++ {
+		var lo *core.LocalOrchestrator
+		prog := core.ProgrammerFunc(func(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			addNF, delNF, addR, delR := delta.Counts()
+			ops := addNF + delNF + addR + delR
+			cost := barrierRTT + time.Duration(ops)*perOp
+			time.Sleep(cost)
+			sb := lo.Southbound()
+			sb.AddFlowMods(uint64(addR + delR))
+			sb.AddBarriers(1)
+			sb.ObserveWindow(uint64(addR + delR))
+			sb.AddContainerOps(uint64(addNF + delNF))
+			sb.ObserveDelta(cost)
+			return nil
+		})
+		var err error
+		lo, err = core.NewLocalOrchestrator(core.LocalConfig{
+			ID:         fmt.Sprintf("dom%03d", i),
+			Substrate:  scenarioLeafSubstrate(i, cfg.SAPs),
+			Programmer: prog,
+			Capabilities: []domain.Capability{
+				domain.CapCompute, domain.CapForwarding,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := ro.Attach(context.Background(), lo); err != nil {
+			return nil, err
+		}
+	}
+	return ro, nil
+}
+
+// scenarioRequest derives job j deterministically: which tenant class it
+// belongs to, which domain it lands in, and its chain shape (elephants are
+// 4-NF chains, mice single-NF).
+func scenarioRequest(j int, cfg ScenarioConfig) (tenant, class string, req *nffg.NFFG) {
+	mouse := float64(j%100)/100 < cfg.MiceShare
+	dom := j % cfg.Domains
+	// The SAP pair is keyed by the per-domain sequence number so services
+	// sharing a domain never share an ingress port (which would be a
+	// legitimate flowrule conflict, not a capacity rejection).
+	seq := j / cfg.Domains
+	a := seq % cfg.SAPs
+	bIdx := (a + 1 + seq/cfg.SAPs) % cfg.SAPs
+	if bIdx == a {
+		bIdx = (a + 1) % cfg.SAPs
+	}
+	sapA := nffg.ID(fmt.Sprintf("d%03ds%d", dom, a))
+	sapB := nffg.ID(fmt.Sprintf("d%03ds%d", dom, bIdx))
+	k, bw := 4, 40.0
+	class = "elephant"
+	if mouse {
+		k, bw = 1, 5.0
+		class = "mouse"
+	}
+	tenant = fmt.Sprintf("%s-%d", class, j%4)
+	id := fmt.Sprintf("svc%05d", j)
+	b := nffg.NewBuilder(id).SAP(sapA).SAP(sapB)
+	types := []string{"firewall", "dpi", "nat", "compress"}
+	nodes := []nffg.ID{sapA}
+	for i := 0; i < k; i++ {
+		nf := nffg.ID(fmt.Sprintf("%s-nf%d", id, i))
+		b.NF(nf, types[(j+i)%len(types)], 2, nffg.Resources{CPU: 2, Mem: 1024, Storage: 4})
+		nodes = append(nodes, nf)
+	}
+	nodes = append(nodes, sapB)
+	b.Chain(id, bw, 0, nodes...)
+	return tenant, class, b.MustBuild()
+}
+
+// scenario runs the generator and writes the SLO artifact.
+func scenario(cfg ScenarioConfig, out string) {
+	header(fmt.Sprintf("SCENARIO — %d domains, %d SAPs, %d services (mice %.0f%%, churn %.0f%%)",
+		cfg.Domains, cfg.Domains*cfg.SAPs, cfg.Services, cfg.MiceShare*100, cfg.Churn*100))
+	ro, err := buildScenarioStack(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := admission.New(ro, admission.Options{
+		QueueCap: cfg.Services + 1,
+		TenantWeights: map[string]int{
+			"mouse-0": 4, "mouse-1": 4, "mouse-2": 4, "mouse-3": 4,
+			"elephant-0": 1, "elephant-1": 1, "elephant-2": 1, "elephant-3": 1,
+		},
+	})
+	defer q.Close()
+
+	type outcome struct {
+		class    string
+		slo      time.Duration
+		deployed bool
+		removed  bool
+	}
+	outcomes := make([]outcome, cfg.Services)
+	sem := make(chan struct{}, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for j := 0; j < cfg.Services; j++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tenant, class, req := scenarioRequest(j, cfg)
+			outcomes[j].class = class
+			ctx := unify.WithMeta(context.Background(), unify.RequestMeta{Tenant: tenant})
+			job, err := q.Submit(ctx, req)
+			if err != nil {
+				return
+			}
+			done, err := q.Wait(context.Background(), job.ID)
+			if err != nil || done.State != admission.StateDeployed {
+				return
+			}
+			outcomes[j].deployed = true
+			outcomes[j].slo = done.Finished.Sub(done.Submitted)
+			// Churn: a deterministic slice of deployed services is torn down
+			// again while later installs are still in flight.
+			if float64(j%100)/100 < cfg.Churn {
+				if err := q.Remove(context.Background(), req.ID); err == nil {
+					outcomes[j].removed = true
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := ScenarioReport{
+		Scenario:   cfg,
+		Submitted:  cfg.Services,
+		WallClockS: wall.Seconds(),
+		SLO:        map[string]SLOSummary{},
+		Southbound: ro.SouthboundStats(),
+		Admission:  q.Stats(),
+	}
+	byClass := map[string][]time.Duration{}
+	for _, o := range outcomes {
+		if !o.deployed {
+			rep.Failed++
+			continue
+		}
+		rep.Deployed++
+		if o.removed {
+			rep.Removed++
+		}
+		byClass["all"] = append(byClass["all"], o.slo)
+		byClass[o.class] = append(byClass[o.class], o.slo)
+	}
+	for class, samples := range byClass {
+		rep.SLO[class] = summarize(samples)
+	}
+
+	fmt.Printf("%-10s %7s %9s %9s %9s %9s %9s\n", "class", "count", "p50-ms", "p95-ms", "p99-ms", "mean-ms", "max-ms")
+	for _, class := range []string{"all", "mouse", "elephant"} {
+		s, ok := rep.SLO[class]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-10s %7d %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+			class, s.Count, s.P50Ms, s.P95Ms, s.P99Ms, s.MeanMs, s.MaxMs)
+	}
+	sb := rep.Southbound
+	fmt.Printf("\ndeployed=%d/%d removed=%d wall=%.2fs\n", rep.Deployed, rep.Submitted, rep.Removed, wall.Seconds())
+	fmt.Printf("southbound: deltas=%d flow-mods=%d barriers=%d fm/barrier=%.1f container-ops=%d mean-delta=%s\n",
+		sb.Deltas, sb.FlowMods, sb.Barriers, sb.FlowModsPerBarrier(), sb.ContainerOps, sb.MeanDeltaLatency().Round(time.Microsecond))
+
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("SLO artifact written to %s\n", out)
+	}
+}

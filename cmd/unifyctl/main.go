@@ -236,6 +236,12 @@ func main() {
 				st.CutCache.Hits, st.CutCache.Misses, st.CutCache.Invalidations)
 			fmt.Printf("  cache view: hits=%-8d misses=%-8d invalidations=%d\n",
 				st.ViewCache.Hits, st.ViewCache.Misses, st.ViewCache.Invalidations)
+			if sb := st.Southbound; sb.Deltas > 0 || sb.FlowMods > 0 || sb.NetconfRPCs > 0 || sb.ContainerOps > 0 {
+				fmt.Printf("  southbound: deltas=%d flow-mods=%d barriers=%d fm/barrier=%.1f window-hw=%d netconf-rpcs=%d container-ops=%d mean-delta=%s max-delta=%s\n",
+					sb.Deltas, sb.FlowMods, sb.Barriers, sb.FlowModsPerBarrier(), sb.WindowHighWater,
+					sb.NetconfRPCs, sb.ContainerOps,
+					sb.MeanDeltaLatency().Round(time.Microsecond), sb.MaxDeltaLatency().Round(time.Microsecond))
+			}
 			for _, sh := range info.Shards {
 				fmt.Printf("  shard %-12s gen=%-6d commits=%-6d conflicts=%-6d multi=%-6d domains=%s\n",
 					sh.Shard, sh.Gen, sh.Commits, sh.Conflicts, sh.MultiShardCommits, strings.Join(sh.Domains, ","))

@@ -67,6 +67,10 @@ type LocalOrchestrator struct {
 	// graph shared by all readers (see readcache.go for the discipline).
 	viewCache atomic.Pointer[loViewEntry]
 	viewStats cacheCounters
+
+	// southbound accumulates the device-programming counters this domain's
+	// Programmer records (see southbound.go).
+	southbound SouthboundRecorder
 }
 
 // loViewEntry is one cached (generation, sealed view) pair.
@@ -171,6 +175,13 @@ func (lo *LocalOrchestrator) View(ctx context.Context) (*nffg.NFFG, error) {
 
 // ViewCacheStats returns the view memoization counters.
 func (lo *LocalOrchestrator) ViewCacheStats() CacheStats { return lo.viewStats.snapshot() }
+
+// Southbound returns the recorder the domain's Programmer records
+// device-programming counters into.
+func (lo *LocalOrchestrator) Southbound() *SouthboundRecorder { return &lo.southbound }
+
+// SouthboundStats implements SouthboundStatsProvider.
+func (lo *LocalOrchestrator) SouthboundStats() SouthboundStats { return lo.southbound.Snapshot() }
 
 // Internal returns a copy of the internal configured substrate (inspection
 // and tests).

@@ -130,6 +130,10 @@ type PipelineStats struct {
 	// plan on) and the memoized virtualizer view (see readcache.go).
 	CutCache  CacheStats `json:"cut_cache"`
 	ViewCache CacheStats `json:"view_cache"`
+	// Southbound aggregates device-programming counters from every attached
+	// child that exposes them (see southbound.go): what the control plane
+	// sent toward real dataplanes and what each delta cost.
+	Southbound SouthboundStats `json:"southbound"`
 }
 
 // serviceState tracks the lifecycle of a serviceRecord so concurrent
@@ -386,7 +390,21 @@ func (ro *ResourceOrchestrator) PipelineStats() PipelineStats {
 		MergeErrors:       ro.stats.mergeErrors.Load(),
 		CutCache:          ro.cutStats.snapshot(),
 		ViewCache:         ro.viewStats.snapshot(),
+		Southbound:        ro.SouthboundStats(),
 	}
+}
+
+// SouthboundStats implements SouthboundStatsProvider by aggregating every
+// attached child that exposes southbound counters (leaf adapters record
+// them; nested orchestrators aggregate recursively).
+func (ro *ResourceOrchestrator) SouthboundStats() SouthboundStats {
+	var agg SouthboundStats
+	for _, d := range ro.reg.All() {
+		if sp, ok := d.(SouthboundStatsProvider); ok {
+			agg.Merge(sp.SouthboundStats())
+		}
+	}
+	return agg
 }
 
 // ShardStats reports every DoV shard's generation and commit counters, in

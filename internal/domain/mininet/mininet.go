@@ -142,75 +142,146 @@ func (d *Domain) Close() {
 	}
 }
 
+// ofOp pairs a flow-mod with the high-level rule it implements, so pipeline
+// errors attribute back to NFFG flowrule IDs.
+type ofOp struct {
+	rule string
+	fm   *openflow.FlowMod
+}
+
 // commit is the Programmer: deltas arrive from the local orchestrator and
-// leave as NETCONF actions and OpenFlow flow-mods.
+// leave as one coalesced NETCONF edit-config plus pipelined OpenFlow
+// flow-mods fanned out across datapaths in parallel — one barrier per
+// (datapath, phase) instead of one round-trip per rule.
 func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, cfg *nffg.NFFG) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	// 1. Rule deletions (free match slots before rewrites).
+	sb := d.Southbound()
+	start := time.Now()
+	defer func() { sb.ObserveDelta(time.Since(start)) }()
+
+	// 1. Rule deletions (free match slots before rewrites), pipelined.
+	dels := map[nffg.ID][]ofOp{}
 	for _, infra := range sortedInfraKeys(delta.DelRules) {
 		for _, f := range delta.DelRules[infra] {
-			fm := &openflow.FlowMod{Cmd: openflow.FlowDelete, RuleID: f.ID}
-			if err := d.ctrl.FlowMod(string(infra), fm); err != nil {
-				return fmt.Errorf("mininet: del rule %s: %w", f.ID, err)
+			dels[infra] = append(dels[infra], ofOp{rule: f.ID, fm: &openflow.FlowMod{Cmd: openflow.FlowDelete, RuleID: f.ID}})
+		}
+	}
+	if err := d.fanOut(ctx, dels); err != nil {
+		return err
+	}
+
+	// 2+3. NF lifecycle: all teardowns and starts of the delta coalesce into
+	// a single edit-config RPC; port allocations ride back in its reply.
+	if len(delta.DelNFs) > 0 || len(delta.AddNFs) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		nd := nfDelta{}
+		for _, id := range delta.DelNFs {
+			nd.Stops = append(nd.Stops, string(id))
+		}
+		for _, nf := range delta.AddNFs {
+			var portIDs []string
+			for _, p := range nf.Ports {
+				portIDs = append(portIDs, p.ID)
 			}
+			nd.Starts = append(nd.Starts, startNFReq{ID: string(nf.ID), Host: string(nf.Host), Type: nf.FunctionalType, Ports: portIDs})
 		}
-	}
-	// 2. NF teardowns.
-	for _, id := range delta.DelNFs {
-		body := fmt.Sprintf("<nf><id>%s</id></nf>", id)
-		if _, err := d.ncCli.Call("stop-nf", []byte(body)); err != nil {
-			return fmt.Errorf("mininet: stop-nf %s: %w", id, err)
-		}
-		d.mu.Lock()
-		delete(d.nfPorts, id)
-		d.mu.Unlock()
-	}
-	// 3. NF starts (NETCONF), recording port allocations.
-	for _, nf := range delta.AddNFs {
-		var portIDs []string
-		for _, p := range nf.Ports {
-			portIDs = append(portIDs, p.ID)
-		}
-		req := startNFReq{ID: string(nf.ID), Host: string(nf.Host), Type: nf.FunctionalType, Ports: portIDs}
-		body, err := xml.Marshal(req)
+		body, err := xml.Marshal(nd)
 		if err != nil {
 			return err
 		}
-		data, err := d.ncCli.Call("start-nf", body)
+		data, err := d.ncCli.EditConfigData(body)
+		sb.AddNetconfRPCs(1)
 		if err != nil {
-			return fmt.Errorf("mininet: start-nf %s: %w", nf.ID, err)
+			return fmt.Errorf("mininet: nf delta: %w", err)
 		}
-		var rep startNFReply
-		if err := xml.Unmarshal(data, &rep); err != nil {
-			return fmt.Errorf("mininet: start-nf reply: %w", err)
-		}
-		ports := map[string]int{}
-		for _, p := range rep.Ports {
-			ports[p.ID] = p.SwitchPort
+		var allocs nfAllocations
+		if len(delta.AddNFs) > 0 {
+			if err := xml.Unmarshal(data, &allocs); err != nil {
+				return fmt.Errorf("mininet: nf delta reply: %w", err)
+			}
 		}
 		d.mu.Lock()
-		d.nfPorts[nf.ID] = ports
+		for _, id := range delta.DelNFs {
+			delete(d.nfPorts, id)
+		}
+		for _, a := range allocs.NFs {
+			ports := map[string]int{}
+			for _, p := range a.Ports {
+				ports[p.ID] = p.SwitchPort
+			}
+			d.nfPorts[nffg.ID(a.ID)] = ports
+		}
 		d.mu.Unlock()
 	}
-	// 4. Rule installs (OpenFlow).
+
+	// 4. Rule installs: translate everything first (cheap, fail-fast), then
+	// fan the flow-mods out across datapaths.
+	adds := map[nffg.ID][]ofOp{}
 	for _, infra := range sortedInfraKeys(delta.AddRules) {
 		for _, f := range delta.AddRules[infra] {
 			r, err := emunet.TranslateRule(f, d.lookupNFPorts)
 			if err != nil {
 				return fmt.Errorf("mininet: translate rule %s: %w", f.ID, err)
 			}
-			fm := &openflow.FlowMod{
+			adds[infra] = append(adds[infra], ofOp{rule: f.ID, fm: &openflow.FlowMod{
 				Cmd: openflow.FlowAdd, RuleID: r.ID, Priority: uint16(r.Priority),
 				InPort: uint16(r.Match.InPort), Tag: r.Match.Tag, AnyTag: r.Match.AnyTag,
 				MatchDst: string(r.Match.Dst),
 				OutPort:  uint16(r.Action.OutPort), PushTag: r.Action.PushTag, PopTag: r.Action.PopTag,
-			}
-			if err := d.ctrl.FlowMod(string(infra), fm); err != nil {
-				return fmt.Errorf("mininet: add rule %s: %w", f.ID, err)
-			}
+			}})
 		}
+	}
+	return d.fanOut(ctx, adds)
+}
+
+// fanOut streams each datapath's flow-mods through its own pipeline, all
+// datapaths concurrently, one barrier per datapath on the happy path.
+func (d *Domain) fanOut(ctx context.Context, ops map[nffg.ID][]ofOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	sb := d.Southbound()
+	var wg sync.WaitGroup
+	errs := make([]error, 0, len(ops))
+	var errMu sync.Mutex
+	for infra, batch := range ops {
+		wg.Add(1)
+		go func(infra nffg.ID, batch []ofOp) {
+			defer wg.Done()
+			fail := func(err error) {
+				errMu.Lock()
+				errs = append(errs, err)
+				errMu.Unlock()
+			}
+			p, err := d.ctrl.Pipeline(string(infra))
+			if err != nil {
+				fail(fmt.Errorf("mininet: datapath %s: %w", infra, err))
+				return
+			}
+			defer func() {
+				st := p.Stats()
+				sb.AddFlowMods(st.FlowMods)
+				sb.AddBarriers(st.Barriers)
+				sb.ObserveWindow(st.WindowHighWater)
+			}()
+			for _, op := range batch {
+				if err := p.Send(ctx, op.rule, op.fm); err != nil {
+					fail(fmt.Errorf("mininet: rule %s on %s: %w", op.rule, infra, err))
+					return
+				}
+			}
+			if err := p.Flush(ctx); err != nil {
+				fail(fmt.Errorf("mininet: datapath %s: %w", infra, err))
+			}
+		}(infra, batch)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errs[0]
 	}
 	return nil
 }
@@ -225,9 +296,10 @@ func (d *Domain) lookupNFPorts(nf nffg.ID) (map[string]int, error) {
 	return ports, nil
 }
 
-// Stats pulls flow statistics from a switch over the OpenFlow channel.
-func (d *Domain) Stats(sw nffg.ID) (*openflow.StatsReply, error) {
-	return d.ctrl.Stats(string(sw))
+// Stats pulls flow statistics from a switch over the OpenFlow channel,
+// honoring the caller's deadline/cancellation.
+func (d *Domain) Stats(ctx context.Context, sw nffg.ID) (*openflow.StatsReply, error) {
+	return d.ctrl.Stats(ctx, string(sw))
 }
 
 // --- NETCONF datastore (the domain-side agent) ------------------------------
@@ -255,6 +327,25 @@ type stopNFReq struct {
 	ID      string   `xml:"id"`
 }
 
+// nfDelta is the coalesced NF-lifecycle document a delta sends as one
+// edit-config: every stop and start of the delta in a single RPC.
+type nfDelta struct {
+	XMLName xml.Name     `xml:"nf-delta"`
+	Stops   []string     `xml:"stops>id"`
+	Starts  []startNFReq `xml:"starts>nf"`
+}
+
+// nfAllocations is the edit-config reply body: per-started-NF port bindings.
+type nfAllocations struct {
+	XMLName xml.Name       `xml:"nf-allocations"`
+	NFs     []nfAllocation `xml:"nf"`
+}
+
+type nfAllocation struct {
+	ID    string        `xml:"id,attr"`
+	Ports []portBinding `xml:"port"`
+}
+
 // mnDatastore exposes the domain's NF lifecycle over NETCONF.
 type mnDatastore struct {
 	net       *emunet.Net
@@ -270,12 +361,52 @@ func (ds *mnDatastore) GetConfig() ([]byte, error) {
 	return []byte(s), nil
 }
 
-// EditConfig is not used by this domain (lifecycle is action-based).
-func (ds *mnDatastore) EditConfig([]byte) error {
-	return fmt.Errorf("mininet: edit-config unsupported; use start-nf/stop-nf actions")
+// EditConfig applies a coalesced nf-delta document — every stop and start of
+// one orchestration delta in a single RPC — and returns the port allocations
+// of started NFs in the reply.
+func (ds *mnDatastore) EditConfig(config []byte) ([]byte, error) {
+	var nd nfDelta
+	if err := xml.Unmarshal(config, &nd); err != nil {
+		return nil, fmt.Errorf("mininet: edit-config expects an nf-delta document: %w", err)
+	}
+	for _, id := range nd.Stops {
+		if err := ds.net.StopNF(nffg.ID(id)); err != nil {
+			return nil, fmt.Errorf("mininet: stop %s: %w", id, err)
+		}
+	}
+	allocs := nfAllocations{}
+	for _, req := range nd.Starts {
+		ports, err := ds.startNF(&req)
+		if err != nil {
+			return nil, fmt.Errorf("mininet: start %s: %w", req.ID, err)
+		}
+		a := nfAllocation{ID: req.ID}
+		for id, sp := range ports {
+			a.Ports = append(a.Ports, portBinding{ID: id, SwitchPort: sp})
+		}
+		allocs.NFs = append(allocs.NFs, a)
+	}
+	if len(allocs.NFs) == 0 {
+		return nil, nil
+	}
+	return xml.Marshal(allocs)
 }
 
-// Call dispatches NF lifecycle actions.
+// startNF boots a Click NF on its host switch and returns port bindings.
+func (ds *mnDatastore) startNF(req *startNFReq) (map[string]int, error) {
+	config, err := click.ConfigFor(req.Type, req.ID)
+	if err != nil {
+		return nil, err
+	}
+	nf, err := click.NewNF(config)
+	if err != nil {
+		return nil, err
+	}
+	return ds.net.StartNF(nffg.ID(req.ID), nffg.ID(req.Host), req.Ports, nf)
+}
+
+// Call dispatches NF lifecycle actions (the single-NF path kept for external
+// tooling; orchestration deltas use the coalesced edit-config instead).
 func (ds *mnDatastore) Call(action string, body []byte) ([]byte, error) {
 	switch action {
 	case "start-nf":
@@ -283,15 +414,7 @@ func (ds *mnDatastore) Call(action string, body []byte) ([]byte, error) {
 		if err := xml.Unmarshal(body, &req); err != nil {
 			return nil, fmt.Errorf("mininet: start-nf body: %w", err)
 		}
-		config, err := click.ConfigFor(req.Type, req.ID)
-		if err != nil {
-			return nil, err
-		}
-		nf, err := click.NewNF(config)
-		if err != nil {
-			return nil, err
-		}
-		ports, err := ds.net.StartNF(nffg.ID(req.ID), nffg.ID(req.Host), req.Ports, nf)
+		ports, err := ds.startNF(&req)
 		if err != nil {
 			return nil, err
 		}

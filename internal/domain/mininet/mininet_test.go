@@ -174,7 +174,7 @@ func TestStatsOverOpenFlow(t *testing.T) {
 	}
 	d.Net().Eng.RunToIdle()
 	host := receipt.Placements["svc1-nf"]
-	sr, err := d.Stats(host)
+	sr, err := d.Stats(context.Background(), host)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,5 +255,47 @@ func TestMultipleServicesDistinctSAPs(t *testing.T) {
 	}
 	if !strings.Contains(dTrace, "click:dpi:s2-nf") || strings.Contains(dTrace, "s1-nf") {
 		t.Fatalf("chain 2 trace wrong: %s", dTrace)
+	}
+}
+
+// A delta's NF lifecycle — however many starts and stops — must coalesce
+// into exactly one NETCONF RPC, with port allocations riding the reply.
+func TestDeltaCoalescesNetconfRPCs(t *testing.T) {
+	d := newDomain(t)
+	// Two NFs in one chain: one delta, two starts.
+	req, err := nffg.NewBuilder("svc2").
+		SAP("sapA").SAP("sapB").
+		NF("svc2-fw", "firewall", 2, res(1, 256)).
+		NF("svc2-nat", "nat", 2, res(1, 256)).
+		Chain("svc2", 10, 0, "sapA", "svc2-fw", "svc2-nat", "sapB").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Install(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Net().RunningNFs(); len(got) != 2 {
+		t.Fatalf("running NFs: %v", got)
+	}
+	st := d.SouthboundStats()
+	if st.NetconfRPCs != 1 {
+		t.Fatalf("install should cost one NETCONF RPC, recorded %d", st.NetconfRPCs)
+	}
+	if got := d.ncCli.RPCCount(); got != 1 {
+		t.Fatalf("wire RPC count after install: %d, want 1", got)
+	}
+	// Removal (two stops) is again one RPC.
+	if err := d.Remove(context.Background(), "svc2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SouthboundStats().NetconfRPCs; got != 2 {
+		t.Fatalf("remove should cost one more RPC, total %d", got)
+	}
+	if got := d.ncCli.RPCCount(); got != 2 {
+		t.Fatalf("wire RPC count after remove: %d, want 2", got)
+	}
+	if got := d.Net().RunningNFs(); len(got) != 0 {
+		t.Fatalf("NFs should be stopped: %v", got)
 	}
 }

@@ -8,6 +8,7 @@ package sdnctl
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/unify-repro/escape/internal/core"
@@ -112,8 +113,18 @@ func (d *Domain) Close() {
 	}
 }
 
-// commit programs flowrules through the POX-like controller. NF operations
-// are rejected: this domain has no compute.
+// ofOp pairs a flow-mod with the flowrule it implements for error
+// attribution.
+type ofOp struct {
+	rule string
+	fm   *openflow.FlowMod
+}
+
+// commit programs flowrules through the POX-like controller: the whole delta
+// is translated first (fail-fast, nothing sent on a bad rule), then each
+// datapath's flow-mods stream through one pipeline — deletes before adds —
+// with all datapaths in parallel and a single barrier per datapath closing
+// the delta. NF operations are rejected: this domain has no compute.
 func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -121,11 +132,16 @@ func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) er
 	if len(delta.AddNFs) > 0 || len(delta.DelNFs) > 0 {
 		return fmt.Errorf("sdnctl: domain cannot host NFs")
 	}
+	sb := d.Southbound()
+	start := time.Now()
+	defer func() { sb.ObserveDelta(time.Since(start)) }()
+
+	// Translate everything up front; the send loop below cannot hit a
+	// translation error halfway through programming a datapath.
+	ops := map[nffg.ID][]ofOp{}
 	for infra, rules := range delta.DelRules {
 		for _, f := range rules {
-			if err := d.ctrl.FlowMod(string(infra), &openflow.FlowMod{Cmd: openflow.FlowDelete, RuleID: f.ID}); err != nil {
-				return fmt.Errorf("sdnctl: del rule %s: %w", f.ID, err)
-			}
+			ops[infra] = append(ops[infra], ofOp{rule: f.ID, fm: &openflow.FlowMod{Cmd: openflow.FlowDelete, RuleID: f.ID}})
 		}
 	}
 	for infra, rules := range delta.AddRules {
@@ -136,16 +152,57 @@ func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) er
 			if err != nil {
 				return err
 			}
-			fm := &openflow.FlowMod{
+			ops[infra] = append(ops[infra], ofOp{rule: f.ID, fm: &openflow.FlowMod{
 				Cmd: openflow.FlowAdd, RuleID: r.ID, Priority: uint16(r.Priority),
 				InPort: uint16(r.Match.InPort), Tag: r.Match.Tag, AnyTag: r.Match.AnyTag,
 				MatchDst: string(r.Match.Dst),
 				OutPort:  uint16(r.Action.OutPort), PushTag: r.Action.PushTag, PopTag: r.Action.PopTag,
-			}
-			if err := d.ctrl.FlowMod(string(infra), fm); err != nil {
-				return fmt.Errorf("sdnctl: add rule %s: %w", f.ID, err)
-			}
+			}})
 		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+
+	// Parallel per-datapath fan-out: deletes were appended before adds, so
+	// each datapath still frees match slots before rewrites.
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var errs []error
+	for infra, batch := range ops {
+		wg.Add(1)
+		go func(infra nffg.ID, batch []ofOp) {
+			defer wg.Done()
+			fail := func(err error) {
+				errMu.Lock()
+				errs = append(errs, err)
+				errMu.Unlock()
+			}
+			p, err := d.ctrl.Pipeline(string(infra))
+			if err != nil {
+				fail(fmt.Errorf("sdnctl: datapath %s: %w", infra, err))
+				return
+			}
+			defer func() {
+				st := p.Stats()
+				sb.AddFlowMods(st.FlowMods)
+				sb.AddBarriers(st.Barriers)
+				sb.ObserveWindow(st.WindowHighWater)
+			}()
+			for _, op := range batch {
+				if err := p.Send(ctx, op.rule, op.fm); err != nil {
+					fail(fmt.Errorf("sdnctl: rule %s on %s: %w", op.rule, infra, err))
+					return
+				}
+			}
+			if err := p.Flush(ctx); err != nil {
+				fail(fmt.Errorf("sdnctl: datapath %s: %w", infra, err))
+			}
+		}(infra, batch)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errs[0]
 	}
 	return nil
 }

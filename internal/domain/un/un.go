@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/dataplane"
@@ -260,12 +262,23 @@ func (d *Domain) Net() *emunet.Net { return d.net }
 // Runtime exposes the container runtime (inspection, tests).
 func (d *Domain) Runtime() *Runtime { return d.rt }
 
+// containerConcurrency bounds parallel container lifecycle operations per
+// delta (a Docker daemon serializes around a small worker pool; unbounded
+// fan-out is not how real runtimes behave).
+const containerConcurrency = 8
+
 // commit realizes deltas natively: container lifecycle + direct LSI table
-// programming.
+// programming. Lifecycle operations of one delta run concurrently under a
+// bounded worker pool — containers are independent of each other; only the
+// phase boundaries (teardowns before starts before rules) are ordered.
 func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	sb := d.Southbound()
+	start := time.Now()
+	defer func() { sb.ObserveDelta(time.Since(start)) }()
+
 	for infra, rules := range delta.DelRules {
 		sw, err := d.net.Switch(infra)
 		if err != nil {
@@ -275,16 +288,26 @@ func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) er
 			sw.Table.Remove(f.ID)
 		}
 	}
-	for _, id := range delta.DelNFs {
+	// Teardown phase: stop+remove each deleted NF, bounded-parallel.
+	err := forEachBounded(ctx, len(delta.DelNFs), func(i int) error {
+		id := delta.DelNFs[i]
+		sb.AddContainerOps(2) // stop + remove
 		if err := d.rt.Stop(string(id)); err != nil {
 			return fmt.Errorf("un: stop %s: %w", id, err)
 		}
 		if err := d.rt.Remove(string(id)); err != nil {
 			return fmt.Errorf("un: remove %s: %w", id, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	for _, nf := range delta.AddNFs {
+	// Start phase: create+start each added NF, bounded-parallel.
+	err = forEachBounded(ctx, len(delta.AddNFs), func(i int) error {
+		nf := delta.AddNFs[i]
 		image := "nf/" + nf.FunctionalType + ":latest"
+		sb.AddContainerOps(2) // create + start
 		if _, err := d.rt.Create(string(nf.ID), image, nf.Host); err != nil {
 			return fmt.Errorf("un: create %s: %w", nf.ID, err)
 		}
@@ -295,6 +318,13 @@ func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) er
 		if _, err := d.rt.Start(string(nf.ID), ports); err != nil {
 			return fmt.Errorf("un: start %s: %w", nf.ID, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	for infra, rules := range delta.AddRules {
 		sw, err := d.net.Switch(infra)
@@ -313,6 +343,52 @@ func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) er
 				return fmt.Errorf("un: translate %s: %w", f.ID, err)
 			}
 			sw.Table.Install(r)
+		}
+	}
+	return nil
+}
+
+// forEachBounded runs fn(0..n-1) across at most containerConcurrency workers,
+// stops handing out work after the first error or cancellation, and returns
+// the first error by index (deterministic despite scheduling).
+func forEachBounded(ctx context.Context, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := containerConcurrency
+	if n < workers {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -307,6 +307,25 @@ func (s *Snapshot) Render(w io.Writer) {
 					o.Layer, o.MergeErrors)
 			}
 		}
+		// Southbound device programming: the flow-mods/barrier ratio is the
+		// pipelining amortization (delta size when batching is perfect, 1
+		// when every rule pays its own round-trip).
+		printedSB := false
+		for _, o := range s.Orch {
+			sb := o.Southbound
+			if sb.Deltas == 0 && sb.FlowMods == 0 && sb.NetconfRPCs == 0 && sb.ContainerOps == 0 {
+				continue
+			}
+			if !printedSB {
+				fmt.Fprintf(w, "\n%-16s %7s %9s %9s %7s %7s %8s %8s %10s %10s\n",
+					"ORCHESTRATOR", "DELTAS", "FLOWMODS", "BARRIERS", "FM/BAR", "WIN-HW", "NC-RPCS", "CTR-OPS", "MEAN-LAT", "MAX-LAT")
+				printedSB = true
+			}
+			fmt.Fprintf(w, "%-16s %7d %9d %9d %7.1f %7d %8d %8d %10s %10s\n",
+				o.Layer, sb.Deltas, sb.FlowMods, sb.Barriers, sb.FlowModsPerBarrier(),
+				sb.WindowHighWater, sb.NetconfRPCs, sb.ContainerOps,
+				sb.MeanDeltaLatency().Round(time.Microsecond), sb.MaxDeltaLatency().Round(time.Microsecond))
+		}
 	}
 	if len(s.Admission) > 0 {
 		fmt.Fprintf(w, "\n%-16s %6s %9s %9s %7s %9s %8s %10s %9s\n",

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Client is a synchronous NETCONF client: one outstanding RPC at a time,
@@ -20,7 +21,12 @@ type Client struct {
 	ServerCapabilities []string
 	// SessionID is assigned by the server's hello.
 	SessionID uint64
+	// rpcs counts completed RPC round-trips (for southbound accounting).
+	rpcs atomic.Uint64
 }
+
+// RPCCount reports how many RPC round-trips this client has completed.
+func (c *Client) RPCCount() uint64 { return c.rpcs.Load() }
 
 // Dial connects and performs the hello exchange.
 func Dial(addr string) (*Client, error) {
@@ -81,10 +87,28 @@ func (c *Client) EditConfig(config []byte) error {
 	if err != nil {
 		return err
 	}
-	if reply.OK == nil {
+	if reply.OK == nil && reply.Data == nil {
 		return fmt.Errorf("%w: edit-config not acknowledged", ErrRPC)
 	}
 	return nil
+}
+
+// EditConfigData pushes configuration XML and returns any <data> the server
+// attached to the acknowledgement (nil when it answered a plain <ok/>). This
+// replica's coalesced deltas use the reply to carry e.g. NF port allocations
+// back in the same round-trip.
+func (c *Client) EditConfigData(config []byte) ([]byte, error) {
+	reply, err := c.call(&RPC{EditConfig: &EditConfig{Target: "running", Config: RawBody{Inner: config}}})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Data != nil {
+		return reply.Data.Inner, nil
+	}
+	if reply.OK == nil {
+		return nil, fmt.Errorf("%w: edit-config not acknowledged", ErrRPC)
+	}
+	return nil, nil
 }
 
 // Call invokes a named action with an XML body and returns the reply data
@@ -123,6 +147,7 @@ func (c *Client) call(rpc *RPC) (*Reply, error) {
 		if reply.MessageID != rpc.MessageID {
 			continue // stale reply; synchronous clients skip it
 		}
+		c.rpcs.Add(1)
 		if reply.Error != nil {
 			return nil, fmt.Errorf("%w: %s", ErrRPC, reply.Error.Message)
 		}

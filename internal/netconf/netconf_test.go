@@ -88,14 +88,14 @@ func (m *memDatastore) GetConfig() ([]byte, error) {
 	return m.config, nil
 }
 
-func (m *memDatastore) EditConfig(cfg []byte) error {
+func (m *memDatastore) EditConfig(cfg []byte) ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.failOn == "edit" {
-		return errors.New("rejected")
+		return nil, errors.New("rejected")
 	}
 	m.config = append([]byte(nil), cfg...)
-	return nil
+	return nil, nil
 }
 
 func (m *memDatastore) Call(action string, body []byte) ([]byte, error) {

@@ -14,8 +14,11 @@ import (
 type Datastore interface {
 	// GetConfig returns the running configuration as XML.
 	GetConfig() ([]byte, error)
-	// EditConfig applies a configuration (opaque XML) transactionally.
-	EditConfig(config []byte) error
+	// EditConfig applies a configuration (opaque XML) transactionally. A
+	// non-empty result travels back in the rpc-reply's <data> element (this
+	// replica's extension over plain <ok/> — coalesced NF-lifecycle deltas
+	// return their port allocations this way); a nil result answers <ok/>.
+	EditConfig(config []byte) ([]byte, error)
 	// Call executes a named action with an XML body, returning XML data.
 	Call(action string, body []byte) ([]byte, error)
 }
@@ -132,10 +135,15 @@ func (s *Server) dispatch(rpc *RPC) *Reply {
 		}
 		reply.Data = &RawBody{Inner: data}
 	case rpc.EditConfig != nil:
-		if err := s.ds.EditConfig(rpc.EditConfig.Config.Inner); err != nil {
+		data, err := s.ds.EditConfig(rpc.EditConfig.Config.Inner)
+		if err != nil {
 			return fail("operation-failed", err)
 		}
-		reply.OK = &struct{}{}
+		if len(data) > 0 {
+			reply.Data = &RawBody{Inner: data}
+		} else {
+			reply.OK = &struct{}{}
+		}
 	case rpc.Action != nil:
 		data, err := s.ds.Call(rpc.Action.Name, rpc.Action.Body.Inner)
 		if err != nil {

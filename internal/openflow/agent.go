@@ -42,6 +42,13 @@ func (a *SwitchAgent) Connect(addr string) error {
 	if err != nil {
 		return fmt.Errorf("openflow: agent dial: %w", err)
 	}
+	return a.ConnectConn(nc)
+}
+
+// ConnectConn attaches the agent to an already-established transport (tests
+// and benchmarks inject latency or fault wrappers this way) and starts the
+// handshake and message loop.
+func (a *SwitchAgent) ConnectConn(nc net.Conn) error {
 	conn := NewConn(nc)
 	a.mu.Lock()
 	a.conn = conn

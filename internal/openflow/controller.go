@@ -1,6 +1,7 @@
 package openflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -17,6 +18,12 @@ var ErrNoDatapath = errors.New("openflow: unknown datapath")
 // ErrTimeout is returned when a request/reply exchange expires.
 var ErrTimeout = errors.New("openflow: request timed out")
 
+// DefaultRequestTimeout bounds one request/reply exchange (and one write)
+// when Controller.RequestTimeout is left zero. A stalled switch fails the
+// exchange with ErrTimeout instead of wedging the caller (and whatever
+// commit lock the caller holds) forever.
+const DefaultRequestTimeout = 5 * time.Second
+
 // Datapath is a connected switch from the controller's perspective.
 type Datapath struct {
 	ID    string
@@ -24,11 +31,25 @@ type Datapath struct {
 
 	conn    *Conn
 	pending sync.Map // xid -> chan *Message
+	// inflight maps the xid of every un-barriered pipelined flow-mod to its
+	// attribution entry, so asynchronous OpenFlow errors (which carry the
+	// offending xid) land on the exact rule that caused them.
+	inflight sync.Map // xid -> *pipeRule
+}
+
+// ControllerCounters are the controller's cumulative southbound send
+// counters (both the synchronous FlowMod path and pipelines).
+type ControllerCounters struct {
+	// FlowMods counts flow modification messages written.
+	FlowMods uint64
+	// Barriers counts barrier requests written.
+	Barriers uint64
 }
 
 // Controller is the controller-side library (the role POX plays in the
 // paper's legacy-SDN domain): it accepts switch connections, handshakes, and
-// offers synchronous flow programming and statistics collection.
+// offers synchronous flow programming, pipelined flow programming (see
+// Pipeline) and statistics collection.
 type Controller struct {
 	ln     net.Listener
 	xid    atomic.Uint32
@@ -39,6 +60,16 @@ type Controller struct {
 	// waiters signalled when a datapath completes its handshake.
 	waiters []chan string
 
+	flowMods atomic.Uint64
+	barriers atomic.Uint64
+
+	// RequestTimeout bounds every request/reply exchange and every message
+	// write (0 = DefaultRequestTimeout). Set before issuing requests.
+	RequestTimeout time.Duration
+	// Window bounds un-barriered in-flight flow-mods per Pipeline
+	// (0 = DefaultWindow). Set before opening pipelines.
+	Window int
+
 	// OnPacketIn, when set, receives table-miss notifications.
 	OnPacketIn func(dpid string, pi *PacketIn)
 }
@@ -46,6 +77,29 @@ type Controller struct {
 // NewController returns an unstarted controller.
 func NewController() *Controller {
 	return &Controller{dps: map[string]*Datapath{}}
+}
+
+// Counters reports the cumulative send counters.
+func (c *Controller) Counters() ControllerCounters {
+	return ControllerCounters{FlowMods: c.flowMods.Load(), Barriers: c.barriers.Load()}
+}
+
+// timeout resolves the configured request timeout.
+func (c *Controller) timeout() time.Duration {
+	if c.RequestTimeout > 0 {
+		return c.RequestTimeout
+	}
+	return DefaultRequestTimeout
+}
+
+// write sends one message with the request timeout as a write deadline, so a
+// peer that stopped draining its socket cannot block the sender forever.
+func (c *Controller) write(dp *Datapath, m *Message) error {
+	_ = dp.conn.SetWriteDeadline(time.Now().Add(c.timeout()))
+	if err := dp.conn.Write(m); err != nil {
+		return fmt.Errorf("%w: write to %s: %v", ErrTimeout, dp.ID, err)
+	}
+	return nil
 }
 
 // Listen binds the controller to addr ("127.0.0.1:0" for ephemeral) and
@@ -126,26 +180,30 @@ func (c *Controller) WaitForSwitches(n int, timeout time.Duration) error {
 }
 
 // FlowMod sends a flow modification and waits for a barrier, guaranteeing
-// the rule is applied when it returns.
-func (c *Controller) FlowMod(dpid string, fm *FlowMod) error {
+// the rule is applied when it returns. This is the one-RTT-per-rule
+// synchronous path; deltas should use Pipeline instead. ctx and the
+// controller's RequestTimeout both bound the exchange.
+func (c *Controller) FlowMod(ctx context.Context, dpid string, fm *FlowMod) error {
 	dp, err := c.Datapath(dpid)
 	if err != nil {
 		return err
 	}
-	if err := dp.conn.Write(fm.Marshal(c.xid.Add(1))); err != nil {
+	if err := c.write(dp, fm.Marshal(c.xid.Add(1))); err != nil {
 		return err
 	}
-	_, err = c.request(dp, &Message{Type: TypeBarrierRequest}, TypeBarrierReply)
+	c.flowMods.Add(1)
+	c.barriers.Add(1)
+	_, err = c.request(ctx, dp, &Message{Type: TypeBarrierRequest}, TypeBarrierReply)
 	return err
 }
 
 // Stats fetches port and flow counters from a switch.
-func (c *Controller) Stats(dpid string) (*StatsReply, error) {
+func (c *Controller) Stats(ctx context.Context, dpid string) (*StatsReply, error) {
 	dp, err := c.Datapath(dpid)
 	if err != nil {
 		return nil, err
 	}
-	m, err := c.request(dp, &Message{Type: TypeStatsRequest}, TypeStatsReply)
+	m, err := c.request(ctx, dp, &Message{Type: TypeStatsRequest}, TypeStatsReply)
 	if err != nil {
 		return nil, err
 	}
@@ -158,28 +216,30 @@ func (c *Controller) PacketOut(dpid string, po *PacketOut) error {
 	if err != nil {
 		return err
 	}
-	return dp.conn.Write(po.Marshal(c.xid.Add(1)))
+	return c.write(dp, po.Marshal(c.xid.Add(1)))
 }
 
 // Echo round-trips an echo request (liveness probe).
-func (c *Controller) Echo(dpid string) error {
+func (c *Controller) Echo(ctx context.Context, dpid string) error {
 	dp, err := c.Datapath(dpid)
 	if err != nil {
 		return err
 	}
-	_, err = c.request(dp, &Message{Type: TypeEchoRequest}, TypeEchoReply)
+	_, err = c.request(ctx, dp, &Message{Type: TypeEchoRequest}, TypeEchoReply)
 	return err
 }
 
-func (c *Controller) request(dp *Datapath, m *Message, want MsgType) (*Message, error) {
+func (c *Controller) request(ctx context.Context, dp *Datapath, m *Message, want MsgType) (*Message, error) {
 	xid := c.xid.Add(1)
 	m.XID = xid
 	ch := make(chan *Message, 1)
 	dp.pending.Store(xid, ch)
 	defer dp.pending.Delete(xid)
-	if err := dp.conn.Write(m); err != nil {
+	if err := c.write(dp, m); err != nil {
 		return nil, err
 	}
+	timer := time.NewTimer(c.timeout())
+	defer timer.Stop()
 	select {
 	case reply := <-ch:
 		if reply.Type == TypeError {
@@ -190,8 +250,10 @@ func (c *Controller) request(dp *Datapath, m *Message, want MsgType) (*Message, 
 			return nil, fmt.Errorf("%w: got %s want %s", ErrBadType, reply.Type, want)
 		}
 		return reply, nil
-	case <-time.After(5 * time.Second):
-		return nil, ErrTimeout
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: %s from %s after %v", ErrTimeout, want, dp.ID, c.timeout())
 	}
 }
 
@@ -273,6 +335,13 @@ func (c *Controller) serve(conn *Conn) {
 			_ = conn.Write(&Message{Type: TypeEchoReply, XID: m.XID, Body: m.Body})
 		case TypeError:
 			e, _ := ParseError(m)
+			// Pipelined flow-mods do not wait for replies; an error carrying
+			// a tracked xid is attributed to the exact rule that caused it
+			// and surfaces from that pipeline's next barrier.
+			if v, ok := dp.inflight.LoadAndDelete(m.XID); ok {
+				v.(*pipeRule).record(e)
+				continue
+			}
 			log.Printf("openflow controller: async error from %s: %d %s", dp.ID, e.Code, e.Reason)
 		}
 	}

@@ -1,6 +1,7 @@
 package openflow
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -80,7 +81,7 @@ func TestFlowModProgramsPath(t *testing.T) {
 		{"sw2", &FlowMod{Cmd: FlowAdd, RuleID: "f2", Priority: 10, InPort: 2, Tag: "c", OutPort: 1, PopTag: true}},
 	}
 	for _, md := range mods {
-		if err := h.ctrl.FlowMod(md.dpid, md.fm); err != nil {
+		if err := h.ctrl.FlowMod(context.Background(), md.dpid, md.fm); err != nil {
 			t.Fatalf("flowmod %s: %v", md.dpid, err)
 		}
 	}
@@ -104,10 +105,10 @@ func TestFlowModProgramsPath(t *testing.T) {
 
 func TestFlowDelete(t *testing.T) {
 	h := newHarness(t)
-	if err := h.ctrl.FlowMod("sw1", &FlowMod{Cmd: FlowAdd, RuleID: "r", InPort: 1, AnyTag: true, OutPort: 2}); err != nil {
+	if err := h.ctrl.FlowMod(context.Background(), "sw1", &FlowMod{Cmd: FlowAdd, RuleID: "r", InPort: 1, AnyTag: true, OutPort: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.ctrl.FlowMod("sw1", &FlowMod{Cmd: FlowDelete, RuleID: "r"}); err != nil {
+	if err := h.ctrl.FlowMod(context.Background(), "sw1", &FlowMod{Cmd: FlowDelete, RuleID: "r"}); err != nil {
 		t.Fatal(err)
 	}
 	if h.sw1.Table.Len() != 0 {
@@ -150,14 +151,14 @@ func TestPacketInDelivery(t *testing.T) {
 
 func TestStatsCollection(t *testing.T) {
 	h := newHarness(t)
-	if err := h.ctrl.FlowMod("sw1", &FlowMod{Cmd: FlowAdd, RuleID: "r", InPort: 1, AnyTag: true, OutPort: 2}); err != nil {
+	if err := h.ctrl.FlowMod(context.Background(), "sw1", &FlowMod{Cmd: FlowAdd, RuleID: "r", InPort: 1, AnyTag: true, OutPort: 2}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
 		h.sapA.Send("B", 100)
 	}
 	h.eng.RunToIdle()
-	sr, err := h.ctrl.Stats("sw1")
+	sr, err := h.ctrl.Stats(context.Background(), "sw1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestStatsCollection(t *testing.T) {
 
 func TestEchoLiveness(t *testing.T) {
 	h := newHarness(t)
-	if err := h.ctrl.Echo("sw1"); err != nil {
+	if err := h.ctrl.Echo(context.Background(), "sw1"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -214,7 +215,7 @@ func TestPacketOutInjection(t *testing.T) {
 
 func TestUnknownDatapath(t *testing.T) {
 	h := newHarness(t)
-	if err := h.ctrl.FlowMod("ghost", &FlowMod{}); err == nil || !strings.Contains(err.Error(), "unknown datapath") {
+	if err := h.ctrl.FlowMod(context.Background(), "ghost", &FlowMod{}); err == nil || !strings.Contains(err.Error(), "unknown datapath") {
 		t.Fatalf("want unknown datapath error, got %v", err)
 	}
 }
