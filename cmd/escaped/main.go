@@ -32,6 +32,7 @@ import (
 	"github.com/unify-repro/escape/internal/api"
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/unify"
 )
 
@@ -89,6 +90,9 @@ func main() {
 		tenantInFl = flag.Int("tenant-inflight", 0, "admission: per-tenant dispatched-job bound (0 = unlimited)")
 		ageAfter   = flag.Duration("age-after", 0, "admission: starvation-free aging interval (0 = 30s default, negative disables)")
 		fifo       = flag.Bool("fifo", false, "admission: disable weighted-fair scheduling (strict arrival order; baseline only)")
+
+		tracing   = flag.Bool("tracing", true, "admission: record per-job span trees, served at GET /unify/trace/{id}")
+		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	var children childFlags
 	flag.Var(&children, "child", "orchestrator: child layer as name=url (repeatable)")
@@ -104,8 +108,15 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := api.NewServer(layer, nil)
+	if *pprofFlag {
+		srv.WithPprof()
+	}
 	var queue *admission.Queue
 	if *admit {
+		var tracer *obs.Tracer
+		if *tracing {
+			tracer = obs.NewTracer(0)
+		}
 		queue = admission.New(layer, admission.Options{
 			Window:            *window,
 			MaxBatch:          *maxBatch,
@@ -115,6 +126,7 @@ func main() {
 			TenantMaxInFlight: *tenantInFl,
 			AgeAfter:          *ageAfter,
 			DisableFairness:   *fifo,
+			Tracer:            tracer,
 		})
 		srv.WithAdmission(queue)
 	}

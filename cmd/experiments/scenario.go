@@ -26,6 +26,7 @@ import (
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/unify"
 )
 
@@ -49,7 +50,10 @@ type SLOSummary struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
-// ScenarioReport is the JSON artifact of one run.
+// ScenarioReport is the JSON artifact of one run. SLO is the per-class
+// end-to-end distribution (measured per job); Stages decomposes it into the
+// pipeline stages (admission wait, map, commit, southbound delta, e2e) from
+// the control plane's own histograms.
 type ScenarioReport struct {
 	Scenario   ScenarioConfig        `json:"scenario"`
 	Submitted  int                   `json:"submitted"`
@@ -58,6 +62,7 @@ type ScenarioReport struct {
 	Removed    int                   `json:"removed"`
 	WallClockS float64               `json:"wall_clock_s"`
 	SLO        map[string]SLOSummary `json:"slo"`
+	Stages     map[string]SLOSummary `json:"stages"`
 	Southbound core.SouthboundStats  `json:"southbound"`
 	Admission  admission.Stats       `json:"admission"`
 }
@@ -86,6 +91,21 @@ func summarize(samples []time.Duration) SLOSummary {
 		P99Ms:  pct(99),
 		MeanMs: float64((total / time.Duration(len(samples))).Microseconds()) / 1000,
 		MaxMs:  float64(samples[len(samples)-1].Microseconds()) / 1000,
+	}
+}
+
+// summarizeHist converts a stage histogram into the same summary shape as
+// the per-job samples. Quantiles are bucket upper bounds (power-of-two
+// buckets), MaxMs the upper bound of the last occupied bucket.
+func summarizeHist(h obs.HistogramSnapshot) SLOSummary {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return SLOSummary{
+		Count:  int(h.Count),
+		P50Ms:  ms(h.Quantile(0.50)),
+		P95Ms:  ms(h.Quantile(0.95)),
+		P99Ms:  ms(h.Quantile(0.99)),
+		MeanMs: ms(h.Mean()),
+		MaxMs:  ms(h.Quantile(1)),
 	}
 }
 
@@ -256,8 +276,21 @@ func scenario(cfg ScenarioConfig, out string) {
 		Submitted:  cfg.Services,
 		WallClockS: wall.Seconds(),
 		SLO:        map[string]SLOSummary{},
+		Stages:     map[string]SLOSummary{},
 		Southbound: ro.SouthboundStats(),
 		Admission:  q.Stats(),
+	}
+	// Per-stage latency decomposition from the control plane's histograms:
+	// admission wait + e2e from the queue, map + commit from the RO, the
+	// southbound programming delta from the aggregated adapter counters.
+	for stage, h := range q.StageHistograms() {
+		rep.Stages[stage] = summarizeHist(h)
+	}
+	for stage, h := range ro.StageHistograms() {
+		rep.Stages[stage] = summarizeHist(h)
+	}
+	if sb := rep.Southbound; sb.DeltaLatency.Count > 0 {
+		rep.Stages["southbound_delta"] = summarizeHist(sb.DeltaLatency)
 	}
 	byClass := map[string][]time.Duration{}
 	for _, o := range outcomes {
@@ -284,6 +317,18 @@ func scenario(cfg ScenarioConfig, out string) {
 		}
 		fmt.Printf("%-10s %7d %9.2f %9.2f %9.2f %9.2f %9.2f\n",
 			class, s.Count, s.P50Ms, s.P95Ms, s.P99Ms, s.MeanMs, s.MaxMs)
+	}
+	if len(rep.Stages) > 0 {
+		fmt.Printf("\n%-18s %7s %9s %9s %9s %9s\n", "stage", "count", "p50-ms", "p95-ms", "p99-ms", "mean-ms")
+		stages := make([]string, 0, len(rep.Stages))
+		for s := range rep.Stages {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		for _, s := range stages {
+			st := rep.Stages[s]
+			fmt.Printf("%-18s %7d %9.2f %9.2f %9.2f %9.2f\n", s, st.Count, st.P50Ms, st.P95Ms, st.P99Ms, st.MeanMs)
+		}
 	}
 	sb := rep.Southbound
 	fmt.Printf("\ndeployed=%d/%d removed=%d wall=%.2fs\n", rep.Deployed, rep.Submitted, rep.Removed, wall.Seconds())

@@ -15,16 +15,23 @@
 //	unifyctl -server http://127.0.0.1:8181 watch <job-id>
 //	unifyctl -server http://127.0.0.1:8181 cancel-job <job-id>
 //	unifyctl -server http://127.0.0.1:8181 stats
+//	unifyctl -server http://127.0.0.1:8181 trace <job-or-trace-id>
+//	unifyctl -server http://127.0.0.1:8181 health
 //
 // submit -async returns a job ID immediately (the server answers 202 before
 // the multi-domain fan-out finishes); -wait long-polls the job to completion.
 // stats prints the layer's mapping-pipeline counters (with per-shard DoV
 // generations for sharded orchestrators) and, when an admission queue fronts
-// the layer, its queue gauges.
+// the layer, its queue gauges. Against an older server without a stats
+// endpoint it prints n/a and exits 0, so scripted probes keep working across
+// versions. trace renders the recorded span tree of a job: admission wait,
+// map/commit cycles, per-child deploys and southbound flushes, with
+// durations.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +45,7 @@ import (
 	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/api"
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/unify"
 )
 
@@ -225,9 +233,14 @@ func main() {
 		fmt.Println("canceled", flag.Arg(1))
 	case "stats":
 		info, err := cli.PipelineStats(ctx)
-		if err != nil {
+		switch {
+		case errors.Is(err, unify.ErrUnknownService):
+			// An older server without the stats endpoint answers 404: degrade
+			// to n/a instead of failing, so version-skewed probes stay green.
+			fmt.Println("pipeline: n/a")
+		case err != nil:
 			log.Printf("pipeline stats unavailable: %v", err)
-		} else {
+		default:
 			st := info.Stats
 			fmt.Printf("layer %s: installs=%d mappasses=%d conflicts=%d busy=%d batches=%d multi-shard=%d escalations=%d merge-errors=%d\n",
 				info.Layer, st.Installs, st.MapAttempts, st.GenConflicts, st.Busy, st.Batches,
@@ -248,6 +261,10 @@ func main() {
 			}
 		}
 		qs, err := cli.AdmissionStats(ctx)
+		if errors.Is(err, unify.ErrUnknownService) {
+			fmt.Println("queue: n/a")
+			return
+		}
 		if err != nil {
 			log.Printf("admission stats unavailable: %v", err)
 			return
@@ -273,6 +290,31 @@ func main() {
 			fmt.Printf("  tenant %-12s weight=%-3d depth=%-5d inflight=%-4d submitted=%-6d deployed=%-6d failed=%-5d dropped=%-5d aged=%-4d mean-wait=%s max-wait=%s\n",
 				k, t.Weight, t.Depth, t.InFlight, t.Submitted, t.Deployed, t.Failed, t.Dropped, t.Aged,
 				t.MeanWait().Round(time.Microsecond), t.WaitMax.Round(time.Microsecond))
+		}
+	case "trace":
+		if flag.NArg() < 2 {
+			log.Fatal("trace needs a job or trace ID")
+		}
+		td, err := cli.Trace(ctx, flag.Arg(1))
+		if errors.Is(err, unify.ErrUnknownService) {
+			log.Fatalf("no trace recorded for %q (evicted, or tracing disabled on the server)", flag.Arg(1))
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace %s (%d spans)\n", td.ID, len(td.Spans))
+		for _, line := range obs.TreeLines(td) {
+			fmt.Println(line)
+		}
+	case "health":
+		h, err := cli.Health(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s layer=%s go=%s uptime=%.1fs shards=%d domains=%d queue-depth=%d\n",
+			h.Status, h.Layer, h.GoVersion, h.UptimeSeconds, h.Shards, h.Domains, h.QueueDepth)
+		if h.Status != "ok" {
+			os.Exit(1)
 		}
 	default:
 		log.Fatalf("unknown command %q", cmd)

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/unify"
 )
 
@@ -107,6 +108,10 @@ type Job struct {
 	// (after any per-shard-lane partitioning of its window).
 	Batch   int            `json:"batch,omitempty"`
 	Receipt *unify.Receipt `json:"receipt,omitempty"`
+	// TraceID identifies the job's span trace (set when the queue has a
+	// Tracer; adopted from the submission context when northbound ingress
+	// already minted one, so recursive deployments share one ID).
+	TraceID string `json:"trace_id,omitempty"`
 	// Submitted/Started/Finished bound the queue wait and the deployment.
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitzero"`
@@ -124,6 +129,12 @@ type job struct {
 	// dispatched marks a job popped from its tenant queue (it counts against
 	// the tenant's in-flight cap until terminal). Guarded by Queue.mu.
 	dispatched bool
+	// trace/root/wait carry the job's span tree: root spans submit→terminal,
+	// wait spans submit→dispatch. All nil (and every use a no-op) when
+	// tracing is off.
+	trace *obs.Trace
+	root  *obs.Span
+	wait  *obs.Span
 }
 
 // Options tune the queue.
@@ -163,6 +174,11 @@ type Options struct {
 	// scheduled one priority class higher per AgeAfter it has waited (0
 	// selects the 30s default; negative disables aging).
 	AgeAfter time.Duration
+	// Tracer enables request tracing: every submission gets (or, when the
+	// submission context already carries one, adopts) a trace whose span
+	// tree covers queue wait, mapping, commit and the southbound fan-out,
+	// retrievable by the job's TraceID. Nil disables tracing.
+	Tracer *obs.Tracer
 	// DisableFairness restores the single global FIFO: jobs dispatch in
 	// strict arrival order regardless of tenant or priority (the measurable
 	// baseline for BenchmarkE10FairAdmission). Tenant accounting and the
@@ -309,6 +325,11 @@ type Queue struct {
 	gate    sync.RWMutex
 	lanesMu sync.Mutex
 	lanes   map[string]*sync.Mutex
+
+	// Stage latency histograms: queue wait (submit→dispatch) and end-to-end
+	// admission-to-deployed. Lock-free; snapshot via StageHistograms.
+	histWait obs.Histogram
+	histE2E  obs.Histogram
 
 	mu     sync.Mutex
 	closed bool
@@ -565,6 +586,12 @@ func (q *Queue) Submit(ctx context.Context, req *nffg.NFFG) (Job, error) {
 	if q.sharder != nil {
 		shards = q.sharder.ShardSet(req)
 	}
+	// Adopt the trace riding the submission context (northbound ingress
+	// minted it from X-Unify-Trace), else mint one when tracing is on.
+	trace := obs.TraceFrom(ctx)
+	if trace == nil {
+		trace = q.opts.Tracer.Trace("") // nil tracer → nil trace: tracing off
+	}
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -592,16 +619,21 @@ func (q *Queue) Submit(ctx context.Context, req *nffg.NFFG) (Job, error) {
 		seq:    q.seq,
 		req:    req.Copy(),
 		shards: shards,
+		trace:  trace,
 		snap: Job{
 			ID:        fmt.Sprintf("job-%d", q.seq),
 			ServiceID: req.ID,
 			State:     StateQueued,
 			Tenant:    meta.Tenant,
 			Priority:  meta.Priority,
+			TraceID:   trace.ID(),
 			Submitted: time.Now(),
 		},
 		done: make(chan struct{}),
 	}
+	j.root = trace.StartSpan(nil, "job",
+		"job", j.snap.ID, "service", req.ID, "tenant", meta.Tenant)
+	j.wait = trace.StartSpan(j.root, "admission.wait")
 	q.jobs[j.snap.ID] = j
 	tq.push(j)
 	tq.stats.Submitted++
@@ -717,6 +749,19 @@ func (q *Queue) Stats() Stats {
 	}
 	return st
 }
+
+// StageHistograms returns the queue's latency distributions by stage name:
+// "admission_wait" (submit → dispatch) and "e2e" (submit → deployed,
+// successful jobs only).
+func (q *Queue) StageHistograms() map[string]obs.HistogramSnapshot {
+	return map[string]obs.HistogramSnapshot{
+		"admission_wait": q.histWait.Snapshot(),
+		"e2e":            q.histE2E.Snapshot(),
+	}
+}
+
+// Tracer returns the queue's tracer (nil when tracing is off).
+func (q *Queue) Tracer() *obs.Tracer { return q.opts.Tracer }
 
 // shardLabels returns the stat keys a job counts under: its estimated shard
 // set, or GlobalShard when the set could not be narrowed.
@@ -987,6 +1032,8 @@ func (q *Queue) take() []*job {
 		if wait > tq.stats.WaitMax {
 			tq.stats.WaitMax = wait
 		}
+		q.histWait.Observe(wait)
+		j.wait.End()
 	}
 	q.stats.Batches++
 	q.stats.Coalesced += uint64(len(batch))
@@ -1090,9 +1137,15 @@ func (q *Queue) popLocked(max int) []*job {
 // batch's mapping instead of blocking admission behind a slow child.
 func (q *Queue) process(batch []*job) {
 	reqs := make([]*nffg.NFFG, len(batch))
+	roots := make([]*obs.Span, len(batch))
 	for i, j := range batch {
 		reqs[i] = j.req
+		roots[i] = j.root
 	}
+	// The positional trace set rides the dispatch context: trace i belongs
+	// to reqs[i], and stage spans recorded below (group partition, map,
+	// commit, child fan-out) nest under each job's root span.
+	dctx := obs.ContextWithSpans(q.ctx, roots...)
 	if q.batch == nil {
 		// Fallback for plain layers: no shared snapshot, so batch members
 		// install individually — in parallel within the batch, but at most
@@ -1105,7 +1158,7 @@ func (q *Queue) process(batch []*job) {
 			go func(j *job) {
 				defer wg.Done()
 				q.setState(j, StateDeploying)
-				receipt, err := q.layer.Install(q.ctx, j.req)
+				receipt, err := q.layer.Install(obs.ContextWithSpans(q.ctx, j.root), j.req)
 				q.finishJob(j, receipt, err, 0)
 			}(j)
 		}
@@ -1118,7 +1171,7 @@ func (q *Queue) process(batch []*job) {
 	q.inflight.Add(1)
 	go func() {
 		defer q.inflight.Done()
-		obs := unify.BatchObserver{
+		observer := unify.BatchObserver{
 			Admitted: func(i int) {
 				markCommitted()
 				q.setState(batch[i], StateDeploying)
@@ -1130,7 +1183,7 @@ func (q *Queue) process(batch []*job) {
 				q.finishJob(batch[i], o.Receipt, o.Err, o.Attempts)
 			},
 		}
-		outs := q.batch.InstallBatch(q.ctx, reqs, obs)
+		outs := q.batch.InstallBatch(dctx, reqs, observer)
 		// Defensive sweep for implementations that miss a Done callback.
 		for i, o := range outs {
 			q.finishJob(batch[i], o.Receipt, o.Err, o.Attempts)
@@ -1191,6 +1244,11 @@ func (q *Queue) terminateLocked(j *job, receipt *unify.Receipt, err error) {
 		return
 	}
 	j.snap.Finished = time.Now()
+	j.wait.End() // no-op unless the job dies still queued
+	j.root.EndWith(err)
+	if err == nil {
+		q.histE2E.Observe(j.snap.Finished.Sub(j.snap.Submitted))
+	}
 	switch {
 	case errors.Is(err, ErrCanceled):
 		j.snap.State = StateCanceled

@@ -23,6 +23,12 @@
 //	GET    /unify/stats/pipeline       -> PipelineInfo (mapping-pipeline counters
 //	                                      plus per-shard DoV generations, when the
 //	                                      layer exposes them)
+//	GET    /unify/trace/{id}           -> obs.TraceData (span tree of a job ID or
+//	                                      trace ID; requires admission + tracer)
+//	GET    /unify/healthz              -> Health (build info, uptime, shard and
+//	                                      domain counts — the readiness probe)
+//	GET    /metrics                    -> Prometheus text exposition (histograms,
+//	                                      pipeline/southbound/admission counters)
 //	GET    /healthz                    -> 200 "ok"
 //
 // The jobs endpoints exist when the server is given an admission queue
@@ -43,6 +49,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strings"
 	"time"
@@ -51,6 +58,7 @@ import (
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/unify"
 )
 
@@ -76,16 +84,25 @@ type shardStatsProvider interface {
 
 // Server exposes a layer over HTTP.
 type Server struct {
-	layer unify.Layer
-	caps  []domain.Capability
-	adm   *admission.Queue
-	http  *http.Server
-	addr  string
+	layer   unify.Layer
+	caps    []domain.Capability
+	adm     *admission.Queue
+	http    *http.Server
+	addr    string
+	started time.Time
+	pprof   bool
 }
 
 // NewServer wraps a layer. caps may be nil for plain layers.
 func NewServer(layer unify.Layer, caps []domain.Capability) *Server {
-	return &Server{layer: layer, caps: caps}
+	return &Server{layer: layer, caps: caps, started: time.Now()}
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ on the server's mux.
+// Call before Listen.
+func (s *Server) WithPprof() *Server {
+	s.pprof = true
+	return s
 }
 
 // WithAdmission routes installs through the admission queue and enables the
@@ -109,12 +126,22 @@ func (s *Server) Listen(addr string) (string, error) {
 	mux.HandleFunc("POST /unify/services", s.handleInstall)
 	mux.HandleFunc("DELETE /unify/services/{id}", s.handleRemove)
 	mux.HandleFunc("GET /unify/stats/pipeline", s.handlePipelineStats)
+	mux.HandleFunc("GET /unify/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.adm != nil {
 		mux.HandleFunc("GET /unify/jobs", s.handleJobs)
 		mux.HandleFunc("GET /unify/jobs/{id}", s.handleJob)
 		mux.HandleFunc("GET /unify/jobs/{id}/wait", s.handleJobWait)
 		mux.HandleFunc("DELETE /unify/jobs/{id}", s.handleJobCancel)
 		mux.HandleFunc("GET /unify/stats/admission", s.handleAdmissionStats)
+		mux.HandleFunc("GET /unify/trace/{id}", s.handleTrace)
+	}
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -193,6 +220,7 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "api: " + err.Error()})
 		return
 	}
+	ctx = s.adoptTrace(ctx, r)
 	if r.URL.Query().Get("mode") == "async" {
 		if s.adm == nil {
 			writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: no admission queue configured"})
@@ -462,6 +490,11 @@ func (c *Client) install(ctx context.Context, req *nffg.NFFG, async bool) (*http
 	}
 	if meta.Priority != "" {
 		hreq.Header.Set(PriorityHeader, string(meta.Priority))
+	}
+	// Propagate trace identity downstream: a child layer deploying on behalf
+	// of a traced request adopts the same trace ID (see obsapi.go).
+	if tid := obs.TraceIDFrom(ctx); tid != "" {
+		hreq.Header.Set(TraceHeader, tid)
 	}
 	if async {
 		// Submission returns immediately; the unary bound applies.

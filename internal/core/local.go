@@ -11,6 +11,7 @@ import (
 	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/embed"
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/unify"
 )
 
@@ -275,7 +276,11 @@ func (lo *LocalOrchestrator) Install(ctx context.Context, req *nffg.NFFG) (*unif
 			lastErr = fmt.Errorf("%w: substrate generation advanced during mapping", unify.ErrBusy)
 			continue // lost the commit race, re-plan on the fresh snapshot
 		}
-		if err := lo.prog.Commit(ctx, delta, newCfg); err != nil {
+		// The programming span scopes the device-side work; the adapter's
+		// per-datapath flush spans nest under it via pctx.
+		progSpan, pctx := obs.StartSpan(ctx, "local.program", "domain", lo.id)
+		if err := lo.prog.Commit(pctx, delta, newCfg); err != nil {
+			progSpan.EndWith(err)
 			delete(lo.pending, req.ID)
 			lo.mu.Unlock()
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -285,6 +290,7 @@ func (lo *LocalOrchestrator) Install(ctx context.Context, req *nffg.NFFG) (*unif
 			}
 			return nil, fmt.Errorf("%w: programming failed: %v", unify.ErrRejected, err)
 		}
+		progSpan.End()
 		lo.cfg = newCfg.Seal()
 		lo.gen++
 		lo.services[req.ID] = mapping

@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/embed"
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/topo"
 	"github.com/unify-repro/escape/internal/unify"
 )
@@ -94,6 +97,10 @@ type ResourceOrchestrator struct {
 		installs, mapAttempts, genConflicts, busy, batches, batchedReqs atomic.Uint64
 		multiShard, escalations, mergeErrors                            atomic.Uint64
 	}
+
+	// Per-stage latency distributions (see StageHistograms).
+	histMap    obs.Histogram
+	histCommit obs.Histogram
 }
 
 // PipelineStats are cumulative counters of the snapshot→map→commit pipeline,
@@ -391,6 +398,16 @@ func (ro *ResourceOrchestrator) PipelineStats() PipelineStats {
 		CutCache:          ro.cutStats.snapshot(),
 		ViewCache:         ro.viewStats.snapshot(),
 		Southbound:        ro.SouthboundStats(),
+	}
+}
+
+// StageHistograms returns the orchestrator's per-stage latency distributions:
+// "map" is one snapshot→plan pass over a shard group (including retries),
+// "commit" the locked generation-validate-and-swap of a successful commit.
+func (ro *ResourceOrchestrator) StageHistograms() map[string]obs.HistogramSnapshot {
+	return map[string]obs.HistogramSnapshot{
+		"map":    ro.histMap.Snapshot(),
+		"commit": ro.histCommit.Snapshot(),
 	}
 }
 
@@ -709,12 +726,12 @@ func (ro *ResourceOrchestrator) dropReservationsLocked(serviceID string, rec *se
 // final. After a group's commit its admitted requests fan out in parallel
 // (each inheriting the per-child fan-out of deployChildren); a failed
 // deployment releases only its own reservation, shard by shard.
-func (ro *ResourceOrchestrator) InstallBatch(ctx context.Context, reqs []*nffg.NFFG, obs unify.BatchObserver) []unify.BatchOutcome {
+func (ro *ResourceOrchestrator) InstallBatch(ctx context.Context, reqs []*nffg.NFFG, observer unify.BatchObserver) []unify.BatchOutcome {
 	bc := &batchRun{
 		ro:       ro,
 		reqs:     reqs,
 		out:      make([]unify.BatchOutcome, len(reqs)),
-		obs:      obs,
+		obs:      observer,
 		records:  make([]*serviceRecord, len(reqs)),
 		live:     make([]bool, len(reqs)),
 		planErr:  make([]error, len(reqs)),
@@ -826,8 +843,13 @@ type plannedReq struct {
 // final.
 func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayEscalate bool) {
 	ro := bc.ro
+	// Re-scope the batch's positional trace set to this group's members: a
+	// stage span recorded below lands in every member's trace.
+	gctx := obs.Narrow(ctx, len(bc.reqs), idx)
 	attempts := 0
+	var mapSpan *obs.Span
 	abortIdx := func(err error) {
+		mapSpan.EndWith(err)
 		for _, i := range idx {
 			if bc.live[i] {
 				bc.out[i].Attempts += attempts
@@ -848,6 +870,8 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 			return
 		}
 		ro.stats.mapAttempts.Add(1)
+		mapSpan, _ = obs.StartSpan(gctx, "orchestrator.map", "attempt", strconv.Itoa(attempts))
+		mapStart := time.Now()
 		dir, owner := ro.snapshotDir()
 		gkeys := keys
 		if gkeys == nil {
@@ -942,6 +966,8 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 			accepted = append(accepted, mapping)
 			mappable++
 		}
+		ro.histMap.Observe(time.Since(mapStart))
+		mapSpan.End()
 		if mappable == 0 {
 			// Nothing mappable on this snapshot. If a concurrent commit moved
 			// one of the group's shards meanwhile the failures may be stale
@@ -976,6 +1002,8 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 		for i, s := range shs {
 			genByKey[s.key] = gens[i]
 		}
+		commitSpan, _ := obs.StartSpan(gctx, "orchestrator.commit", "shards", strconv.Itoa(len(tshs)))
+		commitStart := time.Now()
 		lockAll(tshs)
 		conflict := false
 		for _, s := range tshs {
@@ -989,6 +1017,7 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 			// Lost the commit race; loop re-plans against the fresh cut.
 			ro.stats.genConflicts.Add(1)
 			lastErr = fmt.Errorf("%w: DoV generation advanced during mapping", unify.ErrBusy)
+			commitSpan.EndWith(lastErr)
 			continue
 		}
 		if len(shs) == 1 && len(tshs) == 1 && tshs[0] == shs[0] {
@@ -1001,6 +1030,7 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 			if err := bc.projectLocked(tshs, cur, idx, plans); err != nil {
 				unlockAll(tshs)
 				log.Printf("core %s: scoped commit projection failed: %v", ro.id, err)
+				commitSpan.EndWith(err)
 				abortIdx(fmt.Errorf("%w: commit projection failed: %v", unify.ErrRejected, err))
 				return
 			}
@@ -1017,6 +1047,8 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 			ro.stats.multiShard.Add(1)
 		}
 		ro.epoch.Add(1)
+		ro.histCommit.Observe(time.Since(commitStart))
+		commitSpan.End()
 		committed = true
 		break
 	}
@@ -1072,8 +1104,11 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 		go func(i int, p *plannedReq) {
 			defer wg.Done()
 			defer bc.conclude(i)
+			// Per-request deploy scope: narrow from the batch context (not
+			// gctx — Narrow indices address the original positional set).
+			dctx := obs.Narrow(ctx, len(bc.reqs), []int{i})
 			children := sortedKeys(p.subs)
-			receipts, err := ro.deployChildren(ctx, children, p.subs)
+			receipts, err := ro.deployChildren(dctx, children, p.subs)
 			if err != nil {
 				if rerr := ro.releaseShards(p.mapping, p.touched); rerr != nil {
 					log.Printf("core %s: releasing aborted install %s: %v", ro.id, bc.reqs[i].ID, rerr)
@@ -1214,10 +1249,12 @@ func (ro *ResourceOrchestrator) deployChildren(ctx context.Context, children []s
 		wg.Add(1)
 		go func(i int, childID string) {
 			defer wg.Done()
+			span, sctx := obs.StartSpan(cctx, "deploy.child", "child", childID)
 			d, err := ro.reg.Get(childID)
 			if err == nil {
-				receipts[i], err = d.Install(cctx, subs[childID])
+				receipts[i], err = d.Install(sctx, subs[childID])
 			}
+			span.EndWith(err)
 			if err != nil {
 				errs[i] = err
 				cancel() // first error cancels the sibling deploys

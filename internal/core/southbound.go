@@ -3,6 +3,8 @@ package core
 import (
 	"sync/atomic"
 	"time"
+
+	"github.com/unify-repro/escape/internal/obs"
 )
 
 // SouthboundStats count the device-programming half of the control plane:
@@ -30,6 +32,10 @@ type SouthboundStats struct {
 	// (the time from entering a Programmer's Commit to its return).
 	LatencyTotalNS uint64 `json:"latency_total_ns"`
 	LatencyMaxNS   uint64 `json:"latency_max_ns"`
+	// DeltaLatency is the per-delta southbound wall-clock distribution
+	// (power-of-two buckets), mergeable up the orchestrator hierarchy like
+	// the scalar counters.
+	DeltaLatency obs.HistogramSnapshot `json:"delta_latency"`
 }
 
 // MeanDeltaLatency is the mean southbound wall-clock per delta.
@@ -64,6 +70,7 @@ func (s *SouthboundStats) Merge(o SouthboundStats) {
 	s.NetconfRPCs += o.NetconfRPCs
 	s.ContainerOps += o.ContainerOps
 	s.LatencyTotalNS += o.LatencyTotalNS
+	s.DeltaLatency.Merge(o.DeltaLatency)
 	if o.WindowHighWater > s.WindowHighWater {
 		s.WindowHighWater = o.WindowHighWater
 	}
@@ -79,6 +86,7 @@ type SouthboundRecorder struct {
 	deltas, flowMods, barriers, windowHW atomic.Uint64
 	netconfRPCs, containerOps            atomic.Uint64
 	latencyTotal, latencyMax             atomic.Uint64
+	deltaHist                            obs.Histogram
 }
 
 // AddFlowMods counts n flow-mods sent.
@@ -106,6 +114,7 @@ func (r *SouthboundRecorder) ObserveWindow(hw uint64) {
 // ObserveDelta records one completed delta and its southbound wall-clock.
 func (r *SouthboundRecorder) ObserveDelta(d time.Duration) {
 	r.deltas.Add(1)
+	r.deltaHist.Observe(d)
 	ns := uint64(d.Nanoseconds())
 	r.latencyTotal.Add(ns)
 	for {
@@ -127,6 +136,7 @@ func (r *SouthboundRecorder) Snapshot() SouthboundStats {
 		ContainerOps:    r.containerOps.Load(),
 		LatencyTotalNS:  r.latencyTotal.Load(),
 		LatencyMaxNS:    r.latencyMax.Load(),
+		DeltaLatency:    r.deltaHist.Snapshot(),
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"github.com/unify-repro/escape/internal/domain/mininet/click"
 	"github.com/unify-repro/escape/internal/netconf"
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/openflow"
 )
 
@@ -193,8 +194,11 @@ func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, cfg *nffg.NFFG) 
 		if err != nil {
 			return err
 		}
+		ncSpan, _ := obs.StartSpan(ctx, "netconf.rpc",
+			"stops", fmt.Sprint(len(nd.Stops)), "starts", fmt.Sprint(len(nd.Starts)))
 		data, err := d.ncCli.EditConfigData(body)
 		sb.AddNetconfRPCs(1)
+		ncSpan.EndWith(err)
 		if err != nil {
 			return fmt.Errorf("mininet: nf delta: %w", err)
 		}
@@ -252,11 +256,15 @@ func (d *Domain) fanOut(ctx context.Context, ops map[nffg.ID][]ofOp) error {
 		wg.Add(1)
 		go func(infra nffg.ID, batch []ofOp) {
 			defer wg.Done()
+			span, sctx := obs.StartSpan(ctx, "openflow.flush",
+				"datapath", string(infra), "flowmods", fmt.Sprint(len(batch)))
 			fail := func(err error) {
+				span.SetErr(err)
 				errMu.Lock()
 				errs = append(errs, err)
 				errMu.Unlock()
 			}
+			defer span.End()
 			p, err := d.ctrl.Pipeline(string(infra))
 			if err != nil {
 				fail(fmt.Errorf("mininet: datapath %s: %w", infra, err))
@@ -269,12 +277,12 @@ func (d *Domain) fanOut(ctx context.Context, ops map[nffg.ID][]ofOp) error {
 				sb.ObserveWindow(st.WindowHighWater)
 			}()
 			for _, op := range batch {
-				if err := p.Send(ctx, op.rule, op.fm); err != nil {
+				if err := p.Send(sctx, op.rule, op.fm); err != nil {
 					fail(fmt.Errorf("mininet: rule %s on %s: %w", op.rule, infra, err))
 					return
 				}
 			}
-			if err := p.Flush(ctx); err != nil {
+			if err := p.Flush(sctx); err != nil {
 				fail(fmt.Errorf("mininet: datapath %s: %w", infra, err))
 			}
 		}(infra, batch)

@@ -16,6 +16,7 @@ import (
 	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/domain/emunet"
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/openflow"
 )
 
@@ -173,11 +174,15 @@ func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) er
 		wg.Add(1)
 		go func(infra nffg.ID, batch []ofOp) {
 			defer wg.Done()
+			span, sctx := obs.StartSpan(ctx, "openflow.flush",
+				"datapath", string(infra), "flowmods", fmt.Sprint(len(batch)))
 			fail := func(err error) {
+				span.SetErr(err)
 				errMu.Lock()
 				errs = append(errs, err)
 				errMu.Unlock()
 			}
+			defer span.End()
 			p, err := d.ctrl.Pipeline(string(infra))
 			if err != nil {
 				fail(fmt.Errorf("sdnctl: datapath %s: %w", infra, err))
@@ -190,12 +195,12 @@ func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) er
 				sb.ObserveWindow(st.WindowHighWater)
 			}()
 			for _, op := range batch {
-				if err := p.Send(ctx, op.rule, op.fm); err != nil {
+				if err := p.Send(sctx, op.rule, op.fm); err != nil {
 					fail(fmt.Errorf("sdnctl: rule %s on %s: %w", op.rule, infra, err))
 					return
 				}
 			}
-			if err := p.Flush(ctx); err != nil {
+			if err := p.Flush(sctx); err != nil {
 				fail(fmt.Errorf("sdnctl: datapath %s: %w", infra, err))
 			}
 		}(infra, batch)

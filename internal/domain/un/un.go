@@ -21,6 +21,7 @@ import (
 	"github.com/unify-repro/escape/internal/domain/emunet"
 	"github.com/unify-repro/escape/internal/domain/nfcat"
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/obs"
 )
 
 // ContainerState is the Docker-style lifecycle.
@@ -288,8 +289,12 @@ func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) er
 			sw.Table.Remove(f.ID)
 		}
 	}
+	// Container lifecycle phases (teardowns, then starts) under one span:
+	// the UN programs containers natively, so this is its southbound work.
+	cSpan, cctx := obs.StartSpan(ctx, "un.containers",
+		"stops", fmt.Sprint(len(delta.DelNFs)), "starts", fmt.Sprint(len(delta.AddNFs)))
 	// Teardown phase: stop+remove each deleted NF, bounded-parallel.
-	err := forEachBounded(ctx, len(delta.DelNFs), func(i int) error {
+	err := forEachBounded(cctx, len(delta.DelNFs), func(i int) error {
 		id := delta.DelNFs[i]
 		sb.AddContainerOps(2) // stop + remove
 		if err := d.rt.Stop(string(id)); err != nil {
@@ -301,10 +306,11 @@ func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) er
 		return nil
 	})
 	if err != nil {
+		cSpan.EndWith(err)
 		return err
 	}
 	// Start phase: create+start each added NF, bounded-parallel.
-	err = forEachBounded(ctx, len(delta.AddNFs), func(i int) error {
+	err = forEachBounded(cctx, len(delta.AddNFs), func(i int) error {
 		nf := delta.AddNFs[i]
 		image := "nf/" + nf.FunctionalType + ":latest"
 		sb.AddContainerOps(2) // create + start
@@ -320,6 +326,7 @@ func (d *Domain) commit(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) er
 		}
 		return nil
 	})
+	cSpan.EndWith(err)
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ import (
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain/emunet"
 	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/obs"
 )
 
 // PortCounters is one switch port's counters.
@@ -91,6 +92,15 @@ func (c AdmissionCounters) MeanBatch() float64 {
 	return float64(c.Coalesced) / float64(c.Batches)
 }
 
+// StageCounters is one layer's latency distribution for one pipeline stage
+// (admission wait, map, commit, end-to-end; power-of-two bucket histograms,
+// see internal/obs).
+type StageCounters struct {
+	Layer string
+	Stage string
+	obs.HistogramSnapshot
+}
+
 // Snapshot is a point-in-time stats collection.
 type Snapshot struct {
 	Ports     []PortCounters
@@ -98,6 +108,7 @@ type Snapshot struct {
 	NFs       []NFCounters
 	Orch      []OrchCounters
 	Admission []AdmissionCounters
+	Stages    []StageCounters
 }
 
 // Source produces snapshots.
@@ -167,6 +178,27 @@ func (s OrchSource) Collect() (*Snapshot, error) {
 	return &Snapshot{Orch: []OrchCounters{oc}}, nil
 }
 
+// StageHistogramsProvider is any component exposing per-stage latency
+// histograms (admission.Queue and core.ResourceOrchestrator do).
+type StageHistogramsProvider interface {
+	StageHistograms() map[string]obs.HistogramSnapshot
+}
+
+// StageSource collects per-stage latency histograms, labeled with the layer.
+type StageSource struct {
+	Layer    string
+	Provider StageHistogramsProvider
+}
+
+// Collect implements Source.
+func (s StageSource) Collect() (*Snapshot, error) {
+	snap := &Snapshot{}
+	for stage, h := range s.Provider.StageHistograms() {
+		snap.Stages = append(snap.Stages, StageCounters{Layer: s.Layer, Stage: stage, HistogramSnapshot: h})
+	}
+	return snap, nil
+}
+
 // QueueSource collects gauges from an admission queue.
 type QueueSource struct {
 	Name  string
@@ -194,6 +226,7 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 		out.NFs = append(out.NFs, s.NFs...)
 		out.Orch = append(out.Orch, s.Orch...)
 		out.Admission = append(out.Admission, s.Admission...)
+		out.Stages = append(out.Stages, s.Stages...)
 	}
 	sort.Slice(out.Ports, func(i, j int) bool {
 		if out.Ports[i].Node != out.Ports[j].Node {
@@ -210,6 +243,12 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 	sort.Slice(out.NFs, func(i, j int) bool { return out.NFs[i].NF < out.NFs[j].NF })
 	sort.Slice(out.Orch, func(i, j int) bool { return out.Orch[i].Layer < out.Orch[j].Layer })
 	sort.Slice(out.Admission, func(i, j int) bool { return out.Admission[i].Queue < out.Admission[j].Queue })
+	sort.Slice(out.Stages, func(i, j int) bool {
+		if out.Stages[i].Layer != out.Stages[j].Layer {
+			return out.Stages[i].Layer < out.Stages[j].Layer
+		}
+		return out.Stages[i].Stage < out.Stages[j].Stage
+	})
 	return out
 }
 
@@ -374,6 +413,98 @@ func (s *Snapshot) Render(w io.Writer) {
 			}
 		}
 	}
+	// Per-stage latency distributions: the p50/p95/p99 of every pipeline
+	// stage, so tail inflation is attributable to a stage at a glance.
+	if len(s.Stages) > 0 {
+		fmt.Fprintf(w, "\n%-16s %-16s %8s %10s %10s %10s %10s\n",
+			"LAYER", "STAGE", "COUNT", "P50", "P95", "P99", "MEAN")
+		for _, st := range s.Stages {
+			fmt.Fprintf(w, "%-16s %-16s %8d %10s %10s %10s %10s\n",
+				st.Layer, st.Stage, st.Count,
+				st.Quantile(0.50).Round(time.Microsecond),
+				st.Quantile(0.95).Round(time.Microsecond),
+				st.Quantile(0.99).Round(time.Microsecond),
+				st.Mean().Round(time.Microsecond))
+		}
+	}
+}
+
+// RenderHistogram writes one latency histogram as a table: the summary line,
+// then every non-empty power-of-two bucket with its upper bound and the
+// cumulative share of observations it closes.
+func RenderHistogram(w io.Writer, name string, h obs.HistogramSnapshot) {
+	fmt.Fprintf(w, "%s: count=%d mean=%s p50=%s p95=%s p99=%s\n",
+		name, h.Count, h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond))
+	if h.Count == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%14s %10s %7s\n", "LE", "COUNT", "CUM")
+	var cum uint64
+	for i, b := range h.Buckets {
+		if b == 0 {
+			continue
+		}
+		cum += b
+		fmt.Fprintf(w, "%14s %10d %6.1f%%\n",
+			time.Duration(obs.BucketUpperNS(i)), b, 100*float64(cum)/float64(h.Count))
+	}
+}
+
+// RenderTrace writes one recorded span tree as a table: tree-indented span
+// names, start offsets relative to the earliest span, durations and
+// attributes. Orphaned spans (parent evicted from the bounded buffer)
+// surface as roots, like obs.TreeLines.
+func RenderTrace(w io.Writer, td obs.TraceData) {
+	fmt.Fprintf(w, "trace %s (%d spans)\n", td.ID, len(td.Spans))
+	if len(td.Spans) == 0 {
+		return
+	}
+	t0 := td.Spans[0].Start
+	for _, s := range td.Spans {
+		if s.Start.Before(t0) {
+			t0 = s.Start
+		}
+	}
+	ids := map[obs.SpanID]bool{}
+	for _, s := range td.Spans {
+		ids[s.ID] = true
+	}
+	children := map[obs.SpanID][]obs.SpanData{}
+	for _, s := range td.Spans {
+		p := s.Parent
+		if p != 0 && !ids[p] {
+			p = 0
+		}
+		children[p] = append(children[p], s)
+	}
+	fmt.Fprintf(w, "%-36s %10s %12s %s\n", "SPAN", "START", "DURATION", "DETAIL")
+	var walk func(parent obs.SpanID, depth int)
+	walk = func(parent obs.SpanID, depth int) {
+		for _, s := range children[parent] {
+			var detail []string
+			keys := make([]string, 0, len(s.Attrs))
+			for k := range s.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				detail = append(detail, k+"="+s.Attrs[k])
+			}
+			if s.Err != "" {
+				detail = append(detail, fmt.Sprintf("err=%q", s.Err))
+			}
+			fmt.Fprintf(w, "%-36s %10s %12s %s\n",
+				strings.Repeat("  ", depth)+s.Name,
+				"+"+s.Start.Sub(t0).Round(time.Microsecond).String(),
+				s.Duration.Round(time.Microsecond),
+				strings.Join(detail, " "))
+			walk(s.ID, depth+1)
+		}
+	}
+	walk(0, 0)
 }
 
 // VerifyChain checks that every hop of a deployed service saw at least min

@@ -1,0 +1,120 @@
+package monitor
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/unify-repro/escape/internal/obs"
+)
+
+// fakeStages is a StageHistogramsProvider with a known distribution.
+type fakeStages struct {
+	stages map[string]obs.HistogramSnapshot
+}
+
+func (f fakeStages) StageHistograms() map[string]obs.HistogramSnapshot { return f.stages }
+
+func sampleHist(t *testing.T, ds ...time.Duration) obs.HistogramSnapshot {
+	t.Helper()
+	var h obs.Histogram
+	for _, d := range ds {
+		h.Observe(d)
+	}
+	return h.Snapshot()
+}
+
+// TestRenderStages: the merged snapshot renders one per-stage row with the
+// quantiles of the underlying histogram.
+func TestRenderStages(t *testing.T) {
+	src := StageSource{Layer: "mdo", Provider: fakeStages{stages: map[string]obs.HistogramSnapshot{
+		"map":    sampleHist(t, time.Millisecond, time.Millisecond, 8*time.Millisecond),
+		"commit": sampleHist(t, 2*time.Millisecond),
+	}}}
+	snap := CollectAll(src)
+	if len(snap.Stages) != 2 {
+		t.Fatalf("stages: %+v", snap.Stages)
+	}
+	// Merge sorts by layer then stage: commit before map.
+	if snap.Stages[0].Stage != "commit" || snap.Stages[1].Stage != "map" {
+		t.Fatalf("stage order: %+v", snap.Stages)
+	}
+	var b strings.Builder
+	snap.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "LAYER") || !strings.Contains(out, "STAGE") {
+		t.Fatalf("no stage table header:\n%s", out)
+	}
+	// map: 3 samples, p50 closes in the 2^20 ns bucket (1.048576ms), p99 in
+	// the 2^23 ns bucket (8.388608ms); the table rounds to microseconds.
+	if !strings.Contains(out, "map") || !strings.Contains(out, "1.049ms") || !strings.Contains(out, "8.389ms") {
+		t.Fatalf("map stage row wrong:\n%s", out)
+	}
+}
+
+// TestRenderHistogram: the bucket table lists every non-empty bucket with a
+// cumulative share, headed by the quantile summary.
+func TestRenderHistogram(t *testing.T) {
+	h := sampleHist(t, time.Microsecond, time.Microsecond, time.Microsecond, 500*time.Microsecond)
+	var b strings.Builder
+	RenderHistogram(&b, "admission_wait", h)
+	out := b.String()
+	for _, want := range []string{
+		"admission_wait: count=4",
+		"p50=1µs",   // 2^10 ns bucket (1.024µs) closes 3/4 of the mass
+		"LE",        // bucket table header
+		"524.288µs", // 2^19 ns bucket holds the tail sample (LE col, exact)
+		"75.0%",     // cumulative share after the first bucket
+		"100.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram table missing %q:\n%s", want, out)
+		}
+	}
+
+	var empty strings.Builder
+	RenderHistogram(&empty, "idle", obs.HistogramSnapshot{})
+	if !strings.Contains(empty.String(), "count=0") || strings.Contains(empty.String(), "LE") {
+		t.Fatalf("empty histogram should render only the summary line:\n%s", empty.String())
+	}
+}
+
+// TestRenderTrace: the span-tree table nests children under parents and
+// carries attributes and errors into the detail column.
+func TestRenderTrace(t *testing.T) {
+	tr := obs.NewTracer(0).Trace("t-render")
+	root := tr.StartSpan(nil, "job", "service", "svc1")
+	child := tr.StartSpan(root, "orchestrator.map", "attempt", "1")
+	grand := tr.StartSpan(child, "deploy.child", "child", "d0")
+	grand.SetErr(context.DeadlineExceeded)
+	grand.End()
+	child.End()
+	root.End()
+
+	var b strings.Builder
+	RenderTrace(&b, tr.Snapshot())
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header line, table header, 3 spans
+		t.Fatalf("want 5 lines:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "trace t-render (3 spans)") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "job ") {
+		t.Fatalf("root row: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "  orchestrator.map ") || !strings.Contains(lines[3], "attempt=1") {
+		t.Fatalf("child row: %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[4], "    deploy.child ") || !strings.Contains(lines[4], `err="context deadline exceeded"`) {
+		t.Fatalf("grandchild row: %q", lines[4])
+	}
+
+	var empty strings.Builder
+	RenderTrace(&empty, obs.TraceData{ID: "none"})
+	if got := empty.String(); got != "trace none (0 spans)\n" {
+		t.Fatalf("empty trace: %q", got)
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count of a Histogram: bucket i counts
+// observations with ceil(log2(ns)) == i, i.e. durations in (2^(i-1), 2^i]
+// nanoseconds, so the full range spans 1 ns to ~292 years with no
+// configuration and no allocation.
+const HistBuckets = 64
+
+// Histogram is a fixed-bucket power-of-two latency histogram. Observe is a
+// single atomic increment per bucket plus count/sum — safe for hot paths
+// under arbitrary concurrency, no locks, no allocation. The zero value is
+// ready to use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	idx := bits.Len64(uint64(ns)) // 0 for 0ns, else floor(log2)+1
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(ns))
+}
+
+// Snapshot captures the histogram's current state. The snapshot is not a
+// single atomic cut across buckets; under concurrent writers it is
+// approximate, which is fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is an immutable histogram state, mergeable across
+// layers (the RO folds child southbound histograms with Merge exactly like
+// its scalar counters).
+type HistogramSnapshot struct {
+	Buckets [HistBuckets]uint64 `json:"buckets"`
+	Count   uint64              `json:"count"`
+	SumNS   uint64              `json:"sum_ns"`
+}
+
+// Merge adds o into s bucket-wise.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+}
+
+// BucketUpperNS returns the inclusive upper bound of bucket i in
+// nanoseconds.
+func BucketUpperNS(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	return math.Pow(2, float64(i)) // 2^i ns
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1): the
+// upper edge of the first bucket whose cumulative count reaches q*Count.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= target {
+			ub := BucketUpperNS(i)
+			if ub > float64(math.MaxInt64) {
+				return time.Duration(math.MaxInt64)
+			}
+			return time.Duration(ub)
+		}
+	}
+	return time.Duration(math.MaxInt64)
+}
+
+// Mean returns the exact mean of all observations.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / s.Count)
+}

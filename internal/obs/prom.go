@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Collector names one metric namespace over a stats value. Value is walked
+// by reflection over json tags: numeric fields become samples named
+// <Name>_<tag-path>, map[string]T fields fan out into labeled series (label
+// name = the field name singularized), and HistogramSnapshot fields render
+// as native Prometheus histograms (le in seconds). Strings, bools, times
+// and slices are skipped. Because the exporter is reflection-driven, adding
+// a counter to any exported stats struct automatically lands it in
+// /metrics — the completeness test asserts exactly that.
+type Collector struct {
+	Name   string
+	Labels map[string]string
+	Value  any
+}
+
+type label struct{ k, v string }
+
+// WriteMetrics renders all collectors in Prometheus text exposition format.
+func WriteMetrics(w io.Writer, cs ...Collector) {
+	for _, c := range cs {
+		var base []label
+		for _, k := range sortedKeys(c.Labels) {
+			base = append(base, label{k, c.Labels[k]})
+		}
+		walkValue(c.Name, base, reflect.ValueOf(c.Value),
+			func(name string, ls []label, v float64) {
+				fmt.Fprintf(w, "%s%s %s\n", name, fmtLabels(ls), fmtFloat(v))
+			},
+			func(name string, ls []label, s HistogramSnapshot) {
+				writeHist(w, name, ls, s)
+			})
+	}
+}
+
+// MetricNames returns the metric names (without labels) a collector emits,
+// in emission order. Histograms contribute their base name plus _sum and
+// _count.
+func MetricNames(c Collector) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	walkValue(c.Name, nil, reflect.ValueOf(c.Value),
+		func(name string, _ []label, _ float64) { add(name) },
+		func(name string, _ []label, _ HistogramSnapshot) {
+			add(name + "_bucket")
+			add(name + "_sum")
+			add(name + "_count")
+		})
+	return out
+}
+
+var (
+	histType = reflect.TypeOf(HistogramSnapshot{})
+	timeType = reflect.TypeOf(time.Time{})
+	durType  = reflect.TypeOf(time.Duration(0))
+)
+
+func walkValue(name string, ls []label, v reflect.Value,
+	emit func(string, []label, float64), emitHist func(string, []label, HistogramSnapshot)) {
+	for v.Kind() == reflect.Pointer || v.Kind() == reflect.Interface {
+		if v.IsNil() {
+			return
+		}
+		v = v.Elem()
+	}
+	switch {
+	case v.Type() == histType:
+		emitHist(name, ls, v.Interface().(HistogramSnapshot))
+		return
+	case v.Type() == timeType:
+		return
+	case v.Type() == durType:
+		emit(name+"_seconds", ls, v.Interface().(time.Duration).Seconds())
+		return
+	}
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag := strings.Split(f.Tag.Get("json"), ",")[0]
+			if tag == "-" {
+				continue
+			}
+			if tag == "" {
+				tag = strings.ToLower(f.Name)
+			}
+			sub := name + "_" + tag
+			fv := v.Field(i)
+			if fv.Kind() == reflect.Map && fv.Type().Key().Kind() == reflect.String {
+				lk := singular(tag)
+				for _, mk := range sortedMapKeys(fv) {
+					walkValue(sub, append(append([]label{}, ls...), label{lk, mk}),
+						fv.MapIndex(reflect.ValueOf(mk)), emit, emitHist)
+				}
+				continue
+			}
+			walkValue(sub, ls, fv, emit, emitHist)
+		}
+	case reflect.Map:
+		if v.Type().Key().Kind() == reflect.String {
+			lk := singular(lastSegment(name))
+			for _, mk := range sortedMapKeys(v) {
+				walkValue(name, append(append([]label{}, ls...), label{lk, mk}),
+					v.MapIndex(reflect.ValueOf(mk)), emit, emitHist)
+			}
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		emit(name, ls, float64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		emit(name, ls, float64(v.Uint()))
+	case reflect.Float32, reflect.Float64:
+		emit(name, ls, v.Float())
+	}
+	// strings, bools, slices, chans, funcs: not metrics — skipped.
+}
+
+func writeHist(w io.Writer, name string, ls []label, s HistogramSnapshot) {
+	var cum uint64
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		cum += b
+		le := fmtFloat(BucketUpperNS(i) / 1e9)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, fmtLabels(append(append([]label{}, ls...), label{"le", le})), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, fmtLabels(append(append([]label{}, ls...), label{"le", "+Inf"})), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, fmtLabels(ls), fmtFloat(float64(s.SumNS)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, fmtLabels(ls), s.Count)
+}
+
+func fmtLabels(ls []label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.k, l.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func singular(s string) string {
+	if len(s) > 1 && strings.HasSuffix(s, "s") {
+		return s[:len(s)-1]
+	}
+	return s
+}
+
+func lastSegment(name string) string {
+	if i := strings.LastIndexByte(name, '_'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedMapKeys(v reflect.Value) []string {
+	out := make([]string, 0, v.Len())
+	for _, k := range v.MapKeys() {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+type promInner struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+type promStats struct {
+	Installs int64                `json:"installs"`
+	Ratio    float64              `json:"ratio"`
+	Name     string               `json:"name"` // skipped
+	Wait     time.Duration        `json:"wait"`
+	Cache    promInner            `json:"cache"`
+	Tenants  map[string]promInner `json:"tenants"`
+	Counts   map[string]uint64    `json:"lanes"`
+	Skip     bool                 `json:"skip"` // skipped
+}
+
+func TestWriteMetrics(t *testing.T) {
+	st := promStats{
+		Installs: 42,
+		Ratio:    0.5,
+		Name:     "nope",
+		Wait:     1500 * time.Millisecond,
+		Cache:    promInner{Hits: 7, Misses: 3},
+		Tenants:  map[string]promInner{"acme": {Hits: 1}},
+		Counts:   map[string]uint64{"*": 9},
+	}
+	var b strings.Builder
+	WriteMetrics(&b, Collector{Name: "unify_test", Labels: map[string]string{"layer": "ro"}, Value: st})
+	out := b.String()
+	for _, want := range []string{
+		`unify_test_installs{layer="ro"} 42`,
+		`unify_test_ratio{layer="ro"} 0.5`,
+		`unify_test_wait_seconds{layer="ro"} 1.5`,
+		`unify_test_cache_hits{layer="ro"} 7`,
+		`unify_test_cache_misses{layer="ro"} 3`,
+		`unify_test_tenants_hits{layer="ro",tenant="acme"} 1`,
+		`unify_test_lanes{layer="ro",lane="*"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "nope") || strings.Contains(out, "unify_test_name") ||
+		strings.Contains(out, "unify_test_skip") {
+		t.Errorf("string/bool fields leaked into output:\n%s", out)
+	}
+}
+
+func TestWriteMetricsHistogram(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(time.Millisecond)
+	type withHist struct {
+		Latency HistogramSnapshot `json:"latency"`
+	}
+	var b strings.Builder
+	WriteMetrics(&b, Collector{Name: "x", Value: withHist{Latency: h.Snapshot()}})
+	out := b.String()
+	for _, want := range []string{
+		`x_latency_bucket{le="+Inf"} 2`,
+		"x_latency_count 2",
+		"x_latency_sum",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the millisecond bucket line must report 2.
+	if !strings.Contains(out, "} 2\n") {
+		t.Errorf("no cumulative bucket reached 2:\n%s", out)
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	names := MetricNames(Collector{Name: "unify_test", Value: promStats{
+		Tenants: map[string]promInner{"a": {}},
+		Counts:  map[string]uint64{"x": 1},
+	}})
+	want := map[string]bool{
+		"unify_test_installs":       true,
+		"unify_test_ratio":          true,
+		"unify_test_wait_seconds":   true,
+		"unify_test_cache_hits":     true,
+		"unify_test_cache_misses":   true,
+		"unify_test_tenants_hits":   true,
+		"unify_test_tenants_misses": true,
+		"unify_test_lanes":          true,
+	}
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for n := range want {
+		if !got[n] {
+			t.Errorf("MetricNames missing %s (got %v)", n, names)
+		}
+	}
+	if got["unify_test_name"] || got["unify_test_skip"] {
+		t.Errorf("MetricNames leaked string/bool fields: %v", names)
+	}
+}
