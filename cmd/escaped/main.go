@@ -31,6 +31,7 @@ import (
 	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/api"
 	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/journal"
 	"github.com/unify-repro/escape/internal/nffg"
 	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/unify"
@@ -93,6 +94,10 @@ func main() {
 
 		tracing   = flag.Bool("tracing", true, "admission: record per-job span trees, served at GET /unify/trace/{id}")
 		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+
+		dataDir   = flag.String("data-dir", "", "orchestrator: durable state directory — write-ahead journal + checkpoints; on restart the process recovers committed mappings and re-enqueues unfinished jobs")
+		ckptEvery = flag.Duration("checkpoint-interval", 10*time.Second, "journal: cadence of sealed-snapshot checkpoints (with -data-dir)")
+		jstrict   = flag.Bool("journal-strict", false, "journal: fsync every record instead of the periodic background sync (survives machine crashes, slower commits)")
 	)
 	var children childFlags
 	flag.Var(&children, "child", "orchestrator: child layer as name=url (repeatable)")
@@ -103,7 +108,42 @@ func main() {
 	if *id == "" {
 		*id = *role
 	}
-	layer, err := buildLayer(*role, *id, *substrate, *nodes, *view, *types, *shard, children)
+
+	// Durability: recover whatever a previous incarnation journaled BEFORE
+	// constructing the layer, so the orchestrator is born with its journal
+	// hook and the recovered state loads in one step.
+	var (
+		store    *journal.Store
+		recState *journal.RecoveredState
+		recInfo  *journal.Info
+	)
+	if *dataDir != "" {
+		if *role != "orchestrator" {
+			// Leaf substrate state is reconstructable from -substrate; only the
+			// orchestration layer holds state worth journaling.
+			log.Printf("warning: -data-dir is orchestrator-only, ignoring it for role %q", *role)
+		} else {
+			var err error
+			recState, recInfo, err = journal.Recover(*dataDir)
+			if err != nil {
+				log.Fatalf("recover %s: %v", *dataDir, err)
+			}
+			store, err = journal.Open(*dataDir, journal.Options{SyncEachRecord: *jstrict})
+			if err != nil {
+				log.Fatalf("open journal %s: %v", *dataDir, err)
+			}
+			if recInfo.Recovered {
+				log.Printf("recovered from %s: %d shards (%d checkpoints), %d records replayed, %d services, %d jobs (%d torn tails skipped, %d replay errors) in %.3fs",
+					*dataDir, recInfo.Shards, recInfo.CheckpointsLoaded, recInfo.RecordsReplayed,
+					recInfo.ServicesRestored, recInfo.JobsRecovered, recInfo.TornTails, len(recInfo.Errors), recInfo.DurationSeconds)
+				for _, e := range recInfo.Errors {
+					log.Printf("recovery: %s", e)
+				}
+			}
+		}
+	}
+
+	layer, err := buildLayer(*role, *id, *substrate, *nodes, *view, *types, *shard, children, store, recState)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,7 +157,7 @@ func main() {
 		if *tracing {
 			tracer = obs.NewTracer(0)
 		}
-		queue = admission.New(layer, admission.Options{
+		opts := admission.Options{
 			Window:            *window,
 			MaxBatch:          *maxBatch,
 			TenantWeights:     tenantWeights.weights,
@@ -127,26 +167,65 @@ func main() {
 			AgeAfter:          *ageAfter,
 			DisableFairness:   *fifo,
 			Tracer:            tracer,
-		})
+		}
+		if store != nil {
+			opts.Journal = store
+		}
+		queue = admission.New(layer, opts)
 		srv.WithAdmission(queue)
 	}
+
+	if store != nil {
+		ro, _ := layer.(*core.ResourceOrchestrator)
+		if queue != nil && recState != nil && len(recState.Jobs) > 0 && ro != nil {
+			// Reconcile recovered jobs against the recovered service table:
+			// jobs whose services committed before the crash finish with their
+			// recovered receipts, the rest re-enter the queue with tenant,
+			// priority and trace identity intact.
+			plans := admission.BuildResumePlans(recState.Jobs, ro.ServiceReceipts())
+			requeued, completed := queue.Resume(plans)
+			recInfo.JobsRequeued = requeued
+			log.Printf("resumed %d jobs: %d requeued, %d completed by reconciliation", requeued+completed, requeued, completed)
+		}
+		if ro != nil {
+			store.StartCheckpoints(*ckptEvery, ro.ShardSnapshots)
+		}
+		srv.WithJournal(store).WithRecovery(recInfo)
+	}
+
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("%s %q serving the Unify interface on http://%s (admission=%v)", *role, *id, addr, *admit)
+	log.Printf("%s %q serving the Unify interface on http://%s (admission=%v, durable=%v)", *role, *id, addr, *admit, store != nil)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
-	srv.Close()
+	// Ordered shutdown: stop the listener with a bounded drain (in-flight
+	// requests finish against a live queue), then stop the queue (remaining
+	// jobs terminate and journal their outcomes), then seal the journal with
+	// a final checkpoint so the next boot replays nothing.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	_ = srv.Shutdown(ctx)
+	cancel()
 	if queue != nil {
 		queue.Close()
 	}
+	if store != nil {
+		if ro, ok := layer.(*core.ResourceOrchestrator); ok {
+			if err := store.Checkpoint(ro.ShardSnapshots); err != nil {
+				log.Printf("final checkpoint: %v", err)
+			}
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("close journal: %v", err)
+		}
+	}
 }
 
-func buildLayer(role, id, substratePath string, nodes int, view, types, shard string, children childFlags) (unify.Layer, error) {
+func buildLayer(role, id, substratePath string, nodes int, view, types, shard string, children childFlags, store *journal.Store, state *journal.RecoveredState) (unify.Layer, error) {
 	virt, err := pickVirtualizer(view, id)
 	if err != nil {
 		return nil, err
@@ -171,7 +250,16 @@ func buildLayer(role, id, substratePath string, nodes int, view, types, shard st
 		default:
 			return nil, fmt.Errorf("unknown -shard %q (want domain or single)", shard)
 		}
-		ro := core.NewResourceOrchestrator(core.Config{ID: id, Virtualizer: virt, ShardKey: shardKey})
+		cfg := core.Config{ID: id, Virtualizer: virt, ShardKey: shardKey}
+		if store != nil {
+			cfg.Journal = store
+		}
+		ro := core.NewResourceOrchestrator(cfg)
+		if state != nil {
+			if err := ro.Restore(state); err != nil {
+				return nil, fmt.Errorf("restore journal state: %w", err)
+			}
+		}
 		for _, spec := range children {
 			name, url, ok := strings.Cut(spec, "=")
 			if !ok {
@@ -181,7 +269,14 @@ func buildLayer(role, id, substratePath string, nodes int, view, types, shard st
 			if err != nil {
 				return nil, fmt.Errorf("child %s: %w", name, err)
 			}
-			if err := ro.Attach(context.Background(), cli); err != nil {
+			// Reattach (not Attach) when recovering: a child already merged
+			// into the recovered DoV must not merge a second time. Unknown
+			// children fall through to a normal Attach inside Reattach.
+			attach := ro.Attach
+			if state != nil && !state.Empty() {
+				attach = ro.Reattach
+			}
+			if err := attach(context.Background(), cli); err != nil {
 				return nil, fmt.Errorf("attach %s: %w", name, err)
 			}
 			log.Printf("attached child %s at %s", name, url)

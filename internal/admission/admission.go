@@ -186,6 +186,16 @@ type Options struct {
 	// of the line blocks everyone behind it, which is exactly the behavior
 	// the weighted scheduler exists to fix.
 	DisableFairness bool
+
+	// Journal, when set, write-ahead-logs every admission (with the request
+	// graph) and every terminal transition, so queued jobs survive a crash
+	// and are re-enqueued at startup (see Resume). Append failures never
+	// fail the submission — they are logged and counted in
+	// Stats.JournalErrors.
+	Journal JobJournal
+	// JournalCompactBytes is the job-WAL size past which terminal history is
+	// compacted away (default 4 MiB; negative disables runtime compaction).
+	JournalCompactBytes int64
 }
 
 func (o *Options) defaults() {
@@ -213,6 +223,9 @@ func (o *Options) defaults() {
 		o.AgeAfter = 30 * time.Second
 	} else if o.AgeAfter < 0 {
 		o.AgeAfter = 0 // disabled
+	}
+	if o.JournalCompactBytes == 0 {
+		o.JournalCompactBytes = 4 << 20
 	}
 }
 
@@ -250,6 +263,12 @@ type Stats struct {
 	// tenants are reclaimed and their per-tenant counters dropped (the
 	// queue-level totals above keep counting them).
 	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+	// Resumed counts jobs recovered from the journal at startup: requeued
+	// ones re-dispatched plus reconciled ones finished directly (see Resume).
+	Resumed uint64 `json:"resumed"`
+	// JournalErrors counts failed job-WAL appends (durability degraded; the
+	// queue keeps serving).
+	JournalErrors uint64 `json:"journal_errors"`
 }
 
 // TenantStats are one tenant's admission counters and gauges.
@@ -641,6 +660,14 @@ func (q *Queue) Submit(ctx context.Context, req *nffg.NFFG) (Job, error) {
 	q.stats.Submitted++
 	if q.depth > q.stats.MaxDepth {
 		q.stats.MaxDepth = q.depth
+	}
+	if q.opts.Journal != nil {
+		// Logged under q.mu so the WAL sees admit-before-terminal for every
+		// job (terminal records are appended under the same lock).
+		if jerr := q.opts.Journal.LogJob(jobRecord(j, true)); jerr != nil {
+			q.stats.JournalErrors++
+			log.Printf("admission: journal admit %s: %v", j.snap.ID, jerr)
+		}
 	}
 	snap := j.snap
 	q.mu.Unlock()
@@ -1283,6 +1310,13 @@ func (q *Queue) terminateLocked(j *job, receipt *unify.Receipt, err error) {
 			}
 		}
 		q.reclaimTenantLocked(tq)
+	}
+	if q.opts.Journal != nil {
+		if jerr := q.opts.Journal.LogJobDone(jobRecord(j, false)); jerr != nil {
+			q.stats.JournalErrors++
+			log.Printf("admission: journal %s terminal: %v", j.snap.ID, jerr)
+		}
+		q.maybeCompactJournalLocked()
 	}
 	close(j.done)
 	q.finished = append(q.finished, j)

@@ -47,16 +47,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/journal"
 	"github.com/unify-repro/escape/internal/nffg"
 	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/unify"
@@ -91,6 +94,16 @@ type Server struct {
 	addr    string
 	started time.Time
 	pprof   bool
+
+	// journal/recovery surface the durability plane when the process runs
+	// with a data dir (WithJournal/WithRecovery): journal counters join
+	// /metrics and the recovery summary joins /unify/healthz.
+	journal *journal.Store
+	recover *journal.Info
+
+	// encodeFailures counts responses whose JSON encoding failed mid-write
+	// (client gone, or an unencodable payload — the latter is a bug).
+	encodeFailures atomic.Uint64
 }
 
 // NewServer wraps a layer. caps may be nil for plain layers.
@@ -110,6 +123,22 @@ func (s *Server) WithPprof() *Server {
 // queue's lifecycle (Close it after the server).
 func (s *Server) WithAdmission(q *admission.Queue) *Server {
 	s.adm = q
+	return s
+}
+
+// WithJournal exports the write-ahead journal's counters and stage
+// histograms on /metrics. Call before Listen; the caller keeps ownership of
+// the store's lifecycle (Close it after the server and queue).
+func (s *Server) WithJournal(st *journal.Store) *Server {
+	s.journal = st
+	return s
+}
+
+// WithRecovery attaches the crash-recovery summary of this process's startup
+// to /unify/healthz, so operators (and the e2e harness) can see what a
+// restart replayed without scraping logs. Call before Listen.
+func (s *Server) WithRecovery(info *journal.Info) *Server {
+	s.recover = info
 	return s
 }
 
@@ -154,21 +183,46 @@ func (s *Server) Listen(addr string) (string, error) {
 	return s.addr, nil
 }
 
-// Close stops the server.
-func (s *Server) Close() {
-	if s.http != nil {
+// Shutdown stops the listener and drains in-flight requests until ctx
+// expires, then force-closes whatever is left (long-polls parked in
+// /unify/jobs/{id}/wait can legitimately outlive any drain window). It is
+// the graceful form of Close; call it BEFORE closing the admission queue so
+// requests already past the listener still find a live queue.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.http == nil {
+		return nil
+	}
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// Drain window expired with connections still open: now abort them.
 		_ = s.http.Close()
 	}
+	return err
 }
+
+// Close stops the server with a short bounded drain. In-flight requests get
+// closeDrainTimeout to finish instead of being aborted mid-response (the
+// historical behavior); callers that want a custom window use Shutdown.
+func (s *Server) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), closeDrainTimeout)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+}
+
+// closeDrainTimeout bounds Close's implicit drain.
+const closeDrainTimeout = 5 * time.Second
 
 func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	v, err := s.layer.View(r.Context())
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = v.EncodeJSON(w)
+	if err := v.EncodeJSON(w); err != nil {
+		s.encodeFailures.Add(1)
+		log.Printf("api %s: encode view: %v", s.layer.ID(), err)
+	}
 }
 
 func (s *Server) handleCaps(w http.ResponseWriter, _ *http.Request) {
@@ -182,11 +236,11 @@ func (s *Server) handleCaps(w http.ResponseWriter, _ *http.Request) {
 	for _, c := range caps {
 		out = append(out, string(c))
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.layer.Services())
+	s.writeJSON(w, http.StatusOK, s.layer.Services())
 }
 
 // TenantHeader and PriorityHeader carry a submission's admission metadata
@@ -212,26 +266,26 @@ func requestMeta(r *http.Request) (context.Context, error) {
 func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 	req, err := nffg.DecodeJSON(r.Body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	ctx, err := requestMeta(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "api: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "api: " + err.Error()})
 		return
 	}
 	ctx = s.adoptTrace(ctx, r)
 	if r.URL.Query().Get("mode") == "async" {
 		if s.adm == nil {
-			writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: no admission queue configured"})
+			s.writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: no admission queue configured"})
 			return
 		}
 		job, err := s.adm.Submit(ctx, req)
 		if err != nil {
-			httpError(w, err)
+			s.httpError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, job)
+		s.writeJSON(w, http.StatusAccepted, job)
 		return
 	}
 	// Synchronous installs go through the admission queue too when present,
@@ -243,23 +297,23 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 	}
 	receipt, err := install(ctx, req)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, receipt)
+	s.writeJSON(w, http.StatusCreated, receipt)
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.adm.Jobs())
+	s.writeJSON(w, http.StatusOK, s.adm.Jobs())
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, err := s.adm.Job(r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, job)
+	s.writeJSON(w, http.StatusOK, job)
 }
 
 // handleJobWait long-polls a job: it blocks until the job reaches a terminal
@@ -270,7 +324,7 @@ func (s *Server) handleJobWait(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("timeout"); raw != "" {
 		d, err := time.ParseDuration(raw)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "api: bad timeout: " + err.Error()})
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "api: bad timeout: " + err.Error()})
 			return
 		}
 		var cancel context.CancelFunc
@@ -280,50 +334,50 @@ func (s *Server) handleJobWait(w http.ResponseWriter, r *http.Request) {
 	job, err := s.adm.Wait(ctx, r.PathValue("id"))
 	switch {
 	case errors.Is(err, admission.ErrUnknownJob):
-		httpError(w, err)
+		s.httpError(w, err)
 	case err != nil:
 		// Poll window expired (or the client went away): report the current
 		// snapshot so the caller can re-poll.
-		writeJSON(w, http.StatusAccepted, job)
+		s.writeJSON(w, http.StatusAccepted, job)
 	default:
-		writeJSON(w, http.StatusOK, job)
+		s.writeJSON(w, http.StatusOK, job)
 	}
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	if err := s.adm.Cancel(r.PathValue("id")); err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleAdmissionStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.adm.Stats())
+	s.writeJSON(w, http.StatusOK, s.adm.Stats())
 }
 
 func (s *Server) handlePipelineStats(w http.ResponseWriter, _ *http.Request) {
 	p, ok := s.layer.(pipelineStatsProvider)
 	if !ok {
-		writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: layer exposes no pipeline stats"})
+		s.writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: layer exposes no pipeline stats"})
 		return
 	}
 	info := PipelineInfo{Layer: s.layer.ID(), Stats: p.PipelineStats()}
 	if sp, ok := s.layer.(shardStatsProvider); ok {
 		info.Shards = sp.ShardStats()
 	}
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if err := s.layer.Remove(r.Context(), r.PathValue("id")); err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func httpError(w http.ResponseWriter, err error) {
+func (s *Server) httpError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, unify.ErrRejected):
@@ -339,13 +393,24 @@ func httpError(w http.ResponseWriter, err error) {
 		// or queue shutdown) is a conflict, not a server fault.
 		status = http.StatusConflict
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes a response body, logging and counting encode failures
+// (surfaced as unify_server_encode_failures on /metrics) instead of dropping
+// them: a truncated response from a departed client is routine, but a payload
+// that cannot marshal is a server bug that silent discards would hide.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	if err := writeJSONTo(w, status, v); err != nil {
+		s.encodeFailures.Add(1)
+		log.Printf("api %s: encode %d response: %v", s.layer.ID(), status, err)
+	}
+}
+
+func writeJSONTo(w http.ResponseWriter, status int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	return json.NewEncoder(w).Encode(v)
 }
 
 // Client is a unify.Layer backed by a remote server. It also satisfies

@@ -344,7 +344,7 @@ func flakyWaitServer(t *testing.T, drops int) (addr string, polls *atomic.Int32)
 			conn.Close()
 			return
 		}
-		writeJSON(w, http.StatusOK, admission.Job{
+		_ = writeJSONTo(w, http.StatusOK, admission.Job{
 			ID: r.PathValue("id"), ServiceID: "svc", State: admission.StateDeployed,
 		})
 	})

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/journal"
 	"github.com/unify-repro/escape/internal/obs"
 )
 
@@ -38,18 +39,27 @@ type Health struct {
 	Shards        int     `json:"shards"`
 	Domains       int     `json:"domains"`
 	QueueDepth    int     `json:"queue_depth"`
+	// Recovery summarizes what this process replayed from its journal at
+	// startup (absent when the process runs without a data dir, or came up
+	// from an empty one).
+	Recovery *journal.Info `json:"recovery,omitempty"`
 }
 
 // serverInfo backs the unify_server collector.
 type serverInfo struct {
 	Uptime time.Duration `json:"uptime"`
+	// EncodeFailures counts response bodies whose JSON encoding failed.
+	EncodeFailures uint64 `json:"encode_failures"`
 }
 
 // MetricCollectors assembles every stats source the server exports at
 // /metrics. Exported so the completeness test can assert that each collected
 // struct field actually appears in the rendered exposition.
 func (s *Server) MetricCollectors() []obs.Collector {
-	cs := []obs.Collector{{Name: "unify_server", Value: serverInfo{Uptime: time.Since(s.started)}}}
+	cs := []obs.Collector{{Name: "unify_server", Value: serverInfo{
+		Uptime:         time.Since(s.started),
+		EncodeFailures: s.encodeFailures.Load(),
+	}}}
 	labels := map[string]string{"layer": s.layer.ID()}
 	if p, ok := s.layer.(pipelineStatsProvider); ok {
 		cs = append(cs, obs.Collector{Name: "unify_pipeline", Labels: labels, Value: p.PipelineStats()})
@@ -72,6 +82,12 @@ func (s *Server) MetricCollectors() []obs.Collector {
 	}
 	if sh, ok := s.layer.(stageHistogramsProvider); ok {
 		for k, v := range sh.StageHistograms() {
+			stages[k] = v
+		}
+	}
+	if s.journal != nil {
+		cs = append(cs, obs.Collector{Name: "unify_journal", Labels: labels, Value: s.journal.Stats()})
+		for k, v := range s.journal.StageHistograms() {
 			stages[k] = v
 		}
 	}
@@ -101,7 +117,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.adm != nil {
 		h.QueueDepth = s.adm.Stats().Depth
 	}
-	writeJSON(w, http.StatusOK, h)
+	h.Recovery = s.recover
+	s.writeJSON(w, http.StatusOK, h)
 }
 
 // handleTrace serves a recorded span tree. {id} may be a job ID (resolved to
@@ -110,7 +127,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tr := s.adm.Tracer()
 	if tr == nil {
-		writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: tracing not enabled"})
+		s.writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: tracing not enabled"})
 		return
 	}
 	lookup := id
@@ -119,10 +136,10 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	t := tr.Lookup(lookup)
 	if t == nil {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "api: unknown trace " + id})
+		s.writeJSON(w, http.StatusNotFound, map[string]string{"error": "api: unknown trace " + id})
 		return
 	}
-	writeJSON(w, http.StatusOK, t.Snapshot())
+	s.writeJSON(w, http.StatusOK, t.Snapshot())
 }
 
 // adoptTrace joins an incoming X-Unify-Trace header onto the request context:

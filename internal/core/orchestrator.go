@@ -13,6 +13,7 @@ import (
 
 	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/embed"
+	"github.com/unify-repro/escape/internal/journal"
 	"github.com/unify-repro/escape/internal/nffg"
 	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/topo"
@@ -51,6 +52,10 @@ type ResourceOrchestrator struct {
 	mapper   *embed.Mapper
 	reg      *domain.Registry
 	shardKey ShardKeyFunc
+	// journal receives write-ahead records on the commit paths (may be nil).
+	// Appends ride the shard locks they describe, so per-shard record order
+	// matches commit order without any global serialization.
+	journal Journal
 
 	// Read-path configuration (see readcache.go): noReadCache disables the
 	// generation-keyed cut/view caches, conservativeEstimate restores the
@@ -95,7 +100,7 @@ type ResourceOrchestrator struct {
 	// Contention counters of the mapping pipeline (see PipelineStats).
 	stats struct {
 		installs, mapAttempts, genConflicts, busy, batches, batchedReqs atomic.Uint64
-		multiShard, escalations, mergeErrors                            atomic.Uint64
+		multiShard, escalations, mergeErrors, journalErrs               atomic.Uint64
 	}
 
 	// Per-stage latency distributions (see StageHistograms).
@@ -132,6 +137,10 @@ type PipelineStats struct {
 	// of serving an incomplete cut; a nonzero counter means the DoV holds
 	// conflicting state and needs operator attention.
 	MergeErrors uint64 `json:"merge_errors"`
+	// JournalErrors counts failed write-ahead journal appends. The in-memory
+	// commit proceeds (the state change already happened); a nonzero counter
+	// means durability is degraded and a crash may lose those records.
+	JournalErrors uint64 `json:"journal_errors"`
 	// CutCache/ViewCache count the generation-keyed read caches: the merged
 	// all-shard cut (plus the per-shard-subset cuts narrowed admission groups
 	// plan on) and the memoized virtualizer view (see readcache.go).
@@ -192,6 +201,13 @@ type Config struct {
 	// estimator, where any unpinned NF makes a request global. The baseline
 	// for BenchmarkE9GlobalNarrowing — production configs leave it off.
 	ConservativeShardEstimate bool
+	// Journal, when set, receives a write-ahead record for every state
+	// mutation (attach, commit, release, deploy completion) so the DoV and
+	// service table survive a crash (see internal/journal and Restore). A
+	// journal append failure never fails the in-memory commit — the write
+	// already happened; it is logged and counted in
+	// PipelineStats.JournalErrors instead.
+	Journal Journal
 }
 
 // NewResourceOrchestrator creates an orchestrator with no children attached.
@@ -214,6 +230,7 @@ func NewResourceOrchestrator(cfg Config) *ResourceOrchestrator {
 		mapper:               cfg.Mapper,
 		reg:                  domain.NewRegistry(),
 		shardKey:             cfg.ShardKey,
+		journal:              cfg.Journal,
 		noReadCache:          cfg.NoReadCache,
 		conservativeEstimate: cfg.ConservativeShardEstimate,
 		dir:                  newShardDirectory(),
@@ -337,8 +354,22 @@ func (ro *ResourceOrchestrator) Attach(ctx context.Context, d domain.Domain) err
 	sh.dov = next.Seal()
 	sh.gen++
 	sh.commits++
-	sh.mu.Unlock()
-	ro.epoch.Add(1)
+	if ro.journal != nil {
+		// Journaled inside the critical section so the shard's record order
+		// matches its commit order; the epoch is bumped here for the same
+		// reason (observably identical — it is a plain monotonic counter).
+		epoch := ro.epoch.Add(1)
+		if err := ro.journal.LogAttach(key, sh.gen, epoch, d.ID(), ro.id+"-dov", qual); err != nil {
+			ro.stats.journalErrs.Add(1)
+			log.Printf("core %s: journal attach %s: %v", ro.id, d.ID(), err)
+		} else {
+			sh.journalRecs++
+		}
+		sh.mu.Unlock()
+	} else {
+		sh.mu.Unlock()
+		ro.epoch.Add(1)
+	}
 
 	// Refresh the reverse index with the shard's new contribution (its DoV
 	// nodes, SAPs and the view nodes they aggregate into). The contribution
@@ -395,6 +426,7 @@ func (ro *ResourceOrchestrator) PipelineStats() PipelineStats {
 		MultiShardCommits: ro.stats.multiShard.Load(),
 		Escalations:       ro.stats.escalations.Load(),
 		MergeErrors:       ro.stats.mergeErrors.Load(),
+		JournalErrors:     ro.stats.journalErrs.Load(),
 		CutCache:          ro.cutStats.snapshot(),
 		ViewCache:         ro.viewStats.snapshot(),
 		Southbound:        ro.SouthboundStats(),
@@ -439,6 +471,8 @@ func (ro *ResourceOrchestrator) ShardStats() []ShardStats {
 			Commits:           sh.commits,
 			Conflicts:         sh.conflicts,
 			MultiShardCommits: sh.multi,
+			JournalRecords:    sh.journalRecs,
+			RestoredGen:       sh.restoredGen,
 		}
 		sh.mu.Unlock()
 		out = append(out, st)
@@ -1042,11 +1076,29 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 				s.multi++
 			}
 		}
+		// The epoch bump and journal appends stay inside the critical
+		// section so every touched shard's record carries the epoch of THIS
+		// commit and per-shard record order matches commit order.
+		epoch := ro.epoch.Add(1)
+		if ro.journal != nil {
+			bc.journalCommitLocked(tshs, epoch, idx, plans)
+		}
+		// Record each committed mapping in the service table before the
+		// shard locks drop: the checkpointer reads shard graphs first and
+		// the table second, so any graph state containing a commit must
+		// already find its mapping in the table (see ShardSnapshots).
+		ro.mu.Lock()
+		for _, i := range idx {
+			if p, ok := plans[i]; ok && bc.live[i] {
+				bc.records[i].mapping = p.mapping
+				bc.records[i].shards = p.touched
+			}
+		}
+		ro.mu.Unlock()
 		unlockAll(tshs)
 		if len(tshs) > 1 {
 			ro.stats.multiShard.Add(1)
 		}
-		ro.epoch.Add(1)
 		ro.histCommit.Observe(time.Since(commitStart))
 		commitSpan.End()
 		committed = true
@@ -1110,23 +1162,37 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 			children := sortedKeys(p.subs)
 			receipts, err := ro.deployChildren(dctx, children, p.subs)
 			if err != nil {
-				if rerr := ro.releaseShards(p.mapping, p.touched); rerr != nil {
+				if rerr := ro.releaseShards(bc.reqs[i].ID, p.mapping, p.touched); rerr != nil {
 					log.Printf("core %s: releasing aborted install %s: %v", ro.id, bc.reqs[i].ID, rerr)
 				}
 				bc.abort(i, err)
 				return
 			}
 			receipt := buildReceipt(bc.reqs[i].ID, p.mapping, children, receipts)
+			childSubs := make(map[string][]string, len(children))
 			ro.mu.Lock()
 			rec := bc.records[i]
 			rec.mapping = p.mapping
 			rec.shards = p.touched
 			for _, childID := range children {
 				rec.children[childID] = append(rec.children[childID], p.subs[childID].ID)
+				childSubs[childID] = append([]string(nil), rec.children[childID]...)
 			}
 			rec.receipt = receipt
 			rec.state = stateReady
 			ro.mu.Unlock()
+			if ro.journal != nil {
+				// Appended AFTER the table update: the checkpointer snapshots
+				// the table, so everything a deployed record carries is
+				// visible to any checkpoint taken after the append.
+				err := ro.journal.LogDeployed(p.home, ro.epoch.Load(), journal.DeployedRecord{
+					ServiceID: bc.reqs[i].ID, Children: childSubs, Receipt: receipt,
+				})
+				if err != nil {
+					ro.stats.journalErrs.Add(1)
+					log.Printf("core %s: journal deployed %s: %v", ro.id, bc.reqs[i].ID, err)
+				}
+			}
 			bc.out[i].Receipt = receipt
 			ro.stats.installs.Add(1)
 		}(i, plans[i])
@@ -1315,7 +1381,7 @@ func pickRootCause(children []string, errs []error) error {
 // (copy-on-write: each shard's release runs on a copy that replaces the
 // current snapshot under the shard's lock; the shards are locked together in
 // key order so the release is observed atomically).
-func (ro *ResourceOrchestrator) releaseShards(mp *embed.Mapping, keys []string) error {
+func (ro *ResourceOrchestrator) releaseShards(serviceID string, mp *embed.Mapping, keys []string) error {
 	dir, _ := ro.snapshotDir()
 	shs := dir.ordered(keys)
 	if len(shs) == 0 {
@@ -1323,6 +1389,7 @@ func (ro *ResourceOrchestrator) releaseShards(mp *embed.Mapping, keys []string) 
 	}
 	var firstErr error
 	lockAll(shs)
+	epoch := ro.epoch.Add(1)
 	for _, s := range shs {
 		if s.dov != nil {
 			next := s.dov.Copy()
@@ -1338,9 +1405,16 @@ func (ro *ResourceOrchestrator) releaseShards(mp *embed.Mapping, keys []string) 
 		if len(shs) > 1 {
 			s.multi++
 		}
+		if ro.journal != nil {
+			if err := ro.journal.LogRelease(s.key, s.gen, epoch, []string{serviceID}); err != nil {
+				ro.stats.journalErrs.Add(1)
+				log.Printf("core %s: journal release %s on %s: %v", ro.id, serviceID, s.key, err)
+			} else {
+				s.journalRecs++
+			}
+		}
 	}
 	unlockAll(shs)
-	ro.epoch.Add(1)
 	return firstErr
 }
 
@@ -1405,7 +1479,7 @@ func (ro *ResourceOrchestrator) Remove(ctx context.Context, serviceID string) er
 		ro.mu.Unlock()
 		return firstErr
 	}
-	if err := ro.releaseShards(rec.mapping, rec.shards); err != nil {
+	if err := ro.releaseShards(serviceID, rec.mapping, rec.shards); err != nil {
 		firstErr = err
 	}
 	ro.mu.Lock()

@@ -1,0 +1,318 @@
+// Crash recovery of the resource orchestrator: restoring shard graphs, the
+// service table, and identifier reservations from journal state, re-attaching
+// child domains without re-merging their views, and producing the shard
+// snapshots the journal's checkpointer persists.
+//
+// See ARCHITECTURE.md, "Durability", for the full recovery sequence and the
+// ordering contracts the functions here rely on.
+package core
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"slices"
+	"sort"
+
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/journal"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+// Journal is the write-ahead hook the orchestrator calls on its commit paths
+// (implemented by *journal.Store). Attach/commit/release appends happen with
+// the target shard's lock held, so implementations must never block on
+// orchestrator state; deployed records are appended lock-free after the
+// service table update.
+type Journal interface {
+	LogAttach(shard string, gen, epoch uint64, child, dovID string, view *nffg.NFFG) error
+	LogCommit(shard string, gen, epoch uint64, svcs []journal.ServiceCommit) error
+	LogRelease(shard string, gen, epoch uint64, serviceIDs []string) error
+	LogDeployed(shard string, epoch uint64, rec journal.DeployedRecord) error
+}
+
+// journalCommitLocked appends one commit record to every touched shard's log
+// while the shard locks are held: each record lists the services whose
+// mappings the shard's generation bump committed, duplicated per shard so
+// every log replays self-contained.
+func (bc *batchRun) journalCommitLocked(tshs []*shard, epoch uint64, idx []int, plans map[int]*plannedReq) {
+	ro := bc.ro
+	for _, s := range tshs {
+		var svcs []journal.ServiceCommit
+		for _, i := range idx {
+			p, ok := plans[i]
+			if !ok || !bc.live[i] {
+				continue
+			}
+			if !slices.Contains(p.touched, s.key) {
+				continue
+			}
+			svcs = append(svcs, journal.ServiceCommit{
+				ServiceID: bc.reqs[i].ID,
+				Mapping:   p.mapping,
+				Touched:   p.touched,
+				Home:      p.home,
+			})
+		}
+		if len(svcs) == 0 {
+			continue
+		}
+		if err := ro.journal.LogCommit(s.key, s.gen, epoch, svcs); err != nil {
+			ro.stats.journalErrs.Add(1)
+			log.Printf("core %s: journal commit on %s: %v", ro.id, s.key, err)
+		} else {
+			s.journalRecs++
+		}
+	}
+}
+
+// Restore loads recovered journal state into a freshly constructed
+// orchestrator: shard graphs with their generations, the service table with
+// receipts and identifier reservations, the child-domain ownership map, and
+// the commit epoch. It must run before any Attach or Install; restoring onto
+// an orchestrator that already has state is an error.
+//
+// Restored children are present in the DoV but not yet reachable — call
+// Reattach (not Attach: the view is already merged) for each before serving
+// installs or removals.
+func (ro *ResourceOrchestrator) Restore(state *journal.RecoveredState) error {
+	if state == nil || state.Empty() {
+		return nil
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if len(ro.dir.keys) != 0 || len(ro.services) != 0 {
+		return fmt.Errorf("core: Restore on a non-empty orchestrator")
+	}
+
+	dir := newShardDirectory()
+	owner := map[nffg.ID]string{}
+	for _, rs := range state.Shards {
+		g := rs.Graph
+		if g == nil {
+			g = nffg.New(ro.id + "-dov")
+		}
+		sh := &shard{
+			key:         rs.Key,
+			dov:         g.Seal(),
+			gen:         rs.Gen,
+			commits:     rs.Gen, // preserve the Gen == Commits invariant
+			restoredGen: rs.Gen,
+		}
+		dir.shards[rs.Key] = sh
+		dir.keys = append(dir.keys, rs.Key)
+		children := make([]string, 0, len(rs.ChildInfras))
+		for child, infras := range rs.ChildInfras {
+			dir.childShard[child] = rs.Key
+			children = append(children, child)
+			for _, inf := range infras {
+				owner[inf] = child
+			}
+		}
+		sort.Strings(children)
+		dir.domains[rs.Key] = children
+	}
+	sort.Strings(dir.keys)
+
+	for _, sc := range state.Services {
+		if sc.Mapping == nil {
+			continue
+		}
+		rec := &serviceRecord{
+			state:    stateReady,
+			mapping:  sc.Mapping,
+			children: map[string][]string{},
+			receipt:  sc.Receipt,
+			shards:   sc.Touched,
+		}
+		for child, subs := range sc.Children {
+			rec.children[child] = append([]string(nil), subs...)
+		}
+		if rec.receipt == nil {
+			// Crash landed between commit and southbound completion: the
+			// resources are held and the children may be partially
+			// programmed. Surface the mapping-level receipt; Remove tears
+			// down whatever the children actually hold.
+			rec.receipt = mappingReceipt(sc.ServiceID, sc.Mapping)
+		}
+		if req := sc.Mapping.Request; req != nil {
+			for _, nf := range req.NFIDs() {
+				ro.nfOwner[nf] = sc.ServiceID
+				rec.resNFs = append(rec.resNFs, nf)
+			}
+			for _, h := range req.Hops {
+				ro.hopOwner[h.ID] = sc.ServiceID
+				rec.resHops = append(rec.resHops, h.ID)
+			}
+		}
+		ro.services[sc.ServiceID] = rec
+	}
+
+	ro.dir = dir
+	ro.owner = owner
+	ro.epoch.Store(state.Epoch)
+
+	// Rebuild the reverse shard index from the recovered graphs, exactly as
+	// attach-time registration would have.
+	contrib := make(map[string]shardContrib, len(dir.keys))
+	for _, key := range dir.keys {
+		sh := dir.shards[key]
+		contrib[key] = shardContrib{gen: sh.gen, nodes: ro.shardContribution(sh.dov)}
+	}
+	ro.contrib = contrib
+	ro.rebuildIndexLocked()
+	return nil
+}
+
+// ServiceReceipts maps every installed service to its receipt — the
+// reconciliation input for admission.BuildResumePlans: a recovered job whose
+// service already has a receipt here committed before the crash and must not
+// be re-installed.
+func (ro *ResourceOrchestrator) ServiceReceipts() map[string]*unify.Receipt {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	out := make(map[string]*unify.Receipt, len(ro.services))
+	for id, rec := range ro.services {
+		if rec.receipt != nil {
+			out[id] = rec.receipt
+		}
+	}
+	return out
+}
+
+// Reattach registers a child domain whose exported view is already part of
+// the recovered DoV: unlike Attach it must NOT re-merge the view — the
+// recovered shard graphs already contain it plus every committed allocation,
+// so a second merge would double-count resources. It verifies the child is
+// reachable and warns (only) when the child's infra set drifted from the
+// recovered one. Children unknown to the recovered state fall through to a
+// normal Attach.
+func (ro *ResourceOrchestrator) Reattach(ctx context.Context, d domain.Domain) error {
+	ro.mu.Lock()
+	_, known := ro.dir.childShard[d.ID()]
+	ro.mu.Unlock()
+	if !known {
+		return ro.Attach(ctx, d)
+	}
+	if err := ro.reg.Register(d); err != nil {
+		return err
+	}
+	view, err := d.View(ctx)
+	if err != nil {
+		_ = ro.reg.Deregister(d.ID())
+		return fmt.Errorf("core: reattach %s: %w", d.ID(), err)
+	}
+	// Drift check: the child's current infra set vs what the journal says it
+	// exported. A drifted child still reattaches — its committed services
+	// must stay removable — but the operator is told.
+	recovered := map[nffg.ID]bool{}
+	ro.mu.Lock()
+	for inf, child := range ro.owner {
+		if child == d.ID() {
+			recovered[inf] = true
+		}
+	}
+	ro.mu.Unlock()
+	for _, inf := range view.InfraIDs() {
+		qualified := inf // infra IDs are not qualified at attach; links are
+		if !recovered[qualified] {
+			log.Printf("core %s: reattach %s: infra %s not in recovered view (domain drifted since the journal was written)", ro.id, d.ID(), inf)
+		}
+	}
+	return nil
+}
+
+// ShardSnapshots produces the checkpoint source for
+// journal.(*Store).StartCheckpoints: every shard's sealed graph + generation,
+// the child domains exporting into it, and the services homed on it.
+//
+// Ordering contract with the commit path: shard graphs are read FIRST (each
+// under its shard lock), the service table SECOND. The commit path updates
+// the table before releasing the shard locks, so any graph state that
+// contains a commit is guaranteed to find that commit's mapping in the table
+// — the checkpoint can overshoot the table (a service whose resources are
+// not yet in the captured graph; its commit record replays on top) but never
+// undershoot it (resources in the graph with no owning service).
+func (ro *ResourceOrchestrator) ShardSnapshots() []journal.ShardSnapshot {
+	dir, owner := ro.snapshotDir()
+
+	type cut struct {
+		graph *nffg.NFFG
+		gen   uint64
+	}
+	cuts := make(map[string]cut, len(dir.keys))
+	for _, key := range dir.keys {
+		sh := dir.shards[key]
+		sh.mu.Lock()
+		cuts[key] = cut{graph: sh.dov, gen: sh.gen}
+		sh.mu.Unlock()
+	}
+	epoch := ro.epoch.Load()
+
+	svcByShard := map[string][]journal.ServiceCheckpoint{}
+	ro.mu.Lock()
+	ids := make([]string, 0, len(ro.services))
+	for id := range ro.services {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec := ro.services[id]
+		// A record without a mapping has not committed yet — its commit
+		// record (if any lands) replays from the WAL. Removing services are
+		// kept: if the release never commits before a crash, the resources
+		// are still held and the service must stay removable.
+		if rec.mapping == nil || len(rec.shards) == 0 {
+			continue
+		}
+		children := make(map[string][]string, len(rec.children))
+		for c, subs := range rec.children {
+			children[c] = append([]string(nil), subs...)
+		}
+		home := rec.shards[0]
+		svcByShard[home] = append(svcByShard[home], journal.ServiceCheckpoint{
+			ServiceID: id,
+			Mapping:   rec.mapping,
+			Touched:   rec.shards,
+			Home:      home,
+			Children:  children,
+			Receipt:   rec.receipt,
+			Deployed:  rec.state == stateReady,
+		})
+	}
+	ro.mu.Unlock()
+
+	childInfras := map[string]map[string][]nffg.ID{}
+	for inf, child := range owner {
+		key, ok := dir.childShard[child]
+		if !ok {
+			continue
+		}
+		m := childInfras[key]
+		if m == nil {
+			m = map[string][]nffg.ID{}
+			childInfras[key] = m
+		}
+		m[child] = append(m[child], inf)
+	}
+	for _, m := range childInfras {
+		for _, infras := range m {
+			slices.Sort(infras)
+		}
+	}
+
+	snaps := make([]journal.ShardSnapshot, 0, len(dir.keys))
+	for _, key := range dir.keys {
+		c := cuts[key]
+		snaps = append(snaps, journal.ShardSnapshot{
+			Key:         key,
+			Gen:         c.gen,
+			Epoch:       epoch,
+			Graph:       c.graph,
+			ChildInfras: childInfras[key],
+			Services:    svcByShard[key],
+		})
+	}
+	return snaps
+}

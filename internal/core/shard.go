@@ -30,12 +30,14 @@ func SingleShard(string) string { return "dov" }
 type shard struct {
 	key string
 
-	mu        sync.Mutex
-	dov       *nffg.NFFG // immutable snapshot; replaced wholesale on commit
-	gen       uint64     // bumped on every committed change of this shard
-	commits   uint64     // graph swaps (attach merges, install commits, releases)
-	conflicts uint64     // commit validations lost on this shard's generation
-	multi     uint64     // commits that spanned this shard plus at least one more
+	mu          sync.Mutex
+	dov         *nffg.NFFG // immutable snapshot; replaced wholesale on commit
+	gen         uint64     // bumped on every committed change of this shard
+	commits     uint64     // graph swaps (attach merges, install commits, releases)
+	conflicts   uint64     // commit validations lost on this shard's generation
+	multi       uint64     // commits that spanned this shard plus at least one more
+	journalRecs uint64     // write-ahead records appended under this shard's lock
+	restoredGen uint64     // generation recovered from the journal at startup
 }
 
 // ShardStats is one DoV shard's observable state: its generation, how often
@@ -56,6 +58,13 @@ type ShardStats struct {
 	// MultiShardCommits counts commits that locked this shard together with
 	// at least one sibling (the ordered two-phase path).
 	MultiShardCommits uint64 `json:"multi_shard_commits"`
+	// JournalRecords counts write-ahead records appended to this shard's log
+	// under its lock (attach/commit/release; zero when journaling is off).
+	JournalRecords uint64 `json:"journal_records"`
+	// RestoredGen is the generation the shard was recovered at (zero for
+	// shards born in this process): Gen - RestoredGen commits happened since
+	// the last restart.
+	RestoredGen uint64 `json:"restored_gen"`
 }
 
 // shardDirectory is the registration-time shard topology, guarded by

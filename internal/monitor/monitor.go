@@ -17,6 +17,7 @@ import (
 	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain/emunet"
+	"github.com/unify-repro/escape/internal/journal"
 	"github.com/unify-repro/escape/internal/nffg"
 	"github.com/unify-repro/escape/internal/obs"
 )
@@ -92,6 +93,13 @@ func (c AdmissionCounters) MeanBatch() float64 {
 	return float64(c.Coalesced) / float64(c.Batches)
 }
 
+// JournalCounters is one durable store's write-ahead activity: appends,
+// fsyncs, checkpoints and their error counts (see journal.Stats).
+type JournalCounters struct {
+	Dir string
+	journal.Stats
+}
+
 // StageCounters is one layer's latency distribution for one pipeline stage
 // (admission wait, map, commit, end-to-end; power-of-two bucket histograms,
 // see internal/obs).
@@ -108,6 +116,7 @@ type Snapshot struct {
 	NFs       []NFCounters
 	Orch      []OrchCounters
 	Admission []AdmissionCounters
+	Journal   []JournalCounters
 	Stages    []StageCounters
 }
 
@@ -199,6 +208,16 @@ func (s StageSource) Collect() (*Snapshot, error) {
 	return snap, nil
 }
 
+// JournalSource collects write-ahead counters from a durable store.
+type JournalSource struct {
+	Store *journal.Store
+}
+
+// Collect implements Source.
+func (s JournalSource) Collect() (*Snapshot, error) {
+	return &Snapshot{Journal: []JournalCounters{{Dir: s.Store.Dir(), Stats: s.Store.Stats()}}}, nil
+}
+
 // QueueSource collects gauges from an admission queue.
 type QueueSource struct {
 	Name  string
@@ -226,6 +245,7 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 		out.NFs = append(out.NFs, s.NFs...)
 		out.Orch = append(out.Orch, s.Orch...)
 		out.Admission = append(out.Admission, s.Admission...)
+		out.Journal = append(out.Journal, s.Journal...)
 		out.Stages = append(out.Stages, s.Stages...)
 	}
 	sort.Slice(out.Ports, func(i, j int) bool {
@@ -243,6 +263,7 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 	sort.Slice(out.NFs, func(i, j int) bool { return out.NFs[i].NF < out.NFs[j].NF })
 	sort.Slice(out.Orch, func(i, j int) bool { return out.Orch[i].Layer < out.Orch[j].Layer })
 	sort.Slice(out.Admission, func(i, j int) bool { return out.Admission[i].Queue < out.Admission[j].Queue })
+	sort.Slice(out.Journal, func(i, j int) bool { return out.Journal[i].Dir < out.Journal[j].Dir })
 	sort.Slice(out.Stages, func(i, j int) bool {
 		if out.Stages[i].Layer != out.Stages[j].Layer {
 			return out.Stages[i].Layer < out.Stages[j].Layer
@@ -318,11 +339,12 @@ func (s *Snapshot) Render(w io.Writer) {
 			if len(o.Shards) == 0 {
 				continue
 			}
-			fmt.Fprintf(w, "\n%-16s %-12s %8s %8s %10s %11s %s\n",
-				"ORCHESTRATOR", "SHARD", "GEN", "COMMITS", "CONFLICTS", "MULTI-SHARD", "DOMAINS")
+			fmt.Fprintf(w, "\n%-16s %-12s %8s %8s %10s %11s %8s %8s %s\n",
+				"ORCHESTRATOR", "SHARD", "GEN", "COMMITS", "CONFLICTS", "MULTI-SHARD", "WAL-RECS", "REST-GEN", "DOMAINS")
 			for _, sh := range o.Shards {
-				fmt.Fprintf(w, "%-16s %-12s %8d %8d %10d %11d %s\n",
+				fmt.Fprintf(w, "%-16s %-12s %8d %8d %10d %11d %8d %8d %s\n",
 					o.Layer, sh.Shard, sh.Gen, sh.Commits, sh.Conflicts, sh.MultiShardCommits,
+					sh.JournalRecords, sh.RestoredGen,
 					strings.Join(sh.Domains, ","))
 			}
 		}
@@ -411,6 +433,18 @@ func (s *Snapshot) Render(w io.Writer) {
 					t.Failed, t.Dropped, t.Admitted, t.Aged,
 					t.MeanWait().Round(time.Microsecond), t.WaitMax.Round(time.Microsecond))
 			}
+		}
+	}
+	// The write-ahead journal: append/fsync/checkpoint volume and, above all,
+	// the error counters — non-zero errors mean the durable copy is falling
+	// behind the in-memory truth.
+	if len(s.Journal) > 0 {
+		fmt.Fprintf(w, "\n%-24s %9s %12s %7s %11s %8s %8s %8s %8s\n",
+			"JOURNAL", "APPENDS", "BYTES", "SYNCS", "CHECKPOINTS", "COMPACT", "APP-ERR", "SYNC-ERR", "CKPT-ERR")
+		for _, j := range s.Journal {
+			fmt.Fprintf(w, "%-24s %9d %12d %7d %11d %8d %8d %8d %8d\n",
+				j.Dir, j.Appends, j.BytesWritten, j.Syncs, j.Checkpoints, j.Compactions,
+				j.AppendErrors, j.SyncErrors, j.CheckpointE)
 		}
 	}
 	// Per-stage latency distributions: the p50/p95/p99 of every pipeline

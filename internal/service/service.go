@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"time"
@@ -63,6 +64,22 @@ type Request struct {
 	done chan struct{}
 }
 
+// OpStats counts the service layer's failure-path outcomes — the operations
+// whose errors historically vanished into discarded returns (detached async
+// deploys, migration rollbacks).
+type OpStats struct {
+	// AsyncDeployFailures counts SubmitAsync deployments that ended
+	// StateFailed (the detached goroutine's error, also recorded on the
+	// request itself).
+	AsyncDeployFailures uint64 `json:"async_deploy_failures"`
+	// MigrateRollbacks counts failed migrations that attempted to restore
+	// the original placement.
+	MigrateRollbacks uint64 `json:"migrate_rollbacks"`
+	// RollbackFailures counts restores that themselves failed — the service
+	// is gone and both errors were surfaced to the caller.
+	RollbackFailures uint64 `json:"rollback_failures"`
+}
+
 // Orchestrator is the service orchestrator: it owns the user-facing request
 // book and talks to one southbound Unify layer.
 type Orchestrator struct {
@@ -71,6 +88,7 @@ type Orchestrator struct {
 
 	mu       sync.Mutex
 	requests map[string]*Request
+	ops      OpStats
 }
 
 // NewOrchestrator builds a service layer on top of a Unify layer. mapper
@@ -176,9 +194,17 @@ func (o *Orchestrator) SubmitAsync(ctx context.Context, g *nffg.NFFG) (*Request,
 	}
 	snapshot := *req
 	// Deploy from the book's own copy of the graph: the caller keeps
-	// ownership of g and may mutate it the moment we return.
+	// ownership of g and may mutate it the moment we return. The detached
+	// deployment's error lands on the request (Wait/Get see StateFailed) and
+	// in OpStats — a terminal outcome nobody is awaiting must still count
+	// somewhere visible.
 	go func() {
-		_, _ = o.deploy(context.WithoutCancel(ctx), req, req.Graph)
+		if _, err := o.deploy(context.WithoutCancel(ctx), req, req.Graph); err != nil {
+			o.mu.Lock()
+			o.ops.AsyncDeployFailures++
+			o.mu.Unlock()
+			log.Printf("service: async deploy %s: %v", req.ID, err)
+		}
 	}()
 	return &snapshot, nil
 }
@@ -277,11 +303,22 @@ func (o *Orchestrator) Migrate(ctx context.Context, id string, pins map[nffg.ID]
 		// Roll back to the original placement.
 		o.mu.Lock()
 		delete(o.requests, id)
+		o.ops.MigrateRollbacks++
 		o.mu.Unlock()
-		if restored, rerr := o.Submit(context.WithoutCancel(ctx), original); rerr == nil {
+		restored, rerr := o.Submit(context.WithoutCancel(ctx), original)
+		if rerr == nil {
 			return restored, fmt.Errorf("service: migration failed (%v); original restored", err)
 		}
-		return nil, fmt.Errorf("service: migration failed and restore failed: %w", err)
+		// Both legs failed: the service is down. The restore error must ride
+		// the chain (errors.Is/As see both), not vanish — a caller retrying
+		// the migration needs to know the original is gone too.
+		o.mu.Lock()
+		o.ops.RollbackFailures++
+		o.mu.Unlock()
+		return nil, errors.Join(
+			fmt.Errorf("service: migration failed: %w", err),
+			fmt.Errorf("service: restoring original placement failed: %w", rerr),
+		)
 	}
 	return migrated, nil
 }
@@ -336,6 +373,13 @@ func (o *Orchestrator) List() []*Request {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// OpStats returns the failure-path counters.
+func (o *Orchestrator) OpStats() OpStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ops
 }
 
 // Stats summarizes the request book per state.

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"container/heap"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -52,6 +53,42 @@ type Path struct {
 	Weight float64 // total weight under the metric used to compute the path
 	Delay  float64 // total link delay along the path
 	MinBW  float64 // bottleneck available bandwidth along the path
+}
+
+// pathJSON mirrors Path with a nullable bottleneck: MinBW is +Inf on
+// link-less paths (an unconstrained bottleneck), which JSON cannot encode.
+type pathJSON struct {
+	Nodes  []NodeID
+	Links  []LinkID
+	Weight float64
+	Delay  float64
+	MinBW  *float64
+}
+
+// MarshalJSON encodes the path with an unconstrained (+Inf) bottleneck as a
+// null MinBW, so paths survive the write-ahead journal and API responses.
+func (p Path) MarshalJSON() ([]byte, error) {
+	pj := pathJSON{Nodes: p.Nodes, Links: p.Links, Weight: p.Weight, Delay: p.Delay}
+	if !math.IsInf(p.MinBW, 0) {
+		pj.MinBW = &p.MinBW
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: a null or absent MinBW decodes
+// back to +Inf.
+func (p *Path) UnmarshalJSON(data []byte) error {
+	var pj pathJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	p.Nodes, p.Links, p.Weight, p.Delay = pj.Nodes, pj.Links, pj.Weight, pj.Delay
+	if pj.MinBW != nil {
+		p.MinBW = *pj.MinBW
+	} else {
+		p.MinBW = math.Inf(1)
+	}
+	return nil
 }
 
 // Hops returns the number of links in the path.

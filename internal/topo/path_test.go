@@ -1,9 +1,12 @@
 package topo
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -316,4 +319,25 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+func TestPathJSONRoundtrip(t *testing.T) {
+	cases := []Path{
+		{}, // zero value: MinBW 0, not Inf
+		{Nodes: []NodeID{"a"}, MinBW: math.Inf(1)}, // link-less: unconstrained bottleneck
+		{Nodes: []NodeID{"a", "b"}, Links: []LinkID{"l1"}, Weight: 2.5, Delay: 1.25, MinBW: 100},
+	}
+	for i, p := range cases {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		var got Path
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("case %d: unmarshal %s: %v", i, data, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("case %d: roundtrip %s: got %+v, want %+v", i, data, got, p)
+		}
+	}
 }
