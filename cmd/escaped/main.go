@@ -31,6 +31,8 @@ import (
 	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/api"
 	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/fleet"
 	"github.com/unify-repro/escape/internal/journal"
 	"github.com/unify-repro/escape/internal/nffg"
 	"github.com/unify-repro/escape/internal/obs"
@@ -95,6 +97,13 @@ func main() {
 		tracing   = flag.Bool("tracing", true, "admission: record per-job span trees, served at GET /unify/trace/{id}")
 		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 
+		fleetOn       = flag.Bool("fleet", true, "orchestrator: run the domain fleet controller — health probes, hot attach/detach, automatic failover re-embedding (GET /unify/fleet, POST /unify/fleet/{domain}/drain)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "fleet: health-probe period per domain")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "fleet: timeout of one probe attempt")
+		degradeAfter  = flag.Int("degrade-after", 1, "fleet: consecutive failed probe rounds before a domain is marked degraded")
+		evictAfter    = flag.Int("evict-after", 3, "fleet: consecutive failed probe rounds before a domain is evicted and its services re-embedded")
+		maxMigrations = flag.Int("max-migrations", 2, "fleet: concurrent re-embeddings during one eviction")
+
 		dataDir   = flag.String("data-dir", "", "orchestrator: durable state directory — write-ahead journal + checkpoints; on restart the process recovers committed mappings and re-enqueues unfinished jobs")
 		ckptEvery = flag.Duration("checkpoint-interval", 10*time.Second, "journal: cadence of sealed-snapshot checkpoints (with -data-dir)")
 		jstrict   = flag.Bool("journal-strict", false, "journal: fsync every record instead of the periodic background sync (survives machine crashes, slower commits)")
@@ -143,7 +152,7 @@ func main() {
 		}
 	}
 
-	layer, err := buildLayer(*role, *id, *substrate, *nodes, *view, *types, *shard, children, store, recState)
+	layer, kids, err := buildLayer(*role, *id, *substrate, *nodes, *view, *types, *shard, children, store, recState)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -193,6 +202,36 @@ func main() {
 		srv.WithJournal(store).WithRecovery(recInfo)
 	}
 
+	// Fleet lifecycle: the controller adopts the children buildLayer already
+	// attached (ACTIVE, no re-merge), installs the availability gate, and
+	// probes each child's /healthz. A child failing -evict-after consecutive
+	// rounds is detached and its services re-embedded onto the survivors,
+	// with the child's admission lane paused for the window.
+	var fc *fleet.Controller
+	if ro, ok := layer.(*core.ResourceOrchestrator); ok && *fleetOn {
+		var pauser fleet.Pauser
+		if queue != nil {
+			pauser = queue
+		}
+		fc = fleet.New(fleet.Config{
+			Orchestrator:  ro,
+			Admission:     pauser,
+			ProbeInterval: *probeInterval,
+			ProbeTimeout:  *probeTimeout,
+			DegradeAfter:  *degradeAfter,
+			EvictAfter:    *evictAfter,
+			MaxMigrations: *maxMigrations,
+			OnTransition: func(name string, from, to fleet.State) {
+				log.Printf("fleet: domain %s: %s -> %s", name, from, to)
+			},
+		})
+		for _, d := range kids {
+			fc.Adopt(d)
+		}
+		fc.Run()
+		srv.WithFleet(fc)
+	}
+
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)
@@ -203,10 +242,14 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
-	// Ordered shutdown: stop the listener with a bounded drain (in-flight
-	// requests finish against a live queue), then stop the queue (remaining
-	// jobs terminate and journal their outcomes), then seal the journal with
-	// a final checkpoint so the next boot replays nothing.
+	// Ordered shutdown: stop the fleet prober first (no eviction may start
+	// against a closing plane), then the listener with a bounded drain
+	// (in-flight requests finish against a live queue), then the queue
+	// (remaining jobs terminate and journal their outcomes), then seal the
+	// journal with a final checkpoint so the next boot replays nothing.
+	if fc != nil {
+		fc.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	_ = srv.Shutdown(ctx)
 	cancel()
@@ -225,21 +268,24 @@ func main() {
 	}
 }
 
-func buildLayer(role, id, substratePath string, nodes int, view, types, shard string, children childFlags, store *journal.Store, state *journal.RecoveredState) (unify.Layer, error) {
+// buildLayer constructs the serving layer; for orchestrators it also returns
+// the attached child handles so the fleet controller can adopt them.
+func buildLayer(role, id, substratePath string, nodes int, view, types, shard string, children childFlags, store *journal.Store, state *journal.RecoveredState) (unify.Layer, []domain.Domain, error) {
 	virt, err := pickVirtualizer(view, id)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch role {
 	case "leaf":
 		sub, err := loadOrGenerateSubstrate(id, substratePath, nodes, strings.Split(types, ","))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return core.NewLocalOrchestrator(core.LocalConfig{ID: id, Substrate: sub, Virtualizer: virt})
+		lo, err := core.NewLocalOrchestrator(core.LocalConfig{ID: id, Substrate: sub, Virtualizer: virt})
+		return lo, nil, err
 	case "orchestrator":
 		if len(children) == 0 {
-			return nil, fmt.Errorf("orchestrator needs at least one -child name=url")
+			return nil, nil, fmt.Errorf("orchestrator needs at least one -child name=url")
 		}
 		var shardKey core.ShardKeyFunc
 		switch shard {
@@ -248,7 +294,7 @@ func buildLayer(role, id, substratePath string, nodes int, view, types, shard st
 		case "single":
 			shardKey = core.SingleShard
 		default:
-			return nil, fmt.Errorf("unknown -shard %q (want domain or single)", shard)
+			return nil, nil, fmt.Errorf("unknown -shard %q (want domain or single)", shard)
 		}
 		cfg := core.Config{ID: id, Virtualizer: virt, ShardKey: shardKey}
 		if store != nil {
@@ -257,17 +303,18 @@ func buildLayer(role, id, substratePath string, nodes int, view, types, shard st
 		ro := core.NewResourceOrchestrator(cfg)
 		if state != nil {
 			if err := ro.Restore(state); err != nil {
-				return nil, fmt.Errorf("restore journal state: %w", err)
+				return nil, nil, fmt.Errorf("restore journal state: %w", err)
 			}
 		}
+		var kids []domain.Domain
 		for _, spec := range children {
 			name, url, ok := strings.Cut(spec, "=")
 			if !ok {
-				return nil, fmt.Errorf("bad -child %q (want name=url)", spec)
+				return nil, nil, fmt.Errorf("bad -child %q (want name=url)", spec)
 			}
 			cli, err := api.Dial(name, url)
 			if err != nil {
-				return nil, fmt.Errorf("child %s: %w", name, err)
+				return nil, nil, fmt.Errorf("child %s: %w", name, err)
 			}
 			// Reattach (not Attach) when recovering: a child already merged
 			// into the recovered DoV must not merge a second time. Unknown
@@ -277,13 +324,14 @@ func buildLayer(role, id, substratePath string, nodes int, view, types, shard st
 				attach = ro.Reattach
 			}
 			if err := attach(context.Background(), cli); err != nil {
-				return nil, fmt.Errorf("attach %s: %w", name, err)
+				return nil, nil, fmt.Errorf("attach %s: %w", name, err)
 			}
 			log.Printf("attached child %s at %s", name, url)
+			kids = append(kids, cli)
 		}
-		return ro, nil
+		return ro, kids, nil
 	default:
-		return nil, fmt.Errorf("unknown role %q", role)
+		return nil, nil, fmt.Errorf("unknown role %q", role)
 	}
 }
 

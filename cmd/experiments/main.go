@@ -34,6 +34,8 @@ func main() {
 	churn := flag.Float64("churn", 0.5, "scenario: fraction of deployed services removed again")
 	mice := flag.Float64("mice", 0.5, "scenario: fraction of requests from mice tenants")
 	clients := flag.Int("clients", 64, "scenario: concurrent submitting clients")
+	flaps := flag.Int("flaps", 0, "scenario: domains killed under load in the flap phase (0 = no flap phase)")
+	flapSvcs := flag.Int("flap-services", 4, "scenario: services pinned on each flap victim")
 	out := flag.String("out", "BENCH_SCENARIO_SLO.json", "scenario: SLO artifact path (empty = stdout only)")
 	flag.Parse()
 	switch *run {
@@ -53,6 +55,8 @@ func main() {
 			Churn:     *churn,
 			MiceShare: *mice,
 			Clients:   *clients,
+			Flaps:     *flaps,
+			FlapSvcs:  *flapSvcs,
 		}, *out)
 	case "all":
 		e1()

@@ -11,6 +11,12 @@ package main
 //
 //	go run ./cmd/experiments -run scenario -domains 100 -saps 10 -services 400
 //	go run ./cmd/experiments -run scenario -out BENCH_SCENARIO_SLO.json
+//
+// With -flaps N the run appends a domain-flap phase: a fleet controller
+// probes every member, N victim domains are killed one after another under
+// survivor load, and the artifact gains a "failover" section — services
+// rehomed, requests lost on disjoint tenants (the SLO is zero), and the
+// kill-to-rehomed latency distribution.
 
 import (
 	"context"
@@ -20,11 +26,13 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/fleet"
 	"github.com/unify-repro/escape/internal/nffg"
 	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/unify"
@@ -38,6 +46,8 @@ type ScenarioConfig struct {
 	Churn     float64 `json:"churn"`      // fraction of deployed services also removed
 	MiceShare float64 `json:"mice_share"` // fraction of jobs from mice tenants
 	Clients   int     `json:"clients"`    // concurrent submitting clients
+	Flaps     int     `json:"flaps,omitempty"`         // domains killed in the flap phase
+	FlapSvcs  int     `json:"flap_services,omitempty"` // services pinned on each victim
 }
 
 // SLOSummary is one class's admission-to-deployed latency distribution.
@@ -48,6 +58,24 @@ type SLOSummary struct {
 	P99Ms  float64 `json:"p99_ms"`
 	MeanMs float64 `json:"mean_ms"`
 	MaxMs  float64 `json:"max_ms"`
+}
+
+// FailoverSLO is the artifact section of the domain-flap phase: what the
+// fleet controller delivered while victims were being killed under load.
+type FailoverSLO struct {
+	Flaps           int `json:"flaps"`
+	PinnedPerFlap   int `json:"pinned_per_flap"`
+	Evictions       int `json:"evictions"`
+	ServicesRehomed int `json:"services_rehomed"`
+	// RehomeFailures counts displaced services that could not land on a
+	// survivor — services whose only access SAPs died with their domain.
+	RehomeFailures int `json:"rehome_failures"`
+	// SurvivorRequests / RequestsLost is the disjoint-tenant SLO: requests
+	// touching only surviving domains during the failover windows, and how
+	// many of them failed (the target is exactly zero).
+	SurvivorRequests int        `json:"survivor_requests"`
+	RequestsLost     int        `json:"requests_lost"`
+	TimeToRehomedMs  SLOSummary `json:"time_to_rehomed_ms"`
 }
 
 // ScenarioReport is the JSON artifact of one run. SLO is the per-class
@@ -65,6 +93,7 @@ type ScenarioReport struct {
 	Stages     map[string]SLOSummary `json:"stages"`
 	Southbound core.SouthboundStats  `json:"southbound"`
 	Admission  admission.Stats       `json:"admission"`
+	Failover   *FailoverSLO          `json:"failover,omitempty"`
 }
 
 // summarize computes the percentile summary of a latency sample.
@@ -109,11 +138,13 @@ func summarizeHist(h obs.HistogramSnapshot) SLOSummary {
 	}
 }
 
-// scenarioLeafSubstrate is one domain: a single BiS-BiS with its user SAPs.
-func scenarioLeafSubstrate(dom int, saps int) *nffg.NFFG {
+// scenarioLeafSubstrate is one domain: a single BiS-BiS with its user SAPs,
+// plus `flapSlots` fleet-shared SAP pairs (the same SAP IDs on every member)
+// so a service displaced by a domain kill can re-embed on any survivor.
+func scenarioLeafSubstrate(dom, saps, flapSlots int) *nffg.NFFG {
 	bb := nffg.ID(fmt.Sprintf("bb%03d", dom))
 	b := nffg.NewBuilder(fmt.Sprintf("dom%03d-sub", dom)).
-		BiSBiS(bb, fmt.Sprintf("dom%03d", dom), saps+2,
+		BiSBiS(bb, fmt.Sprintf("dom%03d", dom), saps+2+2*flapSlots,
 			nffg.Resources{CPU: 64, Mem: 65536, Storage: 256},
 			"firewall", "dpi", "nat", "compress")
 	for s := 0; s < saps; s++ {
@@ -121,7 +152,52 @@ func scenarioLeafSubstrate(dom int, saps int) *nffg.NFFG {
 		b.SAP(sap)
 		b.Link(fmt.Sprintf("u%03d-%d", dom, s), sap, "1", bb, fmt.Sprint(s+1), 1000, 0.5)
 	}
+	for f := 0; f < flapSlots; f++ {
+		in := nffg.ID(fmt.Sprintf("fp%din", f))
+		out := nffg.ID(fmt.Sprintf("fp%dout", f))
+		b.SAP(in).SAP(out).
+			Link(fmt.Sprintf("fi%d", f), in, "1", bb, fmt.Sprint(saps+1+2*f), 1000, 0.5).
+			Link(fmt.Sprintf("fo%d", f), bb, fmt.Sprint(saps+2+2*f), out, "1", 1000, 0.5)
+	}
 	return b.MustBuild()
+}
+
+// flapLeaf wraps a modeled leaf with a kill switch: a killed member refuses
+// probes, views and installs, like a kill -9'd process behind a dead peer.
+type flapLeaf struct {
+	*core.LocalOrchestrator
+	dead atomic.Bool
+}
+
+var errFlapDead = fmt.Errorf("scenario: connection refused")
+
+// Ping implements fleet.Pinger, the prober's cheap liveness check.
+func (l *flapLeaf) Ping(context.Context) error {
+	if l.dead.Load() {
+		return errFlapDead
+	}
+	return nil
+}
+
+func (l *flapLeaf) View(ctx context.Context) (*nffg.NFFG, error) {
+	if l.dead.Load() {
+		return nil, errFlapDead
+	}
+	return l.LocalOrchestrator.View(ctx)
+}
+
+func (l *flapLeaf) Install(ctx context.Context, req *nffg.NFFG) (*unify.Receipt, error) {
+	if l.dead.Load() {
+		return nil, errFlapDead
+	}
+	return l.LocalOrchestrator.Install(ctx, req)
+}
+
+func (l *flapLeaf) Remove(ctx context.Context, id string) error {
+	if l.dead.Load() {
+		return errFlapDead
+	}
+	return l.LocalOrchestrator.Remove(ctx, id)
 }
 
 // buildScenarioStack assembles the RO over cfg.Domains modeled leaves. Each
@@ -129,7 +205,7 @@ func scenarioLeafSubstrate(dom int, saps int) *nffg.NFFG {
 // delta plus a small per-operation term — and records it, so the aggregated
 // southbound counters behave like the real adapters' without paying hundreds
 // of protocol servers in one process.
-func buildScenarioStack(cfg ScenarioConfig) (*core.ResourceOrchestrator, error) {
+func buildScenarioStack(cfg ScenarioConfig) (*core.ResourceOrchestrator, []*flapLeaf, error) {
 	ro := core.NewResourceOrchestrator(core.Config{
 		ID:          "scenario-ro",
 		Virtualizer: core.Transparent{},
@@ -138,6 +214,10 @@ func buildScenarioStack(cfg ScenarioConfig) (*core.ResourceOrchestrator, error) 
 		barrierRTT = 200 * time.Microsecond
 		perOp      = 2 * time.Microsecond
 	)
+	// Each flap needs its own fleet-shared slot set: slots stay occupied by
+	// the rehomed services of earlier flaps.
+	flapSlots := cfg.Flaps * cfg.FlapSvcs
+	leaves := make([]*flapLeaf, cfg.Domains)
 	for i := 0; i < cfg.Domains; i++ {
 		var lo *core.LocalOrchestrator
 		prog := core.ProgrammerFunc(func(ctx context.Context, delta *nffg.Delta, _ *nffg.NFFG) error {
@@ -159,20 +239,21 @@ func buildScenarioStack(cfg ScenarioConfig) (*core.ResourceOrchestrator, error) 
 		var err error
 		lo, err = core.NewLocalOrchestrator(core.LocalConfig{
 			ID:         fmt.Sprintf("dom%03d", i),
-			Substrate:  scenarioLeafSubstrate(i, cfg.SAPs),
+			Substrate:  scenarioLeafSubstrate(i, cfg.SAPs, flapSlots),
 			Programmer: prog,
 			Capabilities: []domain.Capability{
 				domain.CapCompute, domain.CapForwarding,
 			},
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if err := ro.Attach(context.Background(), lo); err != nil {
-			return nil, err
+		leaves[i] = &flapLeaf{LocalOrchestrator: lo}
+		if err := ro.Attach(context.Background(), leaves[i]); err != nil {
+			return nil, nil, err
 		}
 	}
-	return ro, nil
+	return ro, leaves, nil
 }
 
 // scenarioRequest derives job j deterministically: which tenant class it
@@ -213,11 +294,141 @@ func scenarioRequest(j int, cfg ScenarioConfig) (tenant, class string, req *nffg
 	return tenant, class, b.MustBuild()
 }
 
+// flapChain builds one flap-phase service: a 2-NF chain between a
+// fleet-shared SAP slot pair, pinned onto the victim's BiS-BiS (the pin dies
+// with the node, so re-embedding is free to pick any survivor).
+func flapChain(flap, j, perFlap int, victim nffg.ID) *nffg.NFFG {
+	slot := flap*perFlap + j
+	id := fmt.Sprintf("flap%d-%d", flap, j)
+	in := nffg.ID(fmt.Sprintf("fp%din", slot))
+	out := nffg.ID(fmt.Sprintf("fp%dout", slot))
+	b := nffg.NewBuilder(id).SAP(in).SAP(out)
+	nodes := []nffg.ID{in}
+	for i, typ := range []string{"firewall", "nat"} {
+		nf := nffg.ID(fmt.Sprintf("%s-nf%d", id, i))
+		b.NF(nf, typ, 2, nffg.Resources{CPU: 2, Mem: 1024, Storage: 4})
+		nodes = append(nodes, nf)
+	}
+	nodes = append(nodes, out)
+	b.Chain(id, 5, 0, nodes...)
+	g := b.MustBuild()
+	for _, nf := range g.NFs {
+		nf.Host = victim
+	}
+	return g
+}
+
+// flapPhase runs the domain-flap workload: a fleet controller probes every
+// member; cfg.Flaps victims each get cfg.FlapSvcs pinned services, then die.
+// While each failover runs, sampler workers keep cycling install/remove jobs
+// on churn-freed slots of surviving domains (disjoint tenants) — every one of
+// those must succeed. Returns the artifact section.
+func flapPhase(ro *core.ResourceOrchestrator, q *admission.Queue, leaves []*flapLeaf, cfg ScenarioConfig, sampler []int) *FailoverSLO {
+	fc := fleet.New(fleet.Config{
+		Orchestrator:  ro,
+		Admission:     q,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		ProbeRetries:  -1,
+		DegradeAfter:  1,
+		EvictAfter:    2,
+		MaxMigrations: 4,
+	})
+	for _, l := range leaves {
+		fc.Adopt(l)
+	}
+	fc.Run()
+	defer fc.Stop()
+
+	var rehomedSamples []time.Duration
+	var ok, lost atomic.Uint64
+	for f := 0; f < cfg.Flaps; f++ {
+		v := cfg.Domains - 1 - f
+		// The leaves export collapsed single-BiSBiS views, so the DoV node to
+		// pin on is bisbis@<child>, not the leaf-internal substrate node.
+		victimNode := nffg.ID(fmt.Sprintf("bisbis@dom%03d", v))
+		for j := 0; j < cfg.FlapSvcs; j++ {
+			req := flapChain(f, j, cfg.FlapSvcs, victimNode)
+			ctx := unify.WithMeta(context.Background(), unify.RequestMeta{Tenant: "flap"})
+			job, err := q.Submit(ctx, req)
+			if err != nil {
+				log.Fatalf("flap %d: submit %s: %v", f, req.ID, err)
+			}
+			if done, err := q.Wait(context.Background(), job.ID); err != nil || done.State != admission.StateDeployed {
+				log.Fatalf("flap %d: deploy %s: %+v %v", f, req.ID, done, err)
+			}
+		}
+
+		stop := make(chan struct{})
+		var swg sync.WaitGroup
+		const samplerWorkers = 2
+		for w := 0; w < samplerWorkers; w++ {
+			swg.Add(1)
+			go func(w int) {
+				defer swg.Done()
+				for n := w; ; n += samplerWorkers {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if len(sampler) == 0 {
+						return
+					}
+					j := sampler[n%len(sampler)]
+					tenant, _, req := scenarioRequest(j, cfg)
+					ctx := unify.WithMeta(context.Background(), unify.RequestMeta{Tenant: tenant})
+					job, err := q.Submit(ctx, req)
+					if err != nil {
+						lost.Add(1)
+						continue
+					}
+					done, err := q.Wait(context.Background(), job.ID)
+					if err != nil || done.State != admission.StateDeployed {
+						lost.Add(1)
+						continue
+					}
+					if err := q.Remove(context.Background(), req.ID); err != nil {
+						lost.Add(1)
+						continue
+					}
+					ok.Add(1)
+				}
+			}(w)
+		}
+
+		t0 := time.Now()
+		leaves[v].dead.Store(true)
+		deadline := time.Now().Add(60 * time.Second)
+		for int(fc.Stats().Detached) != f+1 {
+			if time.Now().After(deadline) {
+				log.Fatalf("flap %d: eviction incomplete: %+v", f, fc.Stats())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		rehomedSamples = append(rehomedSamples, time.Since(t0))
+		close(stop)
+		swg.Wait()
+	}
+
+	st := fc.Stats()
+	return &FailoverSLO{
+		Flaps:            cfg.Flaps,
+		PinnedPerFlap:    cfg.FlapSvcs,
+		Evictions:        int(st.Evictions),
+		ServicesRehomed:  int(st.ServicesRehomed),
+		RehomeFailures:   int(st.RehomeFailures),
+		SurvivorRequests: int(ok.Load()),
+		RequestsLost:     int(lost.Load()),
+		TimeToRehomedMs:  summarize(rehomedSamples),
+	}
+}
+
 // scenario runs the generator and writes the SLO artifact.
 func scenario(cfg ScenarioConfig, out string) {
-	header(fmt.Sprintf("SCENARIO — %d domains, %d SAPs, %d services (mice %.0f%%, churn %.0f%%)",
-		cfg.Domains, cfg.Domains*cfg.SAPs, cfg.Services, cfg.MiceShare*100, cfg.Churn*100))
-	ro, err := buildScenarioStack(cfg)
+	header(fmt.Sprintf("SCENARIO — %d domains, %d SAPs, %d services (mice %.0f%%, churn %.0f%%, flaps %d)",
+		cfg.Domains, cfg.Domains*cfg.SAPs, cfg.Services, cfg.MiceShare*100, cfg.Churn*100, cfg.Flaps))
+	ro, leaves, err := buildScenarioStack(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -271,6 +482,19 @@ func scenario(cfg ScenarioConfig, out string) {
 	wg.Wait()
 	wall := time.Since(start)
 
+	var failover *FailoverSLO
+	if cfg.Flaps > 0 {
+		// The disjoint-tenant samplers reuse churn-freed slots on domains that
+		// will survive every flap (victims are the last cfg.Flaps domains).
+		var sampler []int
+		for j, o := range outcomes {
+			if o.removed && j%cfg.Domains < cfg.Domains-cfg.Flaps {
+				sampler = append(sampler, j)
+			}
+		}
+		failover = flapPhase(ro, q, leaves, cfg, sampler)
+	}
+
 	rep := ScenarioReport{
 		Scenario:   cfg,
 		Submitted:  cfg.Services,
@@ -279,6 +503,7 @@ func scenario(cfg ScenarioConfig, out string) {
 		Stages:     map[string]SLOSummary{},
 		Southbound: ro.SouthboundStats(),
 		Admission:  q.Stats(),
+		Failover:   failover,
 	}
 	// Per-stage latency decomposition from the control plane's histograms:
 	// admission wait + e2e from the queue, map + commit from the RO, the
@@ -330,11 +555,20 @@ func scenario(cfg ScenarioConfig, out string) {
 			fmt.Printf("%-18s %7d %9.2f %9.2f %9.2f %9.2f\n", s, st.Count, st.P50Ms, st.P95Ms, st.P99Ms, st.MeanMs)
 		}
 	}
+	if f := rep.Failover; f != nil {
+		fmt.Printf("\nfailover: flaps=%d evictions=%d rehomed=%d rehome-failures=%d survivor-requests=%d lost=%d\n",
+			f.Flaps, f.Evictions, f.ServicesRehomed, f.RehomeFailures, f.SurvivorRequests, f.RequestsLost)
+		fmt.Printf("time-to-rehomed: p50=%.1fms p95=%.1fms max=%.1fms\n",
+			f.TimeToRehomedMs.P50Ms, f.TimeToRehomedMs.P95Ms, f.TimeToRehomedMs.MaxMs)
+	}
 	sb := rep.Southbound
 	fmt.Printf("\ndeployed=%d/%d removed=%d wall=%.2fs\n", rep.Deployed, rep.Submitted, rep.Removed, wall.Seconds())
 	fmt.Printf("southbound: deltas=%d flow-mods=%d barriers=%d fm/barrier=%.1f container-ops=%d mean-delta=%s\n",
 		sb.Deltas, sb.FlowMods, sb.Barriers, sb.FlowModsPerBarrier(), sb.ContainerOps, sb.MeanDeltaLatency().Round(time.Microsecond))
 
+	if f := rep.Failover; f != nil && f.RequestsLost > 0 {
+		log.Fatalf("failover SLO violated: %d disjoint-tenant requests lost", f.RequestsLost)
+	}
 	if out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -17,6 +17,8 @@
 //	unifyctl -server http://127.0.0.1:8181 stats
 //	unifyctl -server http://127.0.0.1:8181 trace <job-or-trace-id>
 //	unifyctl -server http://127.0.0.1:8181 health
+//	unifyctl -server http://127.0.0.1:8181 domains
+//	unifyctl -server http://127.0.0.1:8181 drain <domain>
 //
 // submit -async returns a job ID immediately (the server answers 202 before
 // the multi-domain fan-out finishes); -wait long-polls the job to completion.
@@ -26,7 +28,10 @@
 // endpoint it prints n/a and exits 0, so scripted probes keep working across
 // versions. trace renders the recorded span tree of a job: admission wait,
 // map/commit cycles, per-child deploys and southbound flushes, with
-// durations.
+// durations. domains renders the fleet controller's per-domain lifecycle
+// table; drain evicts one domain and blocks until its services are re-embedded
+// onto the survivors (run drain without -timeout pressure: it implies real
+// installs).
 package main
 
 import (
@@ -313,8 +318,48 @@ func main() {
 		}
 		fmt.Printf("%s layer=%s go=%s uptime=%.1fs shards=%d domains=%d queue-depth=%d\n",
 			h.Status, h.Layer, h.GoVersion, h.UptimeSeconds, h.Shards, h.Domains, h.QueueDepth)
+		if f := h.Fleet; f != nil {
+			fmt.Printf("fleet: domains=%d active=%d degraded=%d evicting=%d detached=%d evictions=%d rehomed=%d\n",
+				f.Domains, f.Active, f.Degraded, f.Evicting, f.Detached, f.Evictions, f.ServicesRehomed)
+		}
 		if h.Status != "ok" {
 			os.Exit(1)
+		}
+	case "domains":
+		info, err := cli.FleetStatus(ctx)
+		if errors.Is(err, unify.ErrUnknownService) {
+			// The server runs without a fleet controller (leaf, or -fleet=false).
+			fmt.Println("fleet: n/a")
+			return
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("layer %s: domains=%d active=%d degraded=%d evicting=%d detached=%d probes=%d failures=%d evictions=%d drains=%d rehomed=%d rehome-failures=%d\n",
+			info.Layer, info.Stats.Domains, info.Stats.Active, info.Stats.Degraded,
+			info.Stats.Evicting, info.Stats.Detached, info.Stats.Probes, info.Stats.ProbeFailures,
+			info.Stats.Evictions, info.Stats.Drains, info.Stats.ServicesRehomed, info.Stats.RehomeFailures)
+		for _, d := range info.Domains {
+			fmt.Printf("  %-14s %-10s shard=%-14s fails=%-3d probes=%-6d rehomed=%-4d since=%s",
+				d.Domain, d.State, d.Shard, d.ConsecutiveFailures, d.Probes, d.ServicesRehomed,
+				d.Since.Format(time.RFC3339))
+			if d.LastError != "" {
+				fmt.Printf(" last-error=%q", d.LastError)
+			}
+			fmt.Println()
+		}
+	case "drain":
+		if flag.NArg() < 2 {
+			log.Fatal("drain needs a domain name")
+		}
+		result, err := cli.Drain(ctx, flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("drained %s (shard %s): displaced=%d rehomed=%d\n",
+			result.Domain, result.Shard, len(result.Displaced), result.Rehomed)
+		for _, id := range result.Displaced {
+			fmt.Printf("  %s\n", id)
 		}
 	default:
 		log.Fatalf("unknown command %q", cmd)

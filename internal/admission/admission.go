@@ -266,6 +266,12 @@ type Stats struct {
 	// Resumed counts jobs recovered from the journal at startup: requeued
 	// ones re-dispatched plus reconciled ones finished directly (see Resume).
 	Resumed uint64 `json:"resumed"`
+	// PausedShards is the number of shard lanes currently paused (see
+	// PauseShards — the fleet controller pauses an evicting domain's lane);
+	// queued jobs targeting them stay queued. Reestimated counts queued jobs
+	// whose shard estimate was refreshed after a pause lifted.
+	PausedShards int    `json:"paused_shards"`
+	Reestimated  uint64 `json:"reestimated"`
 	// JournalErrors counts failed job-WAL appends (durability degraded; the
 	// queue keeps serving).
 	JournalErrors uint64 `json:"journal_errors"`
@@ -364,6 +370,11 @@ type Queue struct {
 	depth    int
 	finished []*job // terminal jobs in completion order (retention ring)
 	stats    Stats
+	// paused marks shard lanes whose queued jobs must not dispatch (an
+	// evicting domain, see PauseShards). Jobs stay in their tenant queues —
+	// the scheduler skips them in place — so a resume restores the original
+	// fairness order with no requeue churn.
+	paused map[string]bool
 }
 
 // tenantQueue is one tenant's admission sub-queue: a FIFO per priority class
@@ -479,6 +490,59 @@ func (tq *tenantQueue) head() *job {
 		}
 		if h == nil || tq.classes[c][0].seq < h.seq {
 			h = tq.classes[c][0]
+		}
+	}
+	return h
+}
+
+// popEligible is pop restricted to jobs the eligible predicate accepts,
+// leaving ineligible jobs queued in place (used while shard lanes are
+// paused). Within a class the first eligible job is still the oldest and
+// most-aged eligible one, so only that candidate per class needs comparing.
+func (tq *tenantQueue) popEligible(now time.Time, ageAfter time.Duration, eligible func(*job) bool) *job {
+	bestClass, bestIdx, bestRank := -1, -1, -1
+	var bestSub time.Time
+	for c := unify.NumPriorities - 1; c >= 0; c-- {
+		for i, j := range tq.classes[c] {
+			if !eligible(j) {
+				continue
+			}
+			r := effectiveRank(j, now, ageAfter)
+			if r > bestRank || (r == bestRank && j.snap.Submitted.Before(bestSub)) {
+				bestRank, bestClass, bestIdx, bestSub = r, c, i, j.snap.Submitted
+			}
+			break
+		}
+	}
+	if bestClass < 0 {
+		return nil
+	}
+	cls := tq.classes[bestClass]
+	j := cls[bestIdx]
+	copy(cls[bestIdx:], cls[bestIdx+1:])
+	cls[len(cls)-1] = nil
+	tq.classes[bestClass] = cls[:len(cls)-1]
+	tq.depth--
+	if bestRank > bestClass {
+		tq.stats.Aged++
+	}
+	return j
+}
+
+// headEligible is head restricted to eligible jobs (FIFO baseline under a
+// pause). Per class the first eligible job has the smallest sequence number
+// among that class's eligible jobs, so one candidate per class suffices.
+func (tq *tenantQueue) headEligible(eligible func(*job) bool) *job {
+	var h *job
+	for c := range tq.classes {
+		for _, j := range tq.classes[c] {
+			if !eligible(j) {
+				continue
+			}
+			if h == nil || j.seq < h.seq {
+				h = j
+			}
+			break
 		}
 	}
 	return h
@@ -1070,6 +1134,82 @@ func (q *Queue) take() []*job {
 	return batch
 }
 
+// eligibleLocked reports whether a queued job may dispatch under the current
+// pause set: jobs whose estimated shard set intersects a paused lane stay
+// queued, and so do global jobs (nil set — they may touch any shard).
+// Callers hold q.mu.
+func (q *Queue) eligibleLocked(j *job) bool {
+	if len(q.paused) == 0 {
+		return true
+	}
+	if len(j.shards) == 0 {
+		return false
+	}
+	for _, k := range j.shards {
+		if q.paused[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// PauseShards stops dispatching queued jobs whose estimated shard set
+// intersects keys; global jobs (whose set could not be narrowed) pause too.
+// Jobs already dispatched are unaffected; paused jobs keep their queue
+// positions and remain cancelable. Idempotent. The fleet controller pauses an
+// evicting domain's lane for the duration of the failover re-embedding.
+func (q *Queue) PauseShards(keys []string) {
+	q.mu.Lock()
+	if q.paused == nil {
+		q.paused = map[string]bool{}
+	}
+	for _, k := range keys {
+		q.paused[k] = true
+	}
+	q.stats.PausedShards = len(q.paused)
+	q.mu.Unlock()
+}
+
+// ResumeShards lifts the pause on keys and wakes the dispatcher. Queued jobs
+// whose shard estimate was made against the pre-pause fleet (it intersected a
+// resumed key, or could not be narrowed) are re-estimated, so they dispatch
+// against the post-failover shard layout instead of a dead lane.
+func (q *Queue) ResumeShards(keys []string) {
+	resumed := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		resumed[k] = true
+	}
+	q.mu.Lock()
+	for _, k := range keys {
+		delete(q.paused, k)
+	}
+	q.stats.PausedShards = len(q.paused)
+	if q.sharder != nil {
+		for _, tq := range q.tenants {
+			for c := range tq.classes {
+				for _, j := range tq.classes[c] {
+					stale := len(j.shards) == 0
+					for _, k := range j.shards {
+						if resumed[k] {
+							stale = true
+							break
+						}
+					}
+					if stale {
+						j.shards = q.sharder.ShardSet(j.req)
+						q.stats.Reestimated++
+					}
+				}
+			}
+		}
+	}
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
 // atCapLocked reports whether a tenant has exhausted its in-flight budget,
 // counting jobs already drawn into the current (not yet dispatched) batch.
 func (q *Queue) atCapLocked(tq *tenantQueue, popped map[*tenantQueue]int) bool {
@@ -1102,7 +1242,11 @@ func (q *Queue) popLocked(max int) []*job {
 			var bestJob *job
 			for _, name := range q.order {
 				tq := q.tenants[name]
-				if h := tq.head(); h != nil && (bestJob == nil || h.seq < bestJob.seq) {
+				h := tq.head()
+				if len(q.paused) > 0 {
+					h = tq.headEligible(q.eligibleLocked)
+				}
+				if h != nil && (bestJob == nil || h.seq < bestJob.seq) {
 					best, bestJob = tq, h
 				}
 			}
@@ -1137,7 +1281,12 @@ func (q *Queue) popLocked(max int) []*job {
 				tq.deficit = limit
 			}
 			for tq.deficit > 0 && tq.depth > 0 && len(batch) < max && !q.atCapLocked(tq, popped) {
-				j := tq.pop(now, q.opts.AgeAfter)
+				var j *job
+				if len(q.paused) == 0 {
+					j = tq.pop(now, q.opts.AgeAfter)
+				} else if j = tq.popEligible(now, q.opts.AgeAfter, q.eligibleLocked); j == nil {
+					break // only paused jobs left in this tenant's queue
+				}
 				tq.deficit--
 				q.depth--
 				popped[tq]++

@@ -59,6 +59,7 @@ import (
 	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/fleet"
 	"github.com/unify-repro/escape/internal/journal"
 	"github.com/unify-repro/escape/internal/nffg"
 	"github.com/unify-repro/escape/internal/obs"
@@ -101,6 +102,11 @@ type Server struct {
 	journal *journal.Store
 	recover *journal.Info
 
+	// fleet exposes the domain lifecycle controller (WithFleet): member
+	// status and operator drains join the API, fleet counters join /metrics
+	// and /unify/healthz.
+	fleet *fleet.Controller
+
 	// encodeFailures counts responses whose JSON encoding failed mid-write
 	// (client gone, or an unencodable payload — the latter is a bug).
 	encodeFailures atomic.Uint64
@@ -142,6 +148,15 @@ func (s *Server) WithRecovery(info *journal.Info) *Server {
 	return s
 }
 
+// WithFleet exposes the domain fleet controller: GET /unify/fleet (member
+// states) and POST /unify/fleet/{domain}/drain (operator eviction +
+// failover). Call before Listen; the caller keeps ownership of the
+// controller's lifecycle (Stop it before shutting the server down).
+func (s *Server) WithFleet(fc *fleet.Controller) *Server {
+	s.fleet = fc
+	return s
+}
+
 // Listen binds to addr ("127.0.0.1:0" for ephemeral) and serves in the
 // background, returning the bound address.
 func (s *Server) Listen(addr string) (string, error) {
@@ -164,6 +179,10 @@ func (s *Server) Listen(addr string) (string, error) {
 		mux.HandleFunc("DELETE /unify/jobs/{id}", s.handleJobCancel)
 		mux.HandleFunc("GET /unify/stats/admission", s.handleAdmissionStats)
 		mux.HandleFunc("GET /unify/trace/{id}", s.handleTrace)
+	}
+	if s.fleet != nil {
+		mux.HandleFunc("GET /unify/fleet", s.handleFleet)
+		mux.HandleFunc("POST /unify/fleet/{domain}/drain", s.handleDrain)
 	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -380,6 +399,14 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 func (s *Server) httpError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
+	// Checked before ErrRejected: an install that failed because a target
+	// domain is detached/evicting names an infrastructure condition, and the
+	// caller's remedy (retry after the fleet heals) differs from a rejected
+	// request's (fix the request).
+	case errors.Is(err, unify.ErrDomainUnavailable):
+		status = http.StatusLocked
+	case errors.Is(err, domain.ErrUnknown):
+		status = http.StatusNotFound
 	case errors.Is(err, unify.ErrRejected):
 		status = http.StatusConflict
 	case errors.Is(err, unify.ErrUnknownService), errors.Is(err, admission.ErrUnknownJob):
@@ -791,6 +818,8 @@ func remoteError(resp *http.Response) error {
 	switch resp.StatusCode {
 	case http.StatusConflict:
 		return fmt.Errorf("%w: %s", unify.ErrRejected, msg)
+	case http.StatusLocked:
+		return fmt.Errorf("%w: %s", unify.ErrDomainUnavailable, msg)
 	case http.StatusNotFound:
 		return fmt.Errorf("%w: %s", unify.ErrUnknownService, msg)
 	case http.StatusServiceUnavailable:

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/fleet"
 	"github.com/unify-repro/escape/internal/journal"
 	"github.com/unify-repro/escape/internal/obs"
 )
@@ -43,6 +44,9 @@ type Health struct {
 	// startup (absent when the process runs without a data dir, or came up
 	// from an empty one).
 	Recovery *journal.Info `json:"recovery,omitempty"`
+	// Fleet summarizes the domain lifecycle controller's state gauges and
+	// failover counters (absent when the process runs without one).
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
 }
 
 // serverInfo backs the unify_server collector.
@@ -91,6 +95,9 @@ func (s *Server) MetricCollectors() []obs.Collector {
 			stages[k] = v
 		}
 	}
+	if s.fleet != nil {
+		cs = append(cs, obs.Collector{Name: "unify_fleet", Labels: labels, Value: s.fleet.Stats()})
+	}
 	if len(stages) > 0 {
 		cs = append(cs, obs.Collector{Name: "unify_stage", Labels: labels, Value: stages})
 	}
@@ -118,6 +125,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		h.QueueDepth = s.adm.Stats().Depth
 	}
 	h.Recovery = s.recover
+	if s.fleet != nil {
+		fs := s.fleet.Stats()
+		h.Fleet = &fs
+	}
 	s.writeJSON(w, http.StatusOK, h)
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/fleet"
 	"github.com/unify-repro/escape/internal/obs"
 	"github.com/unify-repro/escape/internal/unify"
 )
@@ -20,14 +21,19 @@ import (
 func startObsServer(t *testing.T) (*core.ResourceOrchestrator, *admission.Queue, *Server, *Client) {
 	t.Helper()
 	ro := core.NewResourceOrchestrator(core.Config{ID: "mdo"})
-	for _, id := range []string{"d0", "d1"} {
-		if err := ro.Attach(context.Background(), leaf(t, id)); err != nil {
-			t.Fatal(err)
-		}
-	}
 	q := admission.New(ro, admission.Options{Window: time.Millisecond, Tracer: obs.NewTracer(0)})
 	t.Cleanup(q.Close)
-	srv := NewServer(ro, nil).WithAdmission(q)
+	// A fleet controller adopts the attached leaves so unify_fleet joins the
+	// exposition the completeness test walks (the probe loop stays off).
+	fc := fleet.New(fleet.Config{Orchestrator: ro, Admission: q})
+	for _, id := range []string{"d0", "d1"} {
+		lo := leaf(t, id)
+		if err := ro.Attach(context.Background(), lo); err != nil {
+			t.Fatal(err)
+		}
+		fc.Adopt(lo)
+	}
+	srv := NewServer(ro, nil).WithAdmission(q).WithFleet(fc)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

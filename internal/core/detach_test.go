@@ -1,0 +1,326 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/nffg"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+// checkDetachInvariants asserts the exact post-detach bookkeeping contract:
+// the directory, ownership map, reverse index, reservations, and service
+// table all agree with each other and contain nothing from dropped shards.
+func checkDetachInvariants(t *testing.T, ro *ResourceOrchestrator) {
+	t.Helper()
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+
+	live := map[string]bool{}
+	for _, key := range ro.dir.keys {
+		live[key] = true
+		sh := ro.dir.shards[key]
+		sh.mu.Lock()
+		gen, commits := sh.gen, sh.commits
+		sh.mu.Unlock()
+		if gen != commits {
+			t.Errorf("shard %s: gen %d != commits %d", key, gen, commits)
+		}
+	}
+	if len(ro.dir.shards) != len(ro.dir.keys) {
+		t.Errorf("directory: %d shards vs %d keys", len(ro.dir.shards), len(ro.dir.keys))
+	}
+	for child, key := range ro.dir.childShard {
+		if !live[key] {
+			t.Errorf("childShard[%s] -> dropped shard %s", child, key)
+		}
+	}
+	for key := range ro.contrib {
+		if !live[key] {
+			t.Errorf("contrib holds dropped shard %s", key)
+		}
+	}
+	for node, keys := range ro.index {
+		for _, key := range keys {
+			if !live[key] {
+				t.Errorf("index[%s] references dropped shard %s", node, key)
+			}
+		}
+	}
+	for inf, child := range ro.owner {
+		if _, ok := ro.dir.childShard[child]; !ok {
+			t.Errorf("owner[%s] -> detached child %s", inf, child)
+		}
+	}
+	for node := range ro.departed {
+		if len(ro.index[node]) != 0 {
+			t.Errorf("departed node %s still indexed", node)
+		}
+	}
+	// Reservations must belong to live services, and vice versa: a displaced
+	// service leaves no NF/hop identifier behind.
+	for nf, svc := range ro.nfOwner {
+		if _, ok := ro.services[svc]; !ok {
+			t.Errorf("nfOwner[%s] -> unknown service %s", nf, svc)
+		}
+	}
+	for hop, svc := range ro.hopOwner {
+		if _, ok := ro.services[svc]; !ok {
+			t.Errorf("hopOwner[%s] -> unknown service %s", hop, svc)
+		}
+	}
+	for id, rec := range ro.services {
+		for _, key := range rec.shards {
+			if !live[key] {
+				t.Errorf("service %s touches dropped shard %s", id, key)
+			}
+		}
+	}
+}
+
+func TestDetachUnwindsEverything(t *testing.T) {
+	ro, _ := lineRO(t, 3, 0, nil)
+
+	// One service pinned on the victim, one on a survivor.
+	victimReq := chainReq(t, "on-d1", "b0", "b1", "fw")
+	victimReq.NFs["on-d1-nf"].Host = "bisbis@d1"
+	if _, err := ro.Install(context.Background(), victimReq); err != nil {
+		t.Fatal(err)
+	}
+	survivorReq := chainReq(t, "on-d0", "sap1", "b0", "dpi")
+	survivorReq.NFs["on-d0-nf"].Host = "bisbis@d0"
+	if _, err := ro.Install(context.Background(), survivorReq); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := ro.Detach(context.Background(), "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Child != "d1" || report.Shard != "d1" {
+		t.Fatalf("report: %+v", report)
+	}
+	if len(report.Displaced) != 1 || report.Displaced[0].ServiceID != "on-d1" {
+		t.Fatalf("displaced: %+v", report.Displaced)
+	}
+	if report.Displaced[0].Request == nil {
+		t.Fatal("displaced service lost its request graph")
+	}
+
+	checkDetachInvariants(t, ro)
+	ro.mu.Lock()
+	if _, ok := ro.services["on-d1"]; ok {
+		t.Error("displaced service still in table")
+	}
+	if _, ok := ro.services["on-d0"]; !ok {
+		t.Error("survivor service dropped")
+	}
+	if ro.departed["bisbis@d1"] != "d1" {
+		t.Errorf("departed tombstone: %v", ro.departed)
+	}
+	ro.mu.Unlock()
+
+	// The DoV no longer contains the victim's node; reads stay consistent.
+	dov := mustDoV(t, ro)
+	if _, ok := dov.Infras["bisbis@d1"]; ok {
+		t.Error("detached infra still in DoV")
+	}
+	if err := dov.Validate(); err != nil {
+		t.Fatalf("post-detach DoV: %v", err)
+	}
+
+	// A request pinned to the departed node fails typed, not opaque.
+	dead := chainReq(t, "late", "sap1", "b0", "fw")
+	dead.NFs["late-nf"].Host = "bisbis@d1"
+	if _, err := ro.Install(context.Background(), dead); !errors.Is(err, unify.ErrDomainUnavailable) {
+		t.Fatalf("install on departed node: %v", err)
+	}
+
+	// Double detach: unknown.
+	if _, err := ro.Detach(context.Background(), "d1"); !errors.Is(err, domain.ErrUnknown) {
+		t.Fatalf("double detach: %v", err)
+	}
+}
+
+func TestDetachRequiresPerDomainShard(t *testing.T) {
+	ro := NewResourceOrchestrator(Config{ID: "ro", ShardKey: SingleShard})
+	for _, name := range []string{"a", "b"} {
+		lo := leafDomain(t, name, nffg.ID("sap-"+name), nffg.ID("border-"+name), &recordingProgrammer{})
+		if err := ro.Attach(context.Background(), lo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ro.Detach(context.Background(), "a"); err == nil {
+		t.Fatal("shared-shard detach must be refused")
+	}
+}
+
+func TestDetachReattachCycle(t *testing.T) {
+	ro, _ := lineRO(t, 3, 0, nil)
+
+	ro.mu.Lock()
+	genBefore := ro.dir.shards["d2"].gen
+	ro.mu.Unlock()
+
+	if _, err := ro.Detach(context.Background(), "d2"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-attach a fresh leaf under the same name: the tombstones clear and
+	// the shard's generation resumes past the detached one (the journal
+	// replay contract — per-shard records stay gen-monotone forever).
+	lo := leafDomain(t, "d2", "b1", "sap2", &recordingProgrammer{})
+	if err := ro.Attach(context.Background(), lo); err != nil {
+		t.Fatal(err)
+	}
+	ro.mu.Lock()
+	if len(ro.departed) != 0 {
+		t.Errorf("tombstones survived re-attach: %v", ro.departed)
+	}
+	genAfter := ro.dir.shards["d2"].gen
+	ro.mu.Unlock()
+	if genAfter <= genBefore {
+		t.Fatalf("shard generation regressed across detach/attach: %d -> %d", genBefore, genAfter)
+	}
+	checkDetachInvariants(t, ro)
+
+	req := chainReq(t, "back", "b1", "sap2", "fw")
+	req.NFs["back-nf"].Host = "bisbis@d2"
+	if _, err := ro.Install(context.Background(), req); err != nil {
+		t.Fatalf("install after re-attach: %v", err)
+	}
+}
+
+// TestDetachStorm races runtime Detach/Attach cycles of one domain against
+// concurrent installs, removals, and DoV reads across the fleet. Run under
+// -race. Asserts: readers never see a torn cut (every DoV merge succeeds and
+// validates), installs fail only with the sanctioned errors, and after the
+// storm the reverse index, reservation tables, and service table are exactly
+// consistent (checkDetachInvariants).
+func TestDetachStorm(t *testing.T) {
+	ro, _ := lineRO(t, 4, 0, nil)
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var torn atomic.Int32
+	var badErr atomic.Pointer[string]
+
+	// Readers: the DoV must always merge and validate — stale is fine, torn
+	// is not.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				dov, err := ro.DoV()
+				if err != nil {
+					torn.Add(1)
+					return
+				}
+				if err := dov.Validate(); err != nil {
+					torn.Add(1)
+					return
+				}
+			}
+		}()
+	}
+
+	sanctioned := func(err error) bool {
+		return err == nil ||
+			errors.Is(err, unify.ErrDomainUnavailable) ||
+			errors.Is(err, unify.ErrBusy) ||
+			errors.Is(err, unify.ErrRejected) ||
+			errors.Is(err, unify.ErrUnknownService)
+	}
+
+	// Writers: half the installs target the flapping domain d3, half the
+	// stable d0; each goroutine churns install/remove so reservations and
+	// releases race the membership changes.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("storm-%d-%d", w, i)
+				var req *nffg.NFFG
+				if i%2 == 0 {
+					req = chainReq(t, id, "b2", "sap2", "fw")
+					req.NFs[nffg.ID(id+"-nf")].Host = "bisbis@d3"
+				} else {
+					req = chainReq(t, id, "sap1", "b0", "fw")
+					req.NFs[nffg.ID(id+"-nf")].Host = "bisbis@d0"
+				}
+				_, err := ro.Install(ctx, req)
+				if !sanctioned(err) {
+					s := err.Error()
+					badErr.Store(&s)
+					return
+				}
+				if err == nil {
+					if rerr := ro.Remove(ctx, id); !sanctioned(rerr) {
+						s := rerr.Error()
+						badErr.Store(&s)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// The flapper: detach d3, re-attach a fresh leaf under the same name.
+	deadline := time.After(2 * time.Second)
+	cycles := 0
+flap:
+	for {
+		select {
+		case <-deadline:
+			break flap
+		default:
+		}
+		if _, err := ro.Detach(ctx, "d3"); err != nil && !errors.Is(err, unify.ErrBusy) {
+			t.Fatalf("detach cycle %d: %v", cycles, err)
+		}
+		lo := leafDomain(t, "d3", "b2", "sap2", &recordingProgrammer{})
+		if err := ro.Attach(ctx, lo); err != nil {
+			t.Fatalf("re-attach cycle %d: %v", cycles, err)
+		}
+		cycles++
+	}
+	close(stop)
+	wg.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatal("reader observed a torn or invalid DoV cut")
+	}
+	if s := badErr.Load(); s != nil {
+		t.Fatalf("writer got unsanctioned error: %s", *s)
+	}
+	if cycles == 0 {
+		t.Fatal("storm completed no detach/attach cycles")
+	}
+	t.Logf("storm: %d detach/attach cycles", cycles)
+
+	// Drain whatever the writers left installed, then demand exact cleanup.
+	for _, id := range ro.Services() {
+		if err := ro.Remove(ctx, id); err != nil && !errors.Is(err, unify.ErrUnknownService) {
+			t.Fatalf("drain %s: %v", id, err)
+		}
+	}
+	checkDetachInvariants(t, ro)
+}

@@ -83,6 +83,25 @@ type ResourceOrchestrator struct {
 	// attach time only (commit never changes membership; see readcache.go).
 	contrib map[string]shardContrib
 	index   map[nffg.ID][]string
+	// departed tombstones nodes whose owning child was detached at runtime
+	// (node -> former child ID), so installs referencing them get a typed
+	// ErrDomainUnavailable instead of an opaque global-plan rejection. A
+	// re-attach contributing the node clears its tombstone. Guarded by mu.
+	departed map[nffg.ID]string
+	// lastGen remembers the final generation of every shard a Detach dropped,
+	// so a re-attach of the same key resumes counting instead of restarting
+	// at zero — per-shard journal records must stay gen-monotone across
+	// detach/attach cycles (see internal/journal replay). Guarded by mu.
+	lastGen map[string]uint64
+
+	// gate, when set (see SetDomainGate), vets child availability on the
+	// install intake and deploy fan-out paths: the fleet controller installs
+	// one so requests targeting a non-ACTIVE domain fail fast and typed.
+	gate atomic.Pointer[DomainGate]
+
+	// Attach view-fetch bounds (see Config.ViewTimeout / ViewRetries).
+	viewTimeout time.Duration
+	viewRetries int
 
 	// epoch counts committed DoV changes (attach merges, install commits,
 	// releases) across all shards — the logical generation northbound.
@@ -208,6 +227,12 @@ type Config struct {
 	// already happened; it is logged and counted in
 	// PipelineStats.JournalErrors instead.
 	Journal Journal
+	// ViewTimeout bounds each child view fetch inside Attach/Reattach, so a
+	// hung child cannot stall attach indefinitely; ViewRetries is the number
+	// of additional fetch attempts after a failure. Zero values leave the
+	// caller's context in charge and fetch exactly once.
+	ViewTimeout time.Duration
+	ViewRetries int
 }
 
 // NewResourceOrchestrator creates an orchestrator with no children attached.
@@ -240,7 +265,67 @@ func NewResourceOrchestrator(cfg Config) *ResourceOrchestrator {
 		hopOwner:             map[string]string{},
 		contrib:              map[string]shardContrib{},
 		index:                map[nffg.ID][]string{},
+		departed:             map[nffg.ID]string{},
+		lastGen:              map[string]uint64{},
+		viewTimeout:          cfg.ViewTimeout,
+		viewRetries:          cfg.ViewRetries,
 	}
+}
+
+// DomainGate vets a child domain on the install paths: a non-nil return means
+// requests must not be sent its way right now. The returned error is wrapped
+// in unify.ErrDomainUnavailable before surfacing northbound.
+type DomainGate func(child string) error
+
+// SetDomainGate installs (or, with nil, removes) the availability gate
+// consulted by install intake and the deploy fan-out. Safe to call at any
+// time; in-flight operations observe the change at their next check.
+func (ro *ResourceOrchestrator) SetDomainGate(gate DomainGate) {
+	if gate == nil {
+		ro.gate.Store(nil)
+		return
+	}
+	ro.gate.Store(&gate)
+}
+
+// gateErr returns the typed unavailability error for a child, or nil when no
+// gate is installed or the gate passes.
+func (ro *ResourceOrchestrator) gateErr(child string) error {
+	g := ro.gate.Load()
+	if g == nil {
+		return nil
+	}
+	if err := (*g)(child); err != nil {
+		return fmt.Errorf("%w: child %s: %v", unify.ErrDomainUnavailable, child, err)
+	}
+	return nil
+}
+
+// fetchChildView fetches a child's exported view with the configured per-try
+// deadline and bounded retries, so Attach cannot hang on an unresponsive
+// child.
+func (ro *ResourceOrchestrator) fetchChildView(ctx context.Context, d domain.Domain) (*nffg.NFFG, error) {
+	attempts := ro.viewRetries + 1
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		vctx, cancel := ctx, context.CancelFunc(func() {})
+		if ro.viewTimeout > 0 {
+			vctx, cancel = context.WithTimeout(ctx, ro.viewTimeout)
+		}
+		view, err := d.View(vctx)
+		cancel()
+		if err == nil {
+			return view, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("view fetch failed after %d attempts: %w", attempts, lastErr)
 }
 
 // ID implements unify.Layer.
@@ -259,7 +344,7 @@ func (ro *ResourceOrchestrator) Attach(ctx context.Context, d domain.Domain) err
 	if err := ro.reg.Register(d); err != nil {
 		return err
 	}
-	view, err := d.View(ctx)
+	view, err := ro.fetchChildView(ctx, d)
 	if err != nil {
 		_ = ro.reg.Deregister(d.ID())
 		return fmt.Errorf("core: attach %s: %w", d.ID(), err)
@@ -287,6 +372,12 @@ func (ro *ResourceOrchestrator) Attach(ctx context.Context, d domain.Domain) err
 	sh, existed := dir.shards[key]
 	if !existed {
 		sh = &shard{key: key}
+		if last, ok := ro.lastGen[key]; ok {
+			// The key was detached before: resume its generation counter so
+			// the shard's journal records stay gen-monotone across the
+			// detach/attach cycle (replay relies on it).
+			sh.gen, sh.commits = last, last
+		}
 		dir.shards[key] = sh
 		dir.keys = append(dir.keys, key)
 		sort.Strings(dir.keys)
@@ -300,6 +391,16 @@ func (ro *ResourceOrchestrator) Attach(ctx context.Context, d domain.Domain) err
 	}
 	for _, infra := range qual.InfraIDs() {
 		owner[infra] = d.ID()
+	}
+	// A node contributed by a (re)attaching child is available again: clear
+	// any detach tombstone so installs stop failing typed on it.
+	if len(ro.departed) > 0 {
+		for _, infra := range qual.InfraIDs() {
+			delete(ro.departed, infra)
+		}
+		for sapID := range qual.SAPs {
+			delete(ro.departed, sapID)
+		}
 	}
 	ro.dir = dir
 	ro.owner = owner
@@ -399,6 +500,14 @@ func (ro *ResourceOrchestrator) Attach(ctx context.Context, d domain.Domain) err
 
 // Children lists attached child layer IDs.
 func (ro *ResourceOrchestrator) Children() []string { return ro.reg.Names() }
+
+// ShardOf returns the DoV shard key an attached child's view lives in.
+func (ro *ResourceOrchestrator) ShardOf(child string) (string, bool) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	key, ok := ro.dir.childShard[child]
+	return key, ok
+}
 
 // snapshotDir returns the current immutable (directory, owner) pair.
 func (ro *ResourceOrchestrator) snapshotDir() (*shardDirectory, map[nffg.ID]string) {
@@ -802,6 +911,10 @@ func (ro *ResourceOrchestrator) InstallBatch(ctx context.Context, reqs []*nffg.N
 			bc.out[i].Err = err
 			continue
 		}
+		if err := ro.checkDomainsLocked(req); err != nil {
+			bc.out[i].Err = err
+			continue
+		}
 		rec := &serviceRecord{state: statePending, children: map[string][]string{}}
 		for _, nf := range req.NFIDs() {
 			ro.nfOwner[nf] = req.ID
@@ -857,6 +970,57 @@ func (ro *ResourceOrchestrator) checkIdentifiersLocked(req *nffg.NFFG) error {
 	for _, h := range req.Hops {
 		if owner, taken := ro.hopOwner[h.ID]; taken {
 			return fmt.Errorf("%w: hop id %s already in use by service %s", unify.ErrRejected, h.ID, owner)
+		}
+	}
+	return nil
+}
+
+// checkDomainsLocked rejects a request whose referenced nodes (SAP endpoints
+// and NF host pins) are only served by unavailable child domains: detached
+// ones (tombstoned in departed) or ones the fleet gate vetoes. A node with at
+// least one available owner passes — shared border SAPs survive the loss of
+// one exporter. Unknown nodes pass through to the global plan, which rejects
+// them on their merits. Callers hold ro.mu.
+func (ro *ResourceOrchestrator) checkDomainsLocked(req *nffg.NFFG) error {
+	gate := ro.gate.Load()
+	if gate == nil && len(ro.departed) == 0 {
+		return nil
+	}
+	check := func(node nffg.ID) error {
+		keys := ro.index[node]
+		if len(keys) == 0 {
+			if child, gone := ro.departed[node]; gone {
+				return fmt.Errorf("%w: node %s belonged to detached domain %s", unify.ErrDomainUnavailable, node, child)
+			}
+			return nil
+		}
+		if gate == nil {
+			return nil
+		}
+		var firstErr error
+		for _, k := range keys {
+			for _, child := range ro.dir.domains[k] {
+				err := (*gate)(child)
+				if err == nil {
+					return nil
+				}
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: node %s: child %s: %v", unify.ErrDomainUnavailable, node, child, err)
+				}
+			}
+		}
+		return firstErr
+	}
+	for sapID := range req.SAPs {
+		if err := check(sapID); err != nil {
+			return err
+		}
+	}
+	for _, id := range req.NFIDs() {
+		if host := req.NFs[id].Host; host != "" {
+			if err := check(host); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -1317,8 +1481,16 @@ func (ro *ResourceOrchestrator) deployChildren(ctx context.Context, children []s
 			defer wg.Done()
 			span, sctx := obs.StartSpan(cctx, "deploy.child", "child", childID)
 			d, err := ro.reg.Get(childID)
-			if err == nil {
-				receipts[i], err = d.Install(sctx, subs[childID])
+			switch {
+			case errors.Is(err, domain.ErrUnknown):
+				// The child detached between commit and fan-out.
+				err = fmt.Errorf("%w: child %s is not attached", unify.ErrDomainUnavailable, childID)
+			case err == nil:
+				if gerr := ro.gateErr(childID); gerr != nil {
+					err = gerr
+				} else {
+					receipts[i], err = d.Install(sctx, subs[childID])
+				}
 			}
 			span.EndWith(err)
 			if err != nil {
@@ -1369,6 +1541,11 @@ func pickRootCause(children []string, errs []error) error {
 		}
 		if first == nil {
 			first = fmt.Errorf("core: child %s canceled: %w", children[i], err)
+		}
+		if errors.Is(err, unify.ErrDomainUnavailable) {
+			// Keep the typed identity: the caller (and the northbound jobs
+			// API) distinguishes an unavailable domain from a rejection.
+			return err
 		}
 		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("%w: child %s rejected: %v", unify.ErrRejected, children[i], err)
@@ -1449,7 +1626,12 @@ func (ro *ResourceOrchestrator) Remove(ctx context.Context, serviceID string) er
 			defer wg.Done()
 			d, err := ro.reg.Get(childID)
 			if err != nil {
-				errs[i] = err
+				// A child missing from the registry was detached at runtime:
+				// its sub-services died with the domain, so teardown there is
+				// already done and the DoV release below must still run.
+				if !errors.Is(err, domain.ErrUnknown) {
+					errs[i] = err
+				}
 				return
 			}
 			for _, subID := range rec.children[childID] {

@@ -30,6 +30,7 @@ type Journal interface {
 	LogCommit(shard string, gen, epoch uint64, svcs []journal.ServiceCommit) error
 	LogRelease(shard string, gen, epoch uint64, serviceIDs []string) error
 	LogDeployed(shard string, epoch uint64, rec journal.DeployedRecord) error
+	LogDetach(shard string, gen, epoch uint64, child string, drop bool, serviceIDs []string) error
 }
 
 // journalCommitLocked appends one commit record to every touched shard's log
@@ -152,6 +153,13 @@ func (ro *ResourceOrchestrator) Restore(state *journal.RecoveredState) error {
 	ro.dir = dir
 	ro.owner = owner
 	ro.epoch.Store(state.Epoch)
+	for key, gen := range state.Detached {
+		// Keep dropped shards' generation floors so a post-restart re-attach
+		// of the same key stays gen-monotone in its journal log.
+		if ro.lastGen[key] < gen {
+			ro.lastGen[key] = gen
+		}
+	}
 
 	// Rebuild the reverse shard index from the recovered graphs, exactly as
 	// attach-time registration would have.
@@ -198,7 +206,7 @@ func (ro *ResourceOrchestrator) Reattach(ctx context.Context, d domain.Domain) e
 	if err := ro.reg.Register(d); err != nil {
 		return err
 	}
-	view, err := d.View(ctx)
+	view, err := ro.fetchChildView(ctx, d)
 	if err != nil {
 		_ = ro.reg.Deregister(d.ID())
 		return fmt.Errorf("core: reattach %s: %w", d.ID(), err)

@@ -244,6 +244,20 @@ func (s *Store) LogRelease(shard string, gen, epoch uint64, serviceIDs []string)
 	})
 }
 
+// LogDetach journals a child's runtime departure. Called with the shard's
+// lock held after the final generation bump, so the record orders after
+// every commit the shard ever served.
+func (s *Store) LogDetach(shard string, gen, epoch uint64, child string, drop bool, serviceIDs []string) error {
+	sl, err := s.shardLogFor(shard)
+	if err != nil {
+		return err
+	}
+	return s.appendRecord(sl, Record{
+		Kind: KindDetach, Shard: shard, Gen: gen, Epoch: epoch,
+		Detach: &DetachRecord{Child: child, Drop: drop, ServiceIDs: serviceIDs},
+	})
+}
+
 // LogDeployed journals a service's final metadata on its home shard. Epoch
 // orders the record after the service's commit during replay; there is no
 // generation bump.

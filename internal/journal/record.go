@@ -49,6 +49,10 @@ const (
 	// KindDeployed: metadata-only home-shard record — southbound fan-out for
 	// a service finished and its receipt/children are final. No gen bump.
 	KindDeployed Kind = "deployed"
+	// KindDetach: a child domain was detached at runtime. With Drop set the
+	// shard itself was removed from the directory, so replay discards the
+	// shard and every service the record lists as displaced.
+	KindDetach Kind = "detach"
 	// KindJob / KindJobDone: admission queue WAL — a job was admitted /
 	// reached a terminal state.
 	KindJob     Kind = "job"
@@ -69,6 +73,7 @@ type Record struct {
 	Commit   *CommitRecord   `json:"commit,omitempty"`
 	Release  *ReleaseRecord  `json:"release,omitempty"`
 	Deployed *DeployedRecord `json:"deployed,omitempty"`
+	Detach   *DetachRecord   `json:"detach,omitempty"`
 	Job      *JobRecord      `json:"job,omitempty"`
 }
 
@@ -98,6 +103,17 @@ type CommitRecord struct {
 // ReleaseRecord lists the services whose resources this shard released.
 type ReleaseRecord struct {
 	ServiceIDs []string `json:"service_ids"`
+}
+
+// DetachRecord marks a child's runtime departure from a shard. Drop means
+// the child was the shard's last contributor and the shard was removed from
+// the directory wholesale; ServiceIDs lists the displaced services whose
+// table entries replay must discard (their release records, if any, land on
+// surviving shards only).
+type DetachRecord struct {
+	Child      string   `json:"child"`
+	Drop       bool     `json:"drop"`
+	ServiceIDs []string `json:"service_ids,omitempty"`
 }
 
 // DeployedRecord finalizes a service's metadata after southbound fan-out.

@@ -28,11 +28,16 @@ type RecoveredState struct {
 	Services []ServiceCheckpoint
 	Jobs     []JobRecord
 	Epoch    uint64
+	// Detached maps shard keys that were dropped by a runtime detach (and not
+	// re-attached) to the final generation their log reached, so a later
+	// re-attach of the same key can keep generations monotone.
+	Detached map[string]uint64
 }
 
 // Empty reports whether the directory held no durable state at all.
 func (st *RecoveredState) Empty() bool {
-	return st == nil || (len(st.Shards) == 0 && len(st.Services) == 0 && len(st.Jobs) == 0)
+	return st == nil || (len(st.Shards) == 0 && len(st.Services) == 0 &&
+		len(st.Jobs) == 0 && len(st.Detached) == 0)
 }
 
 // Info summarizes a recovery pass for /unify/healthz and operators.
@@ -79,11 +84,12 @@ func Recover(dir string) (*RecoveredState, *Info, error) {
 	}
 
 	type shardReplay struct {
-		key    string
-		cpGen  uint64
-		gen    uint64
-		graph  *nffg.NFFG
-		childI map[string][]nffg.ID
+		key     string
+		cpGen   uint64
+		gen     uint64
+		graph   *nffg.NFFG
+		childI  map[string][]nffg.ID
+		dropped bool
 	}
 	shards := map[string]*shardReplay{}
 	services := map[string]*ServiceCheckpoint{}
@@ -169,7 +175,7 @@ func Recover(dir string) (*RecoveredState, *Info, error) {
 	// so a stable sort by epoch interleaves the logs into commit order and
 	// keeps multi-shard commits (which share an epoch) adjacent. Kinds break
 	// epoch ties so a deployed record lands after the commit it annotates.
-	kindRank := map[Kind]int{KindAttach: 0, KindCommit: 1, KindRelease: 2, KindDeployed: 3}
+	kindRank := map[Kind]int{KindAttach: 0, KindCommit: 1, KindRelease: 2, KindDeployed: 3, KindDetach: 4}
 	sort.SliceStable(events, func(i, j int) bool {
 		if events[i].rec.Epoch != events[j].rec.Epoch {
 			return events[i].rec.Epoch < events[j].rec.Epoch
@@ -233,6 +239,7 @@ func Recover(dir string) (*RecoveredState, *Info, error) {
 				sr.childI[rec.Attach.Child] = rec.Attach.View.InfraIDs()
 			}
 			sr.gen = rec.Gen
+			sr.dropped = false
 			info.RecordsReplayed++
 		case KindCommit:
 			if rec.Commit == nil {
@@ -299,6 +306,33 @@ func Recover(dir string) (*RecoveredState, *Info, error) {
 				sc.Deployed = true
 			}
 			info.RecordsReplayed++
+		case KindDetach:
+			if rec.Detach == nil {
+				break
+			}
+			if rec.Gen > sr.cpGen {
+				if rec.Detach.Drop {
+					// The shard left the directory wholesale. Forget the graph
+					// and reset the checkpoint floor so a later re-attach of
+					// the same key replays onto a fresh shard (generations stay
+					// monotone across detach/attach cycles, so its records sort
+					// after this one).
+					sr.graph = nil
+					sr.childI = map[string][]nffg.ID{}
+					sr.cpGen = 0
+					sr.dropped = true
+				} else {
+					delete(sr.childI, rec.Detach.Child)
+				}
+				sr.gen = rec.Gen
+				info.RecordsReplayed++
+			}
+			// Displaced services' table entries die with the detach. Their
+			// release records (written on surviving shards before the detach
+			// epoch) have already been applied by this point in the sort.
+			for _, id := range rec.Detach.ServiceIDs {
+				delete(services, id)
+			}
 		}
 		if rec.Epoch > st.Epoch {
 			st.Epoch = rec.Epoch
@@ -312,6 +346,13 @@ func Recover(dir string) (*RecoveredState, *Info, error) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		sr := shards[k]
+		if sr.dropped {
+			if st.Detached == nil {
+				st.Detached = map[string]uint64{}
+			}
+			st.Detached[k] = sr.gen
+			continue
+		}
 		if sr.graph == nil && len(sr.childI) == 0 && sr.gen == 0 {
 			continue
 		}

@@ -17,6 +17,7 @@ import (
 	"github.com/unify-repro/escape/internal/admission"
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain/emunet"
+	"github.com/unify-repro/escape/internal/fleet"
 	"github.com/unify-repro/escape/internal/journal"
 	"github.com/unify-repro/escape/internal/nffg"
 	"github.com/unify-repro/escape/internal/obs"
@@ -100,6 +101,14 @@ type JournalCounters struct {
 	journal.Stats
 }
 
+// FleetCounters is one fleet controller's lifecycle gauges plus the
+// per-domain state rows (see internal/fleet).
+type FleetCounters struct {
+	Layer string
+	fleet.Stats
+	Members []fleet.DomainStatus
+}
+
 // StageCounters is one layer's latency distribution for one pipeline stage
 // (admission wait, map, commit, end-to-end; power-of-two bucket histograms,
 // see internal/obs).
@@ -117,6 +126,7 @@ type Snapshot struct {
 	Orch      []OrchCounters
 	Admission []AdmissionCounters
 	Journal   []JournalCounters
+	Fleet     []FleetCounters
 	Stages    []StageCounters
 }
 
@@ -218,6 +228,21 @@ func (s JournalSource) Collect() (*Snapshot, error) {
 	return &Snapshot{Journal: []JournalCounters{{Dir: s.Store.Dir(), Stats: s.Store.Stats()}}}, nil
 }
 
+// FleetSource collects lifecycle state from a fleet controller.
+type FleetSource struct {
+	Layer string
+	Fleet *fleet.Controller
+}
+
+// Collect implements Source.
+func (s FleetSource) Collect() (*Snapshot, error) {
+	return &Snapshot{Fleet: []FleetCounters{{
+		Layer:   s.Layer,
+		Stats:   s.Fleet.Stats(),
+		Members: s.Fleet.Status(),
+	}}}, nil
+}
+
 // QueueSource collects gauges from an admission queue.
 type QueueSource struct {
 	Name  string
@@ -246,6 +271,7 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 		out.Orch = append(out.Orch, s.Orch...)
 		out.Admission = append(out.Admission, s.Admission...)
 		out.Journal = append(out.Journal, s.Journal...)
+		out.Fleet = append(out.Fleet, s.Fleet...)
 		out.Stages = append(out.Stages, s.Stages...)
 	}
 	sort.Slice(out.Ports, func(i, j int) bool {
@@ -264,6 +290,7 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 	sort.Slice(out.Orch, func(i, j int) bool { return out.Orch[i].Layer < out.Orch[j].Layer })
 	sort.Slice(out.Admission, func(i, j int) bool { return out.Admission[i].Queue < out.Admission[j].Queue })
 	sort.Slice(out.Journal, func(i, j int) bool { return out.Journal[i].Dir < out.Journal[j].Dir })
+	sort.Slice(out.Fleet, func(i, j int) bool { return out.Fleet[i].Layer < out.Fleet[j].Layer })
 	sort.Slice(out.Stages, func(i, j int) bool {
 		if out.Stages[i].Layer != out.Stages[j].Layer {
 			return out.Stages[i].Layer < out.Stages[j].Layer
@@ -445,6 +472,30 @@ func (s *Snapshot) Render(w io.Writer) {
 			fmt.Fprintf(w, "%-24s %9d %12d %7d %11d %8d %8d %8d %8d\n",
 				j.Dir, j.Appends, j.BytesWritten, j.Syncs, j.Checkpoints, j.Compactions,
 				j.AppendErrors, j.SyncErrors, j.CheckpointE)
+		}
+	}
+	// The domain fleet: lifecycle gauges, then one row per member — the
+	// operator's answer to "which domains are healthy and who absorbed the
+	// failovers".
+	if len(s.Fleet) > 0 {
+		fmt.Fprintf(w, "\n%-16s %7s %7s %9s %9s %9s %7s %9s %10s %8s %8s\n",
+			"FLEET", "ACTIVE", "DEGRAD", "EVICTING", "DETACHED", "PROBES", "FAILS", "EVICTIONS", "REHOMED", "REH-ERR", "DRAINS")
+		for _, f := range s.Fleet {
+			fmt.Fprintf(w, "%-16s %7d %7d %9d %9d %9d %7d %9d %10d %8d %8d\n",
+				f.Layer, f.Active, f.Degraded, f.Evicting, f.Detached, f.Probes,
+				f.ProbeFailures, f.Evictions, f.ServicesRehomed, f.RehomeFailures, f.Drains)
+		}
+		for _, f := range s.Fleet {
+			if len(f.Members) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "\n%-16s %-14s %-10s %-14s %6s %8s %8s %s\n",
+				"FLEET", "DOMAIN", "STATE", "SHARD", "FAILS", "PROBES", "REHOMED", "LAST-ERROR")
+			for _, m := range f.Members {
+				fmt.Fprintf(w, "%-16s %-14s %-10s %-14s %6d %8d %8d %s\n",
+					f.Layer, m.Domain, m.State, m.Shard, m.ConsecutiveFailures,
+					m.Probes, m.ServicesRehomed, m.LastError)
+			}
 		}
 	}
 	// Per-stage latency distributions: the p50/p95/p99 of every pipeline

@@ -26,6 +26,12 @@ var (
 	// ErrBusy is returned when state-changing operations collide with an
 	// in-flight reconfiguration.
 	ErrBusy = errors.New("unify: layer busy")
+	// ErrDomainUnavailable is returned when a request targets a child domain
+	// that is not ACTIVE in the fleet: it is detached, being evicted, or
+	// failing health probes. Unlike ErrRejected it names an infrastructure
+	// condition, not a property of the request — retrying after the fleet
+	// heals (or re-embedding elsewhere) can succeed.
+	ErrDomainUnavailable = errors.New("unify: domain unavailable")
 )
 
 // Layer is the Unify interface. Implementations must be safe for concurrent
