@@ -13,6 +13,13 @@
 //	        -child dom2=http://h2:8181 -listen :8080
 //	    Run a resource orchestrator over remote children.
 //
+//	escaped -replica-of http://writer:8080 -id replica1 -listen :8081
+//	    Run a stateless read replica: subscribe to the writer's watch stream
+//	    and serve View/services/capabilities/stats locally (byte-identical
+//	    views, identical ETags at equal generations). Writes are refused with
+//	    503 + a Location hint at the writer, or proxied with -proxy-writes.
+//	    N replicas behind one writer scale the read plane horizontally.
+//
 // The served API is documented in internal/api.
 package main
 
@@ -104,6 +111,10 @@ func main() {
 		evictAfter    = flag.Int("evict-after", 3, "fleet: consecutive failed probe rounds before a domain is evicted and its services re-embedded")
 		maxMigrations = flag.Int("max-migrations", 2, "fleet: concurrent re-embeddings during one eviction")
 
+		replicaOf   = flag.String("replica-of", "", "run as a stateless read replica of the writer at this URL (ignores -role); serves reads locally from the writer's watch stream")
+		proxyWrites = flag.Bool("proxy-writes", false, "replica: forward installs/removes to the writer instead of refusing them with 503 + Location")
+		watchWindow = flag.Duration("watch-window", 30*time.Second, "replica: long-poll window asked of the writer's watch stream")
+
 		dataDir   = flag.String("data-dir", "", "orchestrator: durable state directory — write-ahead journal + checkpoints; on restart the process recovers committed mappings and re-enqueues unfinished jobs")
 		ckptEvery = flag.Duration("checkpoint-interval", 10*time.Second, "journal: cadence of sealed-snapshot checkpoints (with -data-dir)")
 		jstrict   = flag.Bool("journal-strict", false, "journal: fsync every record instead of the periodic background sync (survives machine crashes, slower commits)")
@@ -114,6 +125,13 @@ func main() {
 	flag.Var(&tenantWeights, "tenant-weight", "admission: tenant DWRR weight as name=N (repeatable; unlisted tenants get -tenant-default-weight)")
 	flag.Parse()
 
+	if *replicaOf != "" {
+		if *id == "" {
+			*id = "replica"
+		}
+		runReplica(*id, *listen, *replicaOf, *proxyWrites, *watchWindow, *pprofFlag)
+		return
+	}
 	if *id == "" {
 		*id = *role
 	}
@@ -266,6 +284,41 @@ func main() {
 			log.Printf("close journal: %v", err)
 		}
 	}
+}
+
+// runReplica runs the read-replica role: dial the writer, start the sync
+// loop, and serve the replica layer until SIGINT/SIGTERM. The replica is
+// stateless — nothing to journal, no admission queue, no fleet — so its
+// shutdown is just listener drain then sync-loop stop.
+func runReplica(id, listen, writerURL string, proxyWrites bool, window time.Duration, pprofOn bool) {
+	cli, err := api.Dial(id+"-writer", writerURL)
+	if err != nil {
+		log.Fatalf("dial writer %s: %v", writerURL, err)
+	}
+	opts := []api.ReplicaOption{api.WithWatchWindow(window)}
+	if proxyWrites {
+		opts = append(opts, api.ProxyWrites())
+	}
+	rep := api.NewReplica(id, cli, opts...)
+	rep.Start(context.Background())
+	srv := api.NewServer(rep, nil).WithReplica(rep)
+	if pprofOn {
+		srv.WithPprof()
+	}
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("replica %q of %s serving reads on http://%s (proxy-writes=%v)", id, writerURL, addr, proxyWrites)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	_ = srv.Shutdown(ctx)
+	cancel()
+	rep.Stop()
 }
 
 // buildLayer constructs the serving layer; for orchestrators it also returns

@@ -15,6 +15,7 @@
 //	unifyctl -server http://127.0.0.1:8181 watch <job-id>
 //	unifyctl -server http://127.0.0.1:8181 cancel-job <job-id>
 //	unifyctl -server http://127.0.0.1:8181 stats
+//	unifyctl -server http://127.0.0.1:8181 watch-view [-format json]
 //	unifyctl -server http://127.0.0.1:8181 trace <job-or-trace-id>
 //	unifyctl -server http://127.0.0.1:8181 health
 //	unifyctl -server http://127.0.0.1:8181 domains
@@ -22,11 +23,17 @@
 //
 // submit -async returns a job ID immediately (the server answers 202 before
 // the multi-domain fan-out finishes); -wait long-polls the job to completion.
-// stats prints the layer's mapping-pipeline counters (with per-shard DoV
-// generations for sharded orchestrators) and, when an admission queue fronts
-// the layer, its queue gauges. Against an older server without a stats
-// endpoint it prints n/a and exits 0, so scripted probes keep working across
-// versions. trace renders the recorded span tree of a job: admission wait,
+// stats fetches the consolidated GET /unify/stats document in one round trip:
+// mapping-pipeline counters (with per-shard DoV generations for sharded
+// orchestrators), admission-queue gauges, southbound counters, fleet summary
+// and replica sync state — whichever the layer exposes. Against an older
+// server the client falls back to the split endpoints; with no stats surface
+// at all it prints n/a and exits 0, so scripted probes keep working across
+// versions. watch-view follows the layer's view stream (GET /unify/watch),
+// printing one line per committed generation — or, with -format json, each
+// full view — until interrupted; it resumes across poll windows and dedupes
+// duplicate deliveries by ETag. trace renders the recorded span tree of a
+// job: admission wait,
 // map/commit cycles, per-child deploys and southbound flushes, with
 // durations. domains renders the fleet controller's per-domain lifecycle
 // table; drain evicts one domain and blocks until its services are re-embedded
@@ -79,11 +86,11 @@ func main() {
 			timeoutSet = true
 		}
 	})
-	// Long-polls (watch, submit -async -wait) run without the default
-	// deadline — a healthy deployment may legitimately outlive it — unless
-	// the user asked for one explicitly.
+	// Long-polls (watch, watch-view, submit -async -wait) run without the
+	// default deadline — a healthy deployment may legitimately outlive it —
+	// unless the user asked for one explicitly.
 	baseCtx := ctx
-	if *timeout > 0 && (timeoutSet || flag.Arg(0) != "watch") {
+	if *timeout > 0 && (timeoutSet || (flag.Arg(0) != "watch" && flag.Arg(0) != "watch-view")) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
@@ -237,64 +244,82 @@ func main() {
 		}
 		fmt.Println("canceled", flag.Arg(1))
 	case "stats":
-		info, err := cli.PipelineStats(ctx)
-		switch {
-		case errors.Is(err, unify.ErrUnknownService):
-			// An older server without the stats endpoint answers 404: degrade
-			// to n/a instead of failing, so version-skewed probes stay green.
-			fmt.Println("pipeline: n/a")
-		case err != nil:
-			log.Printf("pipeline stats unavailable: %v", err)
-		default:
-			st := info.Stats
-			fmt.Printf("layer %s: installs=%d mappasses=%d conflicts=%d busy=%d batches=%d multi-shard=%d escalations=%d merge-errors=%d\n",
-				info.Layer, st.Installs, st.MapAttempts, st.GenConflicts, st.Busy, st.Batches,
-				st.MultiShardCommits, st.Escalations, st.MergeErrors)
-			fmt.Printf("  cache cut:  hits=%-8d misses=%-8d invalidations=%d\n",
-				st.CutCache.Hits, st.CutCache.Misses, st.CutCache.Invalidations)
-			fmt.Printf("  cache view: hits=%-8d misses=%-8d invalidations=%d\n",
-				st.ViewCache.Hits, st.ViewCache.Misses, st.ViewCache.Invalidations)
-			if sb := st.Southbound; sb.Deltas > 0 || sb.FlowMods > 0 || sb.NetconfRPCs > 0 || sb.ContainerOps > 0 {
-				fmt.Printf("  southbound: deltas=%d flow-mods=%d barriers=%d fm/barrier=%.1f window-hw=%d netconf-rpcs=%d container-ops=%d mean-delta=%s max-delta=%s\n",
-					sb.Deltas, sb.FlowMods, sb.Barriers, sb.FlowModsPerBarrier(), sb.WindowHighWater,
-					sb.NetconfRPCs, sb.ContainerOps,
-					sb.MeanDeltaLatency().Round(time.Microsecond), sb.MaxDeltaLatency().Round(time.Microsecond))
-			}
-			for _, sh := range info.Shards {
-				fmt.Printf("  shard %-12s gen=%-6d commits=%-6d conflicts=%-6d multi=%-6d domains=%s\n",
-					sh.Shard, sh.Gen, sh.Commits, sh.Conflicts, sh.MultiShardCommits, strings.Join(sh.Domains, ","))
-			}
-		}
-		qs, err := cli.AdmissionStats(ctx)
+		// One round trip: the consolidated document. Against an older server
+		// the client reassembles it from the split endpoints; if nothing is
+		// there at all, degrade to n/a so version-skewed probes stay green.
+		doc, err := cli.Stats(ctx)
 		if errors.Is(err, unify.ErrUnknownService) {
-			fmt.Println("queue: n/a")
+			fmt.Println("stats: n/a")
 			return
 		}
 		if err != nil {
-			log.Printf("admission stats unavailable: %v", err)
-			return
+			log.Fatal(err)
 		}
-		fmt.Printf("queue: depth=%d submitted=%d deployed=%d failed=%d canceled=%d batches=%d coalesced=%d\n",
-			qs.Depth, qs.Submitted, qs.Deployed, qs.Failed, qs.Canceled, qs.Batches, qs.Coalesced)
-		var keys []string
-		for k := range qs.Shards {
-			keys = append(keys, k)
+		if doc.ETag != "" {
+			fmt.Printf("layer %s: api=%s generation=%d etag=%s\n", doc.Layer, doc.APIVersion, doc.Generation, doc.ETag)
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			sh := qs.Shards[k]
-			fmt.Printf("  lane %-12s depth=%-6d batches=%-6d coalesced=%d\n", k, sh.Depth, sh.Batches, sh.Coalesced)
+		if doc.Pipeline != nil {
+			printPipeline(*doc.Pipeline)
+		} else {
+			fmt.Println("pipeline: n/a")
 		}
-		var tenants []string
-		for k := range qs.Tenants {
-			tenants = append(tenants, k)
+		if sb := doc.Southbound; sb != nil {
+			fmt.Printf("southbound: deltas=%d flow-mods=%d barriers=%d fm/barrier=%.1f window-hw=%d netconf-rpcs=%d container-ops=%d mean-delta=%s max-delta=%s\n",
+				sb.Deltas, sb.FlowMods, sb.Barriers, sb.FlowModsPerBarrier(), sb.WindowHighWater,
+				sb.NetconfRPCs, sb.ContainerOps,
+				sb.MeanDeltaLatency().Round(time.Microsecond), sb.MaxDeltaLatency().Round(time.Microsecond))
 		}
-		sort.Strings(tenants)
-		for _, k := range tenants {
-			t := qs.Tenants[k]
-			fmt.Printf("  tenant %-12s weight=%-3d depth=%-5d inflight=%-4d submitted=%-6d deployed=%-6d failed=%-5d dropped=%-5d aged=%-4d mean-wait=%s max-wait=%s\n",
-				k, t.Weight, t.Depth, t.InFlight, t.Submitted, t.Deployed, t.Failed, t.Dropped, t.Aged,
-				t.MeanWait().Round(time.Microsecond), t.WaitMax.Round(time.Microsecond))
+		if doc.Admission != nil {
+			printAdmission(*doc.Admission)
+		} else {
+			fmt.Println("queue: n/a")
+		}
+		if f := doc.Fleet; f != nil {
+			fmt.Printf("fleet: domains=%d active=%d degraded=%d evicting=%d detached=%d evictions=%d rehomed=%d\n",
+				f.Stats.Domains, f.Stats.Active, f.Stats.Degraded, f.Stats.Evicting,
+				f.Stats.Detached, f.Stats.Evictions, f.Stats.ServicesRehomed)
+		}
+		if r := doc.Replica; r != nil {
+			fmt.Printf("replica: writer=%s synced=%t generation=%d etag=%s events=%d heartbeats=%d duplicates=%d reconnects=%d\n",
+				r.Writer, r.Synced, r.Generation, r.ETag, r.Events, r.Heartbeats, r.Duplicates, r.Reconnects)
+		}
+	case "watch-view":
+		// Follow the layer's view stream: one line per committed generation,
+		// resuming across poll windows, until interrupted. -format json dumps
+		// each changed view in full instead.
+		var from uint64
+		lastETag := ""
+		if _, ver, err := cli.ViewVersioned(ctx); err == nil {
+			from, lastETag = ver.Generation, ver.ETag
+			fmt.Printf("gen=%-6d etag=%s (current)\n", ver.Generation, ver.ETag)
+		}
+		for {
+			ev, changed, err := cli.WatchOnce(baseCtx, from, 0)
+			if err != nil {
+				if baseCtx.Err() != nil {
+					return
+				}
+				log.Fatal(err)
+			}
+			if ev.Generation > from {
+				from = ev.Generation
+			}
+			if !changed || ev.ETag == lastETag {
+				continue // heartbeat, or a duplicate delivery of a seen version
+			}
+			lastETag = ev.ETag
+			if *format == "json" && ev.View != nil {
+				if err := ev.View.EncodeJSON(os.Stdout); err != nil {
+					log.Fatal(err)
+				}
+				continue
+			}
+			nodes, nfs := 0, 0
+			if ev.View != nil {
+				nodes, nfs = len(ev.View.Infras), len(ev.View.NFs)
+			}
+			fmt.Printf("gen=%-6d etag=%s nodes=%d nfs=%d services=%d\n",
+				ev.Generation, ev.ETag, nodes, nfs, len(ev.Services))
 		}
 	case "trace":
 		if flag.NArg() < 2 {
@@ -363,6 +388,52 @@ func main() {
 		}
 	default:
 		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func printPipeline(info api.PipelineInfo) {
+	st := info.Stats
+	fmt.Printf("layer %s: installs=%d mappasses=%d conflicts=%d busy=%d batches=%d multi-shard=%d escalations=%d merge-errors=%d\n",
+		info.Layer, st.Installs, st.MapAttempts, st.GenConflicts, st.Busy, st.Batches,
+		st.MultiShardCommits, st.Escalations, st.MergeErrors)
+	fmt.Printf("  cache cut:  hits=%-8d misses=%-8d invalidations=%d\n",
+		st.CutCache.Hits, st.CutCache.Misses, st.CutCache.Invalidations)
+	fmt.Printf("  cache view: hits=%-8d misses=%-8d invalidations=%d\n",
+		st.ViewCache.Hits, st.ViewCache.Misses, st.ViewCache.Invalidations)
+	if sb := st.Southbound; sb.Deltas > 0 || sb.FlowMods > 0 || sb.NetconfRPCs > 0 || sb.ContainerOps > 0 {
+		fmt.Printf("  southbound: deltas=%d flow-mods=%d barriers=%d fm/barrier=%.1f window-hw=%d netconf-rpcs=%d container-ops=%d mean-delta=%s max-delta=%s\n",
+			sb.Deltas, sb.FlowMods, sb.Barriers, sb.FlowModsPerBarrier(), sb.WindowHighWater,
+			sb.NetconfRPCs, sb.ContainerOps,
+			sb.MeanDeltaLatency().Round(time.Microsecond), sb.MaxDeltaLatency().Round(time.Microsecond))
+	}
+	for _, sh := range info.Shards {
+		fmt.Printf("  shard %-12s gen=%-6d commits=%-6d conflicts=%-6d multi=%-6d domains=%s\n",
+			sh.Shard, sh.Gen, sh.Commits, sh.Conflicts, sh.MultiShardCommits, strings.Join(sh.Domains, ","))
+	}
+}
+
+func printAdmission(qs admission.Stats) {
+	fmt.Printf("queue: depth=%d submitted=%d deployed=%d failed=%d canceled=%d batches=%d coalesced=%d\n",
+		qs.Depth, qs.Submitted, qs.Deployed, qs.Failed, qs.Canceled, qs.Batches, qs.Coalesced)
+	var keys []string
+	for k := range qs.Shards {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sh := qs.Shards[k]
+		fmt.Printf("  lane %-12s depth=%-6d batches=%-6d coalesced=%d\n", k, sh.Depth, sh.Batches, sh.Coalesced)
+	}
+	var tenants []string
+	for k := range qs.Tenants {
+		tenants = append(tenants, k)
+	}
+	sort.Strings(tenants)
+	for _, k := range tenants {
+		t := qs.Tenants[k]
+		fmt.Printf("  tenant %-12s weight=%-3d depth=%-5d inflight=%-4d submitted=%-6d deployed=%-6d failed=%-5d dropped=%-5d aged=%-4d mean-wait=%s max-wait=%s\n",
+			k, t.Weight, t.Depth, t.InFlight, t.Submitted, t.Deployed, t.Failed, t.Dropped, t.Aged,
+			t.MeanWait().Round(time.Microsecond), t.WaitMax.Round(time.Microsecond))
 	}
 }
 

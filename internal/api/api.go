@@ -5,39 +5,50 @@
 // and machine boundaries — the distributed form of the paper's recursive
 // control hierarchy.
 //
-// Endpoints:
+// Endpoints (canonical under /v1; the unversioned /unify/... paths remain as
+// compatibility aliases, and every response carries X-Unify-API-Version):
 //
-//	GET    /unify/view                 -> NFFG (virtualization view)
-//	GET    /unify/capabilities         -> ["compute","forwarding",...]
-//	GET    /unify/services             -> ["svc1", ...]
-//	POST   /unify/services             -> Receipt (body: NFFG request)
-//	POST   /unify/services?mode=async  -> 202 + Job (requires admission queue)
-//	DELETE /unify/services/{id}        -> 204
-//	GET    /unify/jobs                 -> [Job, ...]
-//	GET    /unify/jobs/{id}            -> Job
-//	GET    /unify/jobs/{id}/wait       -> Job (long-poll: blocks until the job
-//	                                      is terminal; 202 + snapshot on
-//	                                      ?timeout= expiry)
-//	DELETE /unify/jobs/{id}            -> 204 (cancel a queued job)
-//	GET    /unify/stats/admission      -> admission.Stats (incl. per-shard gauges)
-//	GET    /unify/stats/pipeline       -> PipelineInfo (mapping-pipeline counters
-//	                                      plus per-shard DoV generations, when the
-//	                                      layer exposes them)
-//	GET    /unify/trace/{id}           -> obs.TraceData (span tree of a job ID or
-//	                                      trace ID; requires admission + tracer)
-//	GET    /unify/healthz              -> Health (build info, uptime, shard and
-//	                                      domain counts — the readiness probe)
-//	GET    /metrics                    -> Prometheus text exposition (histograms,
-//	                                      pipeline/southbound/admission counters)
-//	GET    /healthz                    -> 200 "ok"
+//	GET    /v1/unify/view                 -> NFFG (virtualization view), with a
+//	                                         strong ETag + X-Unify-Generation;
+//	                                         If-None-Match answers 304
+//	GET    /v1/unify/watch                -> WatchEvent long-poll (?from=, ?timeout=):
+//	                                         generation bumps with the full sealed
+//	                                         view; 202 heartbeat on window expiry
+//	GET    /v1/unify/capabilities         -> ["compute","forwarding",...]
+//	GET    /v1/unify/services             -> ["svc1", ...]
+//	POST   /v1/unify/services             -> Receipt (body: NFFG request)
+//	POST   /v1/unify/services?mode=async  -> 202 + Job (requires admission queue)
+//	DELETE /v1/unify/services/{id}        -> 204
+//	GET    /v1/unify/jobs                 -> [Job, ...]
+//	GET    /v1/unify/jobs/{id}            -> Job
+//	GET    /v1/unify/jobs/{id}/wait       -> Job (long-poll: blocks until the job
+//	                                         is terminal; 202 + snapshot on
+//	                                         ?timeout= expiry)
+//	DELETE /v1/unify/jobs/{id}            -> 204 (cancel a queued job)
+//	GET    /v1/unify/stats                -> StatsDoc (pipeline + admission +
+//	                                         southbound + fleet + replica, one doc)
+//	GET    /v1/unify/stats/admission      -> admission.Stats (incl. per-shard gauges)
+//	GET    /v1/unify/stats/pipeline       -> PipelineInfo (mapping-pipeline counters
+//	                                         plus per-shard DoV generations, when the
+//	                                         layer exposes them)
+//	GET    /v1/unify/trace/{id}           -> obs.TraceData (span tree of a job ID or
+//	                                         trace ID; requires admission + tracer)
+//	GET    /v1/unify/healthz              -> Health (build info, uptime, API version,
+//	                                         shard and domain counts, replica sync —
+//	                                         the readiness probe)
+//	GET    /metrics                       -> Prometheus text exposition (histograms,
+//	                                         pipeline/southbound/admission counters)
+//	GET    /healthz                       -> 200 "ok"
 //
-// The jobs endpoints exist when the server is given an admission queue
-// (WithAdmission); synchronous installs then ride the same coalescing batches
-// as async ones. Installs (sync and async) accept the X-Unify-Tenant and
-// X-Unify-Priority headers: the submission's admission metadata
-// (unify.RequestMeta), which selects the tenant sub-queue and priority class
-// of the weighted-fair scheduler. An absent tenant header means
-// unify.DefaultTenant; a bad priority is a 400.
+// Errors are one typed JSON envelope, {"error": {"code", "message",
+// "domain?"}} (see envelope.go); the client maps codes back onto the unify/
+// admission sentinels. The jobs endpoints exist when the server is given an
+// admission queue (WithAdmission); synchronous installs then ride the same
+// coalescing batches as async ones. Installs (sync and async) accept the
+// X-Unify-Tenant and X-Unify-Priority headers: the submission's admission
+// metadata (unify.RequestMeta), which selects the tenant sub-queue and
+// priority class of the weighted-fair scheduler. An absent tenant header
+// means unify.DefaultTenant; a bad priority is a 400.
 package api
 
 import (
@@ -107,6 +118,11 @@ type Server struct {
 	// and /unify/healthz.
 	fleet *fleet.Controller
 
+	// replica, when the served layer is a read replica (WithReplica), joins
+	// its sync state to /unify/healthz and /metrics and lets write refusals
+	// carry a Location hint at the writer.
+	replica *Replica
+
 	// encodeFailures counts responses whose JSON encoding failed mid-write
 	// (client gone, or an unencodable payload — the latter is a bug).
 	encodeFailures atomic.Uint64
@@ -157,32 +173,54 @@ func (s *Server) WithFleet(fc *fleet.Controller) *Server {
 	return s
 }
 
+// WithReplica marks the served layer as a read replica: its sync state joins
+// /unify/healthz, /unify/stats and /metrics, and refused writes carry a
+// Location header naming the writer. Call before Listen; pass the same
+// Replica that was given to NewServer as the layer.
+func (s *Server) WithReplica(r *Replica) *Server {
+	s.replica = r
+	return s
+}
+
 // Listen binds to addr ("127.0.0.1:0" for ephemeral) and serves in the
-// background, returning the bound address.
+// background, returning the bound address. Every /unify route is mounted
+// twice: at its canonical versioned path (/v1/unify/...) and at the
+// unversioned path as a compatibility alias for pre-v1 clients.
 func (s *Server) Listen(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = io.WriteString(w, "ok")
 	})
-	mux.HandleFunc("GET /unify/view", s.handleView)
-	mux.HandleFunc("GET /unify/capabilities", s.handleCaps)
-	mux.HandleFunc("GET /unify/services", s.handleList)
-	mux.HandleFunc("POST /unify/services", s.handleInstall)
-	mux.HandleFunc("DELETE /unify/services/{id}", s.handleRemove)
-	mux.HandleFunc("GET /unify/stats/pipeline", s.handlePipelineStats)
-	mux.HandleFunc("GET /unify/healthz", s.handleHealthz)
+	// handle registers a /unify route under both the versioned mount and the
+	// unversioned alias. Patterns are "METHOD /unify/...".
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, h)
+		method, path, ok := strings.Cut(pattern, " ")
+		if ok && strings.HasPrefix(path, "/unify/") {
+			mux.HandleFunc(method+" /"+APIVersion+path, h)
+		}
+	}
+	handle("GET /unify/view", s.handleView)
+	handle("GET /unify/watch", s.handleWatch)
+	handle("GET /unify/capabilities", s.handleCaps)
+	handle("GET /unify/services", s.handleList)
+	handle("POST /unify/services", s.handleInstall)
+	handle("DELETE /unify/services/{id}", s.handleRemove)
+	handle("GET /unify/stats", s.handleStats)
+	handle("GET /unify/stats/pipeline", s.handlePipelineStats)
+	handle("GET /unify/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.adm != nil {
-		mux.HandleFunc("GET /unify/jobs", s.handleJobs)
-		mux.HandleFunc("GET /unify/jobs/{id}", s.handleJob)
-		mux.HandleFunc("GET /unify/jobs/{id}/wait", s.handleJobWait)
-		mux.HandleFunc("DELETE /unify/jobs/{id}", s.handleJobCancel)
-		mux.HandleFunc("GET /unify/stats/admission", s.handleAdmissionStats)
-		mux.HandleFunc("GET /unify/trace/{id}", s.handleTrace)
+		handle("GET /unify/jobs", s.handleJobs)
+		handle("GET /unify/jobs/{id}", s.handleJob)
+		handle("GET /unify/jobs/{id}/wait", s.handleJobWait)
+		handle("DELETE /unify/jobs/{id}", s.handleJobCancel)
+		handle("GET /unify/stats/admission", s.handleAdmissionStats)
+		handle("GET /unify/trace/{id}", s.handleTrace)
 	}
 	if s.fleet != nil {
-		mux.HandleFunc("GET /unify/fleet", s.handleFleet)
-		mux.HandleFunc("POST /unify/fleet/{domain}/drain", s.handleDrain)
+		handle("GET /unify/fleet", s.handleFleet)
+		handle("POST /unify/fleet/{domain}/drain", s.handleDrain)
 	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -197,7 +235,11 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", err
 	}
 	s.addr = ln.Addr().String()
-	s.http = &http.Server{Handler: mux}
+	// Every response advertises the API version, whichever mount served it.
+	s.http = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(VersionHeader, APIVersion)
+		mux.ServeHTTP(w, r)
+	})}
 	go func() { _ = s.http.Serve(ln) }()
 	return s.addr, nil
 }
@@ -230,19 +272,6 @@ func (s *Server) Close() {
 
 // closeDrainTimeout bounds Close's implicit drain.
 const closeDrainTimeout = 5 * time.Second
-
-func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
-	v, err := s.layer.View(r.Context())
-	if err != nil {
-		s.httpError(w, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := v.EncodeJSON(w); err != nil {
-		s.encodeFailures.Add(1)
-		log.Printf("api %s: encode view: %v", s.layer.ID(), err)
-	}
-}
 
 func (s *Server) handleCaps(w http.ResponseWriter, _ *http.Request) {
 	caps := s.caps
@@ -285,18 +314,18 @@ func requestMeta(r *http.Request) (context.Context, error) {
 func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 	req, err := nffg.DecodeJSON(r.Body)
 	if err != nil {
-		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), "")
 		return
 	}
 	ctx, err := requestMeta(r)
 	if err != nil {
-		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "api: " + err.Error()})
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "api: "+err.Error(), "")
 		return
 	}
 	ctx = s.adoptTrace(ctx, r)
 	if r.URL.Query().Get("mode") == "async" {
 		if s.adm == nil {
-			s.writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: no admission queue configured"})
+			s.writeError(w, http.StatusNotImplemented, CodeNotImplemented, "api: no admission queue configured", "")
 			return
 		}
 		job, err := s.adm.Submit(ctx, req)
@@ -343,7 +372,7 @@ func (s *Server) handleJobWait(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("timeout"); raw != "" {
 		d, err := time.ParseDuration(raw)
 		if err != nil {
-			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "api: bad timeout: " + err.Error()})
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "api: bad timeout: "+err.Error(), "")
 			return
 		}
 		var cancel context.CancelFunc
@@ -378,7 +407,7 @@ func (s *Server) handleAdmissionStats(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handlePipelineStats(w http.ResponseWriter, _ *http.Request) {
 	p, ok := s.layer.(pipelineStatsProvider)
 	if !ok {
-		s.writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: layer exposes no pipeline stats"})
+		s.writeError(w, http.StatusNotImplemented, CodeNotImplemented, "api: layer exposes no pipeline stats", "")
 		return
 	}
 	info := PipelineInfo{Layer: s.layer.ID(), Stats: p.PipelineStats()}
@@ -394,33 +423,6 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
-}
-
-func (s *Server) httpError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	// Checked before ErrRejected: an install that failed because a target
-	// domain is detached/evicting names an infrastructure condition, and the
-	// caller's remedy (retry after the fleet heals) differs from a rejected
-	// request's (fix the request).
-	case errors.Is(err, unify.ErrDomainUnavailable):
-		status = http.StatusLocked
-	case errors.Is(err, domain.ErrUnknown):
-		status = http.StatusNotFound
-	case errors.Is(err, unify.ErrRejected):
-		status = http.StatusConflict
-	case errors.Is(err, unify.ErrUnknownService), errors.Is(err, admission.ErrUnknownJob):
-		status = http.StatusNotFound
-	case errors.Is(err, unify.ErrBusy):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, admission.ErrQueueFull):
-		status = http.StatusTooManyRequests
-	case errors.Is(err, admission.ErrNotCancelable), errors.Is(err, admission.ErrCanceled):
-		// A sync install whose queued job was canceled (DELETE on the job,
-		// or queue shutdown) is a conflict, not a server fault.
-		status = http.StatusConflict
-	}
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 // writeJSON encodes a response body, logging and counting encode failures
@@ -454,6 +456,27 @@ type Client struct {
 	meta  unify.RequestMeta // default submission metadata (see WithTenant)
 	unary *http.Client      // bounded by the dial timeout
 	long  *http.Client      // context-governed only
+
+	// viewCache holds the one sealed remote view the conditional View path
+	// revalidates with If-None-Match (see readplane.go); viewHits/viewMisses
+	// count 304 vs full-body answers.
+	viewCache            atomic.Pointer[clientViewEntry]
+	viewHits, viewMisses atomic.Uint64
+}
+
+// newRequest builds an API request carrying the client's version header.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(VersionHeader, APIVersion)
+	return req, nil
+}
+
+// decodeJSONBody decodes a response body into out.
+func decodeJSONBody(resp *http.Response, out any) error {
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // DefaultTimeout bounds unary client calls (and the Dial health check) unless
@@ -516,7 +539,7 @@ func Dial(id, baseURL string, opts ...DialOption) (*Client, error) {
 
 // getJSON performs a unary GET and decodes the JSON response into out.
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}
@@ -528,28 +551,11 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		return remoteError(resp)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return decodeJSONBody(resp, out)
 }
 
 // ID implements unify.Layer.
 func (c *Client) ID() string { return c.id }
-
-// View implements unify.Layer.
-func (c *Client) View(ctx context.Context) (*nffg.NFFG, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/unify/view", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.unary.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, remoteError(resp)
-	}
-	return nffg.DecodeJSON(resp.Body)
-}
 
 // install POSTs a request, optionally in async mode. The submission metadata
 // (tenant, priority) comes from the call context when set there
@@ -561,11 +567,11 @@ func (c *Client) install(ctx context.Context, req *nffg.NFFG, async bool) (*http
 	if err := req.EncodeJSON(&buf); err != nil {
 		return nil, err
 	}
-	target := c.base + "/unify/services"
+	target := "/unify/services"
 	if async {
 		target += "?mode=async"
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, target, &buf)
+	hreq, err := c.newRequest(ctx, http.MethodPost, target, &buf)
 	if err != nil {
 		return nil, err
 	}
@@ -664,8 +670,8 @@ func (c *Client) WaitJob(ctx context.Context, id string) (admission.Job, error) 
 	backoff := 250 * time.Millisecond
 	failures := 0
 	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-			c.base+"/unify/jobs/"+url.PathEscape(id)+"/wait?timeout="+pollWindow.String(), nil)
+		req, err := c.newRequest(ctx, http.MethodGet,
+			"/unify/jobs/"+url.PathEscape(id)+"/wait?timeout="+pollWindow.String(), nil)
 		if err != nil {
 			return admission.Job{}, err
 		}
@@ -713,7 +719,7 @@ func (c *Client) WaitJob(ctx context.Context, id string) (admission.Job, error) 
 
 // CancelJob cancels a still-queued job.
 func (c *Client) CancelJob(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/unify/jobs/"+url.PathEscape(id), nil)
+	req, err := c.newRequest(ctx, http.MethodDelete, "/unify/jobs/"+url.PathEscape(id), nil)
 	if err != nil {
 		return err
 	}
@@ -747,7 +753,7 @@ func (c *Client) PipelineStats(ctx context.Context) (PipelineInfo, error) {
 func (c *Client) Remove(ctx context.Context, serviceID string) error {
 	// Service IDs may contain separators ('#' in orchestrator sub-requests)
 	// that URL parsing would otherwise eat.
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/unify/services/"+url.PathEscape(serviceID), nil)
+	req, err := c.newRequest(ctx, http.MethodDelete, "/unify/services/"+url.PathEscape(serviceID), nil)
 	if err != nil {
 		return err
 	}
@@ -802,31 +808,4 @@ func (c *Client) Capabilities() []domain.Capability {
 		return nil
 	}
 	return out
-}
-
-// remoteError maps HTTP statuses back onto the unify sentinel errors, so
-// errors.Is works identically for local and remote layers.
-func remoteError(resp *http.Response) error {
-	var body struct {
-		Error string `json:"error"`
-	}
-	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
-	msg := body.Error
-	if msg == "" {
-		msg = resp.Status
-	}
-	switch resp.StatusCode {
-	case http.StatusConflict:
-		return fmt.Errorf("%w: %s", unify.ErrRejected, msg)
-	case http.StatusLocked:
-		return fmt.Errorf("%w: %s", unify.ErrDomainUnavailable, msg)
-	case http.StatusNotFound:
-		return fmt.Errorf("%w: %s", unify.ErrUnknownService, msg)
-	case http.StatusServiceUnavailable:
-		return fmt.Errorf("%w: %s", unify.ErrBusy, msg)
-	case http.StatusTooManyRequests:
-		return fmt.Errorf("%w: %s", admission.ErrQueueFull, msg)
-	default:
-		return fmt.Errorf("api: remote error %d: %s", resp.StatusCode, msg)
-	}
 }

@@ -209,11 +209,13 @@ func TestAsyncJobsOverHTTP(t *testing.T) {
 		t.Fatalf("admission stats: %+v %v", st, err)
 	}
 
-	// Unknown jobs surface ErrUnknownService identity (404) on fetch/watch.
-	if _, err := cli.Job(ctx, "job-999"); !errors.Is(err, unify.ErrUnknownService) {
+	// Unknown jobs surface the typed ErrUnknownJob identity on fetch/watch
+	// (the error envelope carries the code; pre-envelope servers degrade to
+	// ErrUnknownService via the 404 fallback).
+	if _, err := cli.Job(ctx, "job-999"); !errors.Is(err, admission.ErrUnknownJob) {
 		t.Fatalf("unknown job fetch: %v", err)
 	}
-	if _, err := cli.WaitJob(ctx, "job-999"); !errors.Is(err, unify.ErrUnknownService) {
+	if _, err := cli.WaitJob(ctx, "job-999"); !errors.Is(err, admission.ErrUnknownJob) {
 		t.Fatalf("unknown job watch: %v", err)
 	}
 

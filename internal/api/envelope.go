@@ -1,0 +1,192 @@
+// The typed error envelope of the northbound API. Every error response
+// carries one JSON document:
+//
+//	{"error": {"code": "busy", "message": "...", "domain": "d1"}}
+//
+// The code is the wire form of the unify/admission sentinel taxonomy, so
+// clients map errors by NAME instead of reverse-engineering HTTP statuses or
+// string-matching messages; the optional domain field names the child domain
+// an infrastructure condition is about. The client decoder also accepts the
+// pre-envelope form ({"error": "message"}) and falls back to status-based
+// mapping, so version-skewed client/server pairs keep interoperating.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/unify-repro/escape/internal/admission"
+	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/domain"
+	"github.com/unify-repro/escape/internal/unify"
+)
+
+// ErrReadOnly marks a write refused by a read replica. The HTTP response is a
+// 503 with code "read_only" and a Location header naming the writer, so a
+// client that insists on writing through a replica knows where to go.
+var ErrReadOnly = errors.New("api: read-only replica")
+
+// ErrorBody is the typed payload inside the error envelope.
+type ErrorBody struct {
+	// Code is the stable machine-readable error name (see the table in
+	// errorStatus); clients map it onto sentinel errors.
+	Code string `json:"code"`
+	// Message is the human-readable error text.
+	Message string `json:"message"`
+	// Domain optionally names the child domain an infrastructure condition
+	// (domain_unavailable, unknown_domain) refers to.
+	Domain string `json:"domain,omitempty"`
+}
+
+// ErrorEnvelope is the one error document every handler writes.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// Wire error codes. The taxonomy mirrors the sentinel errors of unify and
+// admission one-to-one; codes are append-only — a new condition gets a new
+// code, never a reused one.
+const (
+	CodeBadRequest        = "bad_request"
+	CodeBusy              = "busy"
+	CodeCanceled          = "canceled"
+	CodeDomainUnavailable = "domain_unavailable"
+	CodeEmptyView         = "empty_view"
+	CodeInternal          = "internal"
+	CodeNotCancelable     = "not_cancelable"
+	CodeNotImplemented    = "not_implemented"
+	CodeQueueFull         = "queue_full"
+	CodeReadOnly          = "read_only"
+	CodeRejected          = "rejected"
+	CodeUnknownDomain     = "unknown_domain"
+	CodeUnknownJob        = "unknown_job"
+	CodeUnknownService    = "unknown_service"
+	CodeUnknownTrace      = "unknown_trace"
+)
+
+// errorStatus classifies an error into its (HTTP status, wire code) pair —
+// the single source of truth for the server-side mapping.
+func errorStatus(err error) (int, string) {
+	switch {
+	// Checked before ErrRejected: an install that failed because a target
+	// domain is detached/evicting names an infrastructure condition, and the
+	// caller's remedy (retry after the fleet heals) differs from a rejected
+	// request's (fix the request).
+	case errors.Is(err, unify.ErrDomainUnavailable):
+		return http.StatusLocked, CodeDomainUnavailable
+	case errors.Is(err, domain.ErrUnknown):
+		return http.StatusNotFound, CodeUnknownDomain
+	case errors.Is(err, unify.ErrRejected):
+		return http.StatusConflict, CodeRejected
+	case errors.Is(err, unify.ErrUnknownService):
+		return http.StatusNotFound, CodeUnknownService
+	case errors.Is(err, admission.ErrUnknownJob):
+		return http.StatusNotFound, CodeUnknownJob
+	case errors.Is(err, ErrReadOnly):
+		return http.StatusServiceUnavailable, CodeReadOnly
+	case errors.Is(err, unify.ErrBusy):
+		return http.StatusServiceUnavailable, CodeBusy
+	case errors.Is(err, admission.ErrQueueFull):
+		return http.StatusTooManyRequests, CodeQueueFull
+	case errors.Is(err, admission.ErrNotCancelable):
+		return http.StatusConflict, CodeNotCancelable
+	case errors.Is(err, admission.ErrCanceled):
+		// A sync install whose queued job was canceled (DELETE on the job,
+		// or queue shutdown) is a conflict, not a server fault.
+		return http.StatusConflict, CodeCanceled
+	case errors.Is(err, core.ErrEmptyView):
+		// No domain has attached yet: the view legitimately does not exist.
+		return http.StatusNotFound, CodeEmptyView
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// codeError maps a wire code back onto its sentinel, so errors.Is works
+// identically for local and remote layers. ok=false means the code is
+// unknown (newer server): the caller falls back to status mapping.
+func codeError(code, msg string) (error, bool) {
+	switch code {
+	case CodeDomainUnavailable:
+		return fmt.Errorf("%w: %s", unify.ErrDomainUnavailable, msg), true
+	case CodeUnknownDomain:
+		return fmt.Errorf("%w: %s", domain.ErrUnknown, msg), true
+	case CodeRejected:
+		return fmt.Errorf("%w: %s", unify.ErrRejected, msg), true
+	case CodeUnknownService:
+		return fmt.Errorf("%w: %s", unify.ErrUnknownService, msg), true
+	case CodeUnknownJob:
+		return fmt.Errorf("%w: %s", admission.ErrUnknownJob, msg), true
+	case CodeReadOnly:
+		return fmt.Errorf("%w: %s", ErrReadOnly, msg), true
+	case CodeBusy:
+		return fmt.Errorf("%w: %s", unify.ErrBusy, msg), true
+	case CodeQueueFull:
+		return fmt.Errorf("%w: %s", admission.ErrQueueFull, msg), true
+	case CodeNotCancelable:
+		return fmt.Errorf("%w: %s", admission.ErrNotCancelable, msg), true
+	case CodeCanceled:
+		return fmt.Errorf("%w: %s", admission.ErrCanceled, msg), true
+	case CodeEmptyView:
+		return fmt.Errorf("%w: %s", core.ErrEmptyView, msg), true
+	default:
+		return nil, false
+	}
+}
+
+// writeError emits the typed envelope. domain may be empty.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg, domainName string) {
+	s.writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg, Domain: domainName}})
+}
+
+// httpError classifies err and writes its envelope. A replica refusing a
+// write additionally points at the writer via the Location header.
+func (s *Server) httpError(w http.ResponseWriter, err error) {
+	status, code := errorStatus(err)
+	if code == CodeReadOnly && s.replica != nil {
+		w.Header().Set("Location", s.replica.WriterURL())
+	}
+	s.writeError(w, status, code, err.Error(), "")
+}
+
+// remoteError maps an HTTP error response back onto the sentinel errors. It
+// prefers the typed envelope's code; a legacy string body (or an unknown
+// code) degrades to the historical status-based mapping.
+func remoteError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	var code, msg string
+	if json.Unmarshal(raw, &env) == nil && len(env.Error) > 0 {
+		var body ErrorBody
+		if env.Error[0] == '{' && json.Unmarshal(env.Error, &body) == nil {
+			code, msg = body.Code, body.Message
+		} else {
+			_ = json.Unmarshal(env.Error, &msg) // pre-envelope server
+		}
+	}
+	if msg == "" {
+		msg = resp.Status
+	}
+	if err, ok := codeError(code, msg); ok {
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", unify.ErrRejected, msg)
+	case http.StatusLocked:
+		return fmt.Errorf("%w: %s", unify.ErrDomainUnavailable, msg)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", unify.ErrUnknownService, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", unify.ErrBusy, msg)
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %s", admission.ErrQueueFull, msg)
+	default:
+		return fmt.Errorf("api: remote error %d: %s", resp.StatusCode, msg)
+	}
+}

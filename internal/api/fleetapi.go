@@ -71,8 +71,8 @@ func (c *Client) FleetStatus(ctx context.Context) (FleetInfo, error) {
 // finish (bounded only by ctx: re-embedding displaced services can take as
 // long as the installs it implies).
 func (c *Client) Drain(ctx context.Context, domainName string) (DrainResult, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.base+"/unify/fleet/"+url.PathEscape(domainName)+"/drain", nil)
+	req, err := c.newRequest(ctx, http.MethodPost,
+		"/unify/fleet/"+url.PathEscape(domainName)+"/drain", nil)
 	if err != nil {
 		return DrainResult{}, err
 	}
@@ -93,7 +93,7 @@ func (c *Client) Drain(ctx context.Context, domainName string) (DrainResult, err
 // full view. A fleet controller probing an attached api.Client uses this
 // (see fleet.Pinger).
 func (c *Client) Ping(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/healthz", nil)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/unify-repro/escape/internal/core"
+	"github.com/unify-repro/escape/internal/domain"
 	"github.com/unify-repro/escape/internal/fleet"
 	"github.com/unify-repro/escape/internal/nffg"
 	"github.com/unify-repro/escape/internal/unify"
@@ -104,8 +105,9 @@ func TestFleetOverHTTP(t *testing.T) {
 		t.Fatalf("install on drained domain over HTTP: %v", err)
 	}
 
-	// Drain errors map too: unknown domain -> 404, repeat drain -> 423.
-	if _, err := cli.Drain(ctx, "nowhere"); !errors.Is(err, unify.ErrUnknownService) {
+	// Drain errors map too: unknown domain -> typed domain.ErrUnknown via
+	// the envelope code, repeat drain -> 423.
+	if _, err := cli.Drain(ctx, "nowhere"); !errors.Is(err, domain.ErrUnknown) {
 		t.Fatalf("unknown drain: %v", err)
 	}
 	if _, err := cli.Drain(ctx, "east"); err == nil {

@@ -32,8 +32,11 @@ type stageHistogramsProvider interface {
 // Health is the payload of GET /unify/healthz: enough to decide readiness
 // (shards and domains attached) and identify the build.
 type Health struct {
-	Status        string  `json:"status"`
-	Layer         string  `json:"layer"`
+	Status string `json:"status"`
+	Layer  string `json:"layer"`
+	// APIVersion advertises the northbound surface version this server
+	// mounts canonically (requests may still use unversioned alias paths).
+	APIVersion    string  `json:"api_version,omitempty"`
 	GoVersion     string  `json:"go_version,omitempty"`
 	Module        string  `json:"module,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -47,6 +50,8 @@ type Health struct {
 	// Fleet summarizes the domain lifecycle controller's state gauges and
 	// failover counters (absent when the process runs without one).
 	Fleet *fleet.Stats `json:"fleet,omitempty"`
+	// Replica summarizes a read replica's sync state (absent on writers).
+	Replica *ReplicaStats `json:"replica,omitempty"`
 }
 
 // serverInfo backs the unify_server collector.
@@ -98,6 +103,9 @@ func (s *Server) MetricCollectors() []obs.Collector {
 	if s.fleet != nil {
 		cs = append(cs, obs.Collector{Name: "unify_fleet", Labels: labels, Value: s.fleet.Stats()})
 	}
+	if s.replica != nil {
+		cs = append(cs, obs.Collector{Name: "unify_replica", Labels: labels, Value: s.replica.Stats()})
+	}
 	if len(stages) > 0 {
 		cs = append(cs, obs.Collector{Name: "unify_stage", Labels: labels, Value: stages})
 	}
@@ -110,7 +118,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	h := Health{Status: "ok", Layer: s.layer.ID(), UptimeSeconds: time.Since(s.started).Seconds()}
+	h := Health{Status: "ok", Layer: s.layer.ID(), APIVersion: APIVersion, UptimeSeconds: time.Since(s.started).Seconds()}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		h.GoVersion = bi.GoVersion
 		h.Module = bi.Main.Path
@@ -129,6 +137,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		fs := s.fleet.Stats()
 		h.Fleet = &fs
 	}
+	if s.replica != nil {
+		rs := s.replica.Stats()
+		h.Replica = &rs
+	}
 	s.writeJSON(w, http.StatusOK, h)
 }
 
@@ -138,7 +150,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tr := s.adm.Tracer()
 	if tr == nil {
-		s.writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "api: tracing not enabled"})
+		s.writeError(w, http.StatusNotImplemented, CodeNotImplemented, "api: tracing not enabled", "")
 		return
 	}
 	lookup := id
@@ -147,7 +159,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	t := tr.Lookup(lookup)
 	if t == nil {
-		s.writeJSON(w, http.StatusNotFound, map[string]string{"error": "api: unknown trace " + id})
+		s.writeError(w, http.StatusNotFound, CodeUnknownTrace, "api: unknown trace "+id, "")
 		return
 	}
 	s.writeJSON(w, http.StatusOK, t.Snapshot())
@@ -166,7 +178,7 @@ func (s *Server) adoptTrace(ctx context.Context, r *http.Request) context.Contex
 
 // Metrics fetches the remote /metrics exposition as raw Prometheus text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/metrics", nil)
 	if err != nil {
 		return "", err
 	}

@@ -226,7 +226,7 @@ func (ro *ResourceOrchestrator) Detach(ctx context.Context, child string) (*Deta
 		ro.mu.Unlock()
 	}
 
-	epoch := ro.epoch.Add(1)
+	epoch := ro.bumpEpoch()
 	if ro.journal != nil {
 		if err := ro.journal.LogDetach(key, finalGen, epoch, child, true, displacedIDs); err != nil {
 			ro.stats.journalErrs.Add(1)

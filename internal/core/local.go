@@ -69,6 +69,9 @@ type LocalOrchestrator struct {
 	viewCache atomic.Pointer[loViewEntry]
 	viewStats cacheCounters
 
+	// watch broadcasts generation bumps to WaitVersion callers (version.go).
+	watch changeNotifier
+
 	// southbound accumulates the device-programming counters this domain's
 	// Programmer records (see southbound.go).
 	southbound SouthboundRecorder
@@ -296,6 +299,7 @@ func (lo *LocalOrchestrator) Install(ctx context.Context, req *nffg.NFFG) (*unif
 		lo.services[req.ID] = mapping
 		delete(lo.pending, req.ID)
 		lo.mu.Unlock()
+		lo.watch.wake()
 
 		return mappingReceipt(req.ID, mapping), nil
 	}
@@ -327,6 +331,7 @@ func (lo *LocalOrchestrator) Remove(ctx context.Context, serviceID string) error
 	}
 	lo.cfg = newCfg.Seal()
 	lo.gen++
+	lo.watch.wake()
 	delete(lo.services, serviceID)
 	return nil
 }

@@ -105,7 +105,17 @@ type ResourceOrchestrator struct {
 
 	// epoch counts committed DoV changes (attach merges, install commits,
 	// releases) across all shards — the logical generation northbound.
+	// Every bump goes through bumpEpoch (version.go) so watch waiters wake.
 	epoch atomic.Uint64
+	// tableVer counts service-table visibility changes (deploy completions,
+	// removal drops) that move the northbound version WITHOUT a DoV commit:
+	// the shard vector — and thus the view ETag — is unchanged, but watch
+	// streams must still deliver the refreshed service list. The watch
+	// cursor (ViewVersion.Generation) is epoch + tableVer; Generation()
+	// stays a pure commit counter.
+	tableVer atomic.Uint64
+	// watch broadcasts epoch bumps to WaitVersion callers (watch streams).
+	watch changeNotifier
 
 	// Generation-keyed read caches (see readcache.go). cutCache holds the
 	// all-shard cut; scopedCuts the per-shard-subset cuts narrowed admission
@@ -459,7 +469,7 @@ func (ro *ResourceOrchestrator) Attach(ctx context.Context, d domain.Domain) err
 		// Journaled inside the critical section so the shard's record order
 		// matches its commit order; the epoch is bumped here for the same
 		// reason (observably identical — it is a plain monotonic counter).
-		epoch := ro.epoch.Add(1)
+		epoch := ro.bumpEpoch()
 		if err := ro.journal.LogAttach(key, sh.gen, epoch, d.ID(), ro.id+"-dov", qual); err != nil {
 			ro.stats.journalErrs.Add(1)
 			log.Printf("core %s: journal attach %s: %v", ro.id, d.ID(), err)
@@ -469,7 +479,7 @@ func (ro *ResourceOrchestrator) Attach(ctx context.Context, d domain.Domain) err
 		sh.mu.Unlock()
 	} else {
 		sh.mu.Unlock()
-		ro.epoch.Add(1)
+		ro.bumpEpoch()
 	}
 
 	// Refresh the reverse index with the shard's new contribution (its DoV
@@ -618,6 +628,12 @@ func (ro *ResourceOrchestrator) View(ctx context.Context) (*nffg.NFFG, error) {
 		return nil, err
 	}
 	graphs, vec := ro.currentCut()
+	return ro.viewFromCut(graphs, vec)
+}
+
+// viewFromCut computes (or serves cached) the virtualizer output over one
+// consistent cut — the shared tail of View and VersionedView.
+func (ro *ResourceOrchestrator) viewFromCut(graphs []*nffg.NFFG, vec genVec) (*nffg.NFFG, error) {
 	if !ro.noReadCache {
 		if e := ro.viewCache.Load(); e != nil && e.vec.equal(vec) {
 			ro.viewStats.hits.Add(1)
@@ -1243,7 +1259,7 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 		// The epoch bump and journal appends stay inside the critical
 		// section so every touched shard's record carries the epoch of THIS
 		// commit and per-shard record order matches commit order.
-		epoch := ro.epoch.Add(1)
+		epoch := ro.bumpEpoch()
 		if ro.journal != nil {
 			bc.journalCommitLocked(tshs, epoch, idx, plans)
 		}
@@ -1345,6 +1361,11 @@ func (bc *batchRun) runGroup(ctx context.Context, idx []int, keys []string, mayE
 			rec.receipt = receipt
 			rec.state = stateReady
 			ro.mu.Unlock()
+			// The commit bump fired before the deploy finished, so a watcher
+			// woken by it read Services() without this entry. Advance the
+			// table version now that the service is northbound-visible so
+			// watch streams get a fresh event carrying the completed list.
+			ro.bumpTable()
 			if ro.journal != nil {
 				// Appended AFTER the table update: the checkpointer snapshots
 				// the table, so everything a deployed record carries is
@@ -1566,7 +1587,7 @@ func (ro *ResourceOrchestrator) releaseShards(serviceID string, mp *embed.Mappin
 	}
 	var firstErr error
 	lockAll(shs)
-	epoch := ro.epoch.Add(1)
+	epoch := ro.bumpEpoch()
 	for _, s := range shs {
 		if s.dov != nil {
 			next := s.dov.Copy()
@@ -1667,6 +1688,10 @@ func (ro *ResourceOrchestrator) Remove(ctx context.Context, serviceID string) er
 	ro.mu.Lock()
 	ro.dropReservationsLocked(serviceID, rec)
 	ro.mu.Unlock()
+	// releaseShards bumped before the record dropped; watchers woken there
+	// could still list the service. Advance the table version so the stream
+	// converges on the post-removal service table.
+	ro.bumpTable()
 	return firstErr
 }
 

@@ -1,0 +1,188 @@
+package core
+
+// The versioned read plane: every layer that serves a northbound view can
+// name the version it serves — a strong ETag derived from the generation
+// state that keys the read caches, plus the scalar commit epoch — and can
+// block until that version moves. The API tier builds conditional GETs
+// (If-None-Match → 304), long-poll watch streams, and read replicas on top
+// of exactly these three primitives; nothing here knows about HTTP.
+//
+// Ordering discipline: version readers load the scalar generation BEFORE
+// snapshotting the cut/graph it describes. A commit landing in between makes
+// the served content NEWER than the advertised generation — so a watcher
+// resuming from that generation may see the same content twice (deduped by
+// ETag), but can never miss a committed change.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/unify-repro/escape/internal/nffg"
+)
+
+// ViewVersion names one published northbound view.
+type ViewVersion struct {
+	// ETag is a strong validator: two equal ETags from the same layer denote
+	// byte-identical sealed views, because the tag hashes the generation
+	// vector that keys the view cache and a shard graph is only ever
+	// replaced under a generation bump. The tag is unquoted; HTTP framing
+	// (quoting, If-None-Match parsing) is the API layer's business.
+	ETag string
+	// Generation is the scalar commit epoch the view is AT LEAST as new as —
+	// the resume cursor for watch streams (strictly monotonic per process).
+	Generation uint64
+}
+
+// etagOf hashes a layer's canonical generation state into a strong ETag.
+func etagOf(id string, keys []string, gens []uint64) string {
+	var b strings.Builder
+	b.WriteString(id)
+	for i, k := range keys {
+		fmt.Fprintf(&b, "\x00%s=%d", k, gens[i])
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// etag derives the strong view validator of one consistent cut.
+func (v genVec) etag(id string) string { return etagOf(id, v.keys, v.gens) }
+
+// changeNotifier is a closed-channel broadcast: wake() releases every
+// goroutine parked on the channel wait() handed out. Waiters must arm the
+// channel (call wait) BEFORE re-checking the condition, so a bump landing
+// between the check and the park still wakes them.
+type changeNotifier struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// wake releases all current waiters. Cheap enough to call inside commit
+// critical sections: a mutex hop plus, at most, one channel close.
+func (n *changeNotifier) wake() {
+	n.mu.Lock()
+	if n.ch != nil {
+		close(n.ch)
+		n.ch = nil
+	}
+	n.mu.Unlock()
+}
+
+// wait returns a channel closed at the next wake. Lazily allocated so idle
+// layers carry no channel at all.
+func (n *changeNotifier) wait() <-chan struct{} {
+	n.mu.Lock()
+	if n.ch == nil {
+		n.ch = make(chan struct{})
+	}
+	ch := n.ch
+	n.mu.Unlock()
+	return ch
+}
+
+// --- ResourceOrchestrator ----------------------------------------------------
+
+// ViewVersion returns the current version of the northbound view without
+// computing the view itself — the cheap path behind conditional GETs.
+func (ro *ResourceOrchestrator) ViewVersion() ViewVersion {
+	gen := ro.nbGen() // before the cut: content ≥ advertised generation
+	_, vec := ro.currentCut()
+	return ViewVersion{ETag: vec.etag(ro.id), Generation: gen}
+}
+
+// VersionedView returns the northbound view together with the version that
+// names it. The view is a SHARED sealed snapshot (Copy before mutating); the
+// version's ETag matches the exact cut the view derives from.
+func (ro *ResourceOrchestrator) VersionedView(ctx context.Context) (*nffg.NFFG, ViewVersion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ViewVersion{}, err
+	}
+	gen := ro.nbGen() // before the cut (see package comment)
+	graphs, vec := ro.currentCut()
+	v, err := ro.viewFromCut(graphs, vec)
+	if err != nil {
+		return nil, ViewVersion{}, err
+	}
+	return v, ViewVersion{ETag: vec.etag(ro.id), Generation: gen}, nil
+}
+
+// WaitVersion blocks until the layer's generation exceeds from (returning
+// the version that crossed it) or ctx ends. from=0 with any committed change
+// already applied returns immediately — callers resume a watch by passing
+// the last generation they saw.
+func (ro *ResourceOrchestrator) WaitVersion(ctx context.Context, from uint64) (ViewVersion, error) {
+	for {
+		ch := ro.watch.wait() // arm before the check: no lost wakeups
+		if v := ro.ViewVersion(); v.Generation > from {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return ViewVersion{}, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// nbGen is the northbound version cursor: the commit epoch plus the
+// service-table version. Both counters only grow, so the sum is monotonic;
+// loading them separately can only under-read, which keeps the "content is
+// at least as new as advertised" invariant.
+func (ro *ResourceOrchestrator) nbGen() uint64 {
+	return ro.epoch.Load() + ro.tableVer.Load()
+}
+
+// bumpEpoch advances the commit epoch and wakes watch waiters. Every
+// committed DoV change funnels through here; waiters woken while a commit
+// still holds its shard locks simply block in snapshotCut until the new
+// graphs publish.
+func (ro *ResourceOrchestrator) bumpEpoch() uint64 {
+	e := ro.epoch.Add(1)
+	ro.watch.wake()
+	return e
+}
+
+// bumpTable advances the northbound version for a service-table visibility
+// change — a deploy completing or a removed record dropping — without
+// counting a DoV commit. The shard vector (and thus the ETag) is unchanged;
+// the bump exists so watch streams deliver the refreshed service list.
+func (ro *ResourceOrchestrator) bumpTable() {
+	ro.tableVer.Add(1)
+	ro.watch.wake()
+}
+
+// --- LocalOrchestrator -------------------------------------------------------
+
+// ViewVersion returns the current version of the local layer's exported view.
+func (lo *LocalOrchestrator) ViewVersion() ViewVersion {
+	_, gen := lo.snapshot()
+	return ViewVersion{ETag: etagOf(lo.id, []string{"substrate"}, []uint64{gen}), Generation: gen}
+}
+
+// VersionedView returns the exported view with the version that names it.
+func (lo *LocalOrchestrator) VersionedView(ctx context.Context) (*nffg.NFFG, ViewVersion, error) {
+	ver := lo.ViewVersion() // before the view: content ≥ advertised generation
+	v, err := lo.View(ctx)
+	if err != nil {
+		return nil, ViewVersion{}, err
+	}
+	return v, ver, nil
+}
+
+// WaitVersion blocks until the substrate generation exceeds from or ctx ends.
+func (lo *LocalOrchestrator) WaitVersion(ctx context.Context, from uint64) (ViewVersion, error) {
+	for {
+		ch := lo.watch.wait()
+		if v := lo.ViewVersion(); v.Generation > from {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return ViewVersion{}, ctx.Err()
+		case <-ch:
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/unify-repro/escape/internal/admission"
+	"github.com/unify-repro/escape/internal/api"
 	"github.com/unify-repro/escape/internal/core"
 	"github.com/unify-repro/escape/internal/domain/emunet"
 	"github.com/unify-repro/escape/internal/fleet"
@@ -109,6 +110,14 @@ type FleetCounters struct {
 	Members []fleet.DomainStatus
 }
 
+// ReplicaCounters is one read replica's sync state: which writer it follows,
+// the generation it has converged to, and the watch-stream traffic mix (see
+// internal/api.Replica).
+type ReplicaCounters struct {
+	Layer string
+	api.ReplicaStats
+}
+
 // StageCounters is one layer's latency distribution for one pipeline stage
 // (admission wait, map, commit, end-to-end; power-of-two bucket histograms,
 // see internal/obs).
@@ -127,6 +136,7 @@ type Snapshot struct {
 	Admission []AdmissionCounters
 	Journal   []JournalCounters
 	Fleet     []FleetCounters
+	Replicas  []ReplicaCounters
 	Stages    []StageCounters
 }
 
@@ -243,6 +253,21 @@ func (s FleetSource) Collect() (*Snapshot, error) {
 	}}}, nil
 }
 
+// ReplicaSource collects sync state from a read replica.
+type ReplicaSource struct {
+	Layer   string
+	Replica *api.Replica
+}
+
+// Collect implements Source.
+func (s ReplicaSource) Collect() (*Snapshot, error) {
+	name := s.Layer
+	if name == "" {
+		name = s.Replica.ID()
+	}
+	return &Snapshot{Replicas: []ReplicaCounters{{Layer: name, ReplicaStats: s.Replica.Stats()}}}, nil
+}
+
 // QueueSource collects gauges from an admission queue.
 type QueueSource struct {
 	Name  string
@@ -272,6 +297,7 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 		out.Admission = append(out.Admission, s.Admission...)
 		out.Journal = append(out.Journal, s.Journal...)
 		out.Fleet = append(out.Fleet, s.Fleet...)
+		out.Replicas = append(out.Replicas, s.Replicas...)
 		out.Stages = append(out.Stages, s.Stages...)
 	}
 	sort.Slice(out.Ports, func(i, j int) bool {
@@ -291,6 +317,7 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 	sort.Slice(out.Admission, func(i, j int) bool { return out.Admission[i].Queue < out.Admission[j].Queue })
 	sort.Slice(out.Journal, func(i, j int) bool { return out.Journal[i].Dir < out.Journal[j].Dir })
 	sort.Slice(out.Fleet, func(i, j int) bool { return out.Fleet[i].Layer < out.Fleet[j].Layer })
+	sort.Slice(out.Replicas, func(i, j int) bool { return out.Replicas[i].Layer < out.Replicas[j].Layer })
 	sort.Slice(out.Stages, func(i, j int) bool {
 		if out.Stages[i].Layer != out.Stages[j].Layer {
 			return out.Stages[i].Layer < out.Stages[j].Layer
@@ -496,6 +523,19 @@ func (s *Snapshot) Render(w io.Writer) {
 					f.Layer, m.Domain, m.State, m.Shard, m.ConsecutiveFailures,
 					m.Probes, m.ServicesRehomed, m.LastError)
 			}
+		}
+	}
+	// Read replicas: sync freshness (generation, etag) and the watch-stream
+	// traffic mix — events applied vs heartbeats vs duplicates tells whether
+	// the replica is converged, idle, or reconnect-thrashing.
+	if len(s.Replicas) > 0 {
+		fmt.Fprintf(w, "\n%-16s %-24s %6s %10s %-18s %7s %7s %5s %7s %7s %7s\n",
+			"REPLICA", "WRITER", "SYNCED", "GENERATION", "ETAG", "EVENTS", "HEARTBT", "DUPS", "RECONN", "W-PROX", "W-REF")
+		for _, r := range s.Replicas {
+			fmt.Fprintf(w, "%-16s %-24s %6t %10d %-18s %7d %7d %5d %7d %7d %7d\n",
+				r.Layer, r.Writer, r.Synced, r.Generation, r.ETag,
+				r.Events, r.Heartbeats, r.Duplicates, r.Reconnects,
+				r.WritesProxied, r.WritesRefused)
 		}
 	}
 	// Per-stage latency distributions: the p50/p95/p99 of every pipeline

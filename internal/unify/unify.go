@@ -50,8 +50,9 @@ type Layer interface {
 	// far. The returned graph may be a SHARED immutable snapshot served from
 	// a generation-keyed cache (core layers memoize views between commits and
 	// seal them — see nffg.Seal): treat it as read-only and Copy() before
-	// mutating. Remote layers return a caller-owned graph, but portable
-	// callers must not rely on that.
+	// mutating. Remote layers share the same discipline: the API client
+	// serves a sealed cached snapshot keyed by the server's ETag between
+	// remote commits.
 	View(ctx context.Context) (*nffg.NFFG, error)
 	// Install deploys a service request expressed against the view: NFs
 	// (optionally pinned to view nodes), SG hops and e2e requirements. The
